@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark renders its experiment the way the paper reports it and
+persists the text under ``benchmarks/output/`` so results survive the
+pytest capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def report(artefact_id: str, text: str) -> None:
+    """Print and persist one experiment's rendered output."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{artefact_id}.txt").write_text(text + "\n")
+    print(f"\n=== {artefact_id} ===")
+    print(text)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single timed round (experiments are heavy)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,19 @@
+"""Benchmark fixtures.
+
+Warms the shared caches (world build, device/web campaigns, market crawl)
+once per session so each benchmark times its experiment's analysis over
+identical inputs rather than the one-off simulation cost.
+"""
+
+import pytest
+
+from repro.experiments import common
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_caches():
+    common.get_world()
+    common.get_device_dataset()
+    common.get_web_dataset()
+    common.get_market()
+    yield

@@ -1,0 +1,50 @@
+"""Benchmarks for the design-choice ablations (DESIGN.md section 5)."""
+
+from repro.experiments import ablations
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_ablation_pgw_selection(benchmark):
+    result = run_once(benchmark, ablations.run_pgw_selection)
+    report("ABL-pgw-selection", _render_pgw(result))
+
+
+def test_bench_ablation_lbo(benchmark):
+    result = run_once(benchmark, ablations.run_lbo)
+    report("ABL-lbo", _render_lbo(result))
+
+
+def test_bench_ablation_doh(benchmark):
+    result = run_once(benchmark, ablations.run_doh)
+    report(
+        "ABL-doh",
+        f"DoH {result['doh_median_ms']:.0f} ms vs plain "
+        f"{result['plain_median_ms']:.0f} ms (+{result['overhead']:.0%})",
+    )
+
+
+def test_bench_ablation_cqi_filter(benchmark):
+    result = run_once(benchmark, ablations.run_cqi_filter)
+    report(
+        "ABL-cqi-filter",
+        f"retention {result['retention']:.0%}; mean {result['mean_all']:.1f} -> "
+        f"{result['mean_filtered']:.1f} Mbps; stdev {result['stdev_all']:.1f} -> "
+        f"{result['stdev_filtered']:.1f}",
+    )
+
+
+def _render_pgw(result):
+    return "\n".join(
+        f"{country}: static {d['static_median_ms']:.0f} ms -> nearest "
+        f"{d['nearest_median_ms']:.0f} ms ({d['saving']:.0%} saved)"
+        for country, d in result.items()
+    )
+
+
+def _render_lbo(result):
+    return "\n".join(
+        f"{country}: IHBO {d['ihbo_median_ms']:.0f} ms -> LBO "
+        f"{d['lbo_median_ms']:.0f} ms ({d['saving']:.0%} saved)"
+        for country, d in result.items()
+    )

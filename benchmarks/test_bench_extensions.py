@@ -1,0 +1,41 @@
+"""Benchmarks X1-X3: the paper's future-work items, implemented."""
+
+from repro.experiments import ext_audit, ext_placement, ext_voip
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_ext_voip(benchmark):
+    result = run_once(benchmark, ext_voip.run)
+    report("X1-voip", ext_voip.format_result(result))
+
+
+def test_bench_ext_placement(benchmark):
+    result = run_once(benchmark, ext_placement.run)
+    report("X2-placement", ext_placement.format_result(result))
+
+
+def test_bench_ext_audit(benchmark):
+    result = run_once(benchmark, ext_audit.run)
+    report("X3-audit", ext_audit.format_result(result))
+
+
+def test_bench_ext_steering(benchmark):
+    from repro.experiments import ext_steering
+
+    result = run_once(benchmark, ext_steering.run)
+    report("X4-steering", ext_steering.format_result(result))
+
+
+def test_bench_ext_economics(benchmark):
+    from repro.experiments import ext_economics
+
+    result = run_once(benchmark, ext_economics.run)
+    report("X5-economics", ext_economics.format_result(result))
+
+
+def test_bench_ext_jurisdiction(benchmark):
+    from repro.experiments import ext_jurisdiction
+
+    result = run_once(benchmark, ext_jurisdiction.run)
+    report("X6-jurisdiction", ext_jurisdiction.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark F10: regenerate the paper's fig10 artefact."""
+
+from repro.experiments import fig10
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig10(benchmark):
+    result = run_once(benchmark, fig10.run)
+    report("F10", fig10.format_result(result))

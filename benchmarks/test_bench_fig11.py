@@ -1,0 +1,10 @@
+"""Benchmark F11: regenerate the paper's fig11 artefact."""
+
+from repro.experiments import fig11
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig11(benchmark):
+    result = run_once(benchmark, fig11.run)
+    report("F11", fig11.format_result(result))

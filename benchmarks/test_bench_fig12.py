@@ -1,0 +1,10 @@
+"""Benchmark F12: regenerate the paper's fig12 artefact."""
+
+from repro.experiments import fig12
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig12(benchmark):
+    result = run_once(benchmark, fig12.run)
+    report("F12", fig12.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark F13: regenerate the paper's fig13 artefact."""
+
+from repro.experiments import fig13
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig13(benchmark):
+    result = run_once(benchmark, fig13.run)
+    report("F13", fig13.format_result(result))

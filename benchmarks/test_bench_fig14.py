@@ -1,0 +1,10 @@
+"""Benchmark F14: regenerate the paper's fig14 artefact."""
+
+from repro.experiments import fig14
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig14(benchmark):
+    result = run_once(benchmark, fig14.run)
+    report("F14", fig14.format_result(result))

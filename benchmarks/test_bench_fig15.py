@@ -1,0 +1,10 @@
+"""Benchmark F15: regenerate the paper's fig15 artefact."""
+
+from repro.experiments import fig15
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig15(benchmark):
+    result = run_once(benchmark, fig15.run)
+    report("F15", fig15.format_result(result))

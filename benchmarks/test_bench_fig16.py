@@ -1,0 +1,10 @@
+"""Benchmark F16: regenerate the paper's fig16 artefact."""
+
+from repro.experiments import fig16
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig16(benchmark):
+    result = run_once(benchmark, fig16.run)
+    report("F16", fig16.format_result(result))

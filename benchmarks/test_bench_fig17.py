@@ -1,0 +1,10 @@
+"""Benchmark F17: regenerate the paper's fig17 artefact."""
+
+from repro.experiments import fig17
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig17(benchmark):
+    result = run_once(benchmark, fig17.run)
+    report("F17", fig17.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark F18: regenerate the paper's fig18 artefact."""
+
+from repro.experiments import fig18
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig18(benchmark):
+    result = run_once(benchmark, fig18.run)
+    report("F18", fig18.format_result(result))

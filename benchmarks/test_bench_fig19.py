@@ -1,0 +1,10 @@
+"""Benchmark F19: regenerate the paper's fig19 artefact."""
+
+from repro.experiments import fig19
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig19(benchmark):
+    result = run_once(benchmark, fig19.run)
+    report("F19", fig19.format_result(result))

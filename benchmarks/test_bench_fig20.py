@@ -1,0 +1,10 @@
+"""Benchmark F20: regenerate the paper's fig20 artefact."""
+
+from repro.experiments import fig20
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig20(benchmark):
+    result = run_once(benchmark, fig20.run)
+    report("F20", fig20.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark F3: regenerate the paper's fig3 artefact."""
+
+from repro.experiments import fig3
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig3(benchmark):
+    result = run_once(benchmark, fig3.run)
+    report("F3", fig3.format_result(result))

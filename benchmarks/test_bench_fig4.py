@@ -1,0 +1,10 @@
+"""Benchmark F4: regenerate the paper's fig4 artefact."""
+
+from repro.experiments import fig4
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig4(benchmark):
+    result = run_once(benchmark, fig4.run)
+    report("F4", fig4.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark F5: regenerate the paper's fig5 artefact."""
+
+from repro.experiments import fig5
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig5(benchmark):
+    result = run_once(benchmark, fig5.run)
+    report("F5", fig5.format_result(result))

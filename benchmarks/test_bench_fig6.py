@@ -1,0 +1,10 @@
+"""Benchmark F6: regenerate the paper's fig6 artefact."""
+
+from repro.experiments import fig6
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig6(benchmark):
+    result = run_once(benchmark, fig6.run)
+    report("F6", fig6.format_result(result))

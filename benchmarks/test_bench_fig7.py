@@ -1,0 +1,10 @@
+"""Benchmark F7: regenerate the paper's fig7 artefact."""
+
+from repro.experiments import fig7
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig7(benchmark):
+    result = run_once(benchmark, fig7.run)
+    report("F7", fig7.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark F8: regenerate the paper's fig8 artefact."""
+
+from repro.experiments import fig8
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig8(benchmark):
+    result = run_once(benchmark, fig8.run)
+    report("F8", fig8.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark F9: regenerate the paper's fig9 artefact."""
+
+from repro.experiments import fig9
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_fig9(benchmark):
+    result = run_once(benchmark, fig9.run)
+    report("F9", fig9.format_result(result))

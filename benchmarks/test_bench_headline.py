@@ -1,0 +1,10 @@
+"""Benchmark HX1: regenerate the paper's headline artefact."""
+
+from repro.experiments import headline
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_headline(benchmark):
+    result = run_once(benchmark, headline.run)
+    report("HX1", headline.format_result(result))

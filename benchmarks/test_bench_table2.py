@@ -1,0 +1,10 @@
+"""Benchmark T2: regenerate the paper's table2 artefact."""
+
+from repro.experiments import table2
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_table2(benchmark):
+    result = run_once(benchmark, table2.run)
+    report("T2", table2.format_result(result))

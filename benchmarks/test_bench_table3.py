@@ -1,0 +1,10 @@
+"""Benchmark T3: regenerate the paper's table3 artefact."""
+
+from repro.experiments import table3
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_table3(benchmark):
+    result = run_once(benchmark, table3.run)
+    report("T3", table3.format_result(result))

@@ -1,0 +1,10 @@
+"""Benchmark T4: regenerate the paper's table4 artefact."""
+
+from repro.experiments import table4
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_table4(benchmark):
+    result = run_once(benchmark, table4.run)
+    report("T4", table4.format_result(result))

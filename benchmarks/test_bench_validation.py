@@ -1,0 +1,10 @@
+"""Benchmark HX2: regenerate the paper's validation artefact."""
+
+from repro.experiments import validation
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_validation(benchmark):
+    result = run_once(benchmark, validation.run)
+    report("HX2", validation.format_result(result))

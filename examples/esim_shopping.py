@@ -1,0 +1,84 @@
+"""Scenario: shopping for travel data like the paper's Section 6.
+
+Crawls the simulated eSIM aggregator from three vantage points, compares
+Airalo against its competitors and against buying a physical SIM on
+arrival, and reports the continent-level price landscape.
+
+Run:  python examples/esim_shopping.py [ISO3] [GB]    (default: ESP 3)
+"""
+
+import statistics
+import sys
+
+from repro.geo import default_country_registry
+from repro.market import (
+    DEFAULT_LOCAL_OFFERS,
+    EsimDB,
+    LocalSIMSurvey,
+    MarketCrawler,
+    build_provider_universe,
+    median_usd_per_gb_by_continent,
+    provider_country_medians,
+)
+
+
+def main() -> None:
+    destination = sys.argv[1].upper() if len(sys.argv) > 1 else "ESP"
+    needed_gb = float(sys.argv[2]) if len(sys.argv) > 2 else 3.0
+
+    countries = default_country_registry()
+    esimdb = EsimDB(build_provider_universe(), countries)
+    crawler = MarketCrawler(esimdb)
+
+    # Price-discrimination check from Madrid / Abu Dhabi / New Jersey.
+    snapshots = crawler.crawl_vantages(day=84)
+    print("price discrimination across vantage points:",
+          MarketCrawler.price_discrimination_detected(snapshots), "\n")
+    snapshot = snapshots[-1]
+
+    # Best plans for the trip.
+    candidates = [
+        offer for offer in snapshot.for_country(destination)
+        if offer.data_gb >= needed_gb
+    ]
+    candidates.sort(key=lambda o: o.price_usd)
+    print(f"cheapest plans with >= {needed_gb:g} GB for {destination}:")
+    for offer in candidates[:5]:
+        print(f"  {offer.provider:14} {offer.data_gb:5.1f} GB  "
+              f"${offer.price_usd:7.2f}  (${offer.usd_per_gb:5.2f}/GB)")
+
+    # How does the local physical SIM compare?
+    survey = LocalSIMSurvey(DEFAULT_LOCAL_OFFERS)
+    try:
+        local = survey.for_country(destination)
+        print(f"\nlocal SIM on arrival: {local.operator}, {local.data_gb:g} GB for "
+              f"${local.price_usd:.2f}"
+              + (f" + ${local.sim_fee_usd:.2f} SIM fee" if local.sim_fee_usd else "")
+              + f" -> ${local.usd_per_gb:.2f}/GB marginal, "
+              f"${local.total_cost_usd:.2f} up-front")
+    except KeyError:
+        print(f"\n(no local SIM surveyed for {destination})")
+
+    # Market overview.
+    print("\nprovider medians across their footprints ($/GB):")
+    medians = provider_country_medians(snapshot.offers)
+    for provider in ("Airhub", "MobiMatter", "Airalo", "Keepgo"):
+        print(f"  {provider:12} ${statistics.median(medians[provider]):5.2f}")
+
+    # Multi-country trip planning: local vs regional vs global plans.
+    from repro.market import ItineraryPlanner, TripLeg, render_recommendation
+
+    planner = ItineraryPlanner(esimdb, countries)
+    legs = [TripLeg(destination, needed_gb), TripLeg("FRA", 1.0), TripLeg("ITA", 1.0)]
+    print(f"\ntrip planner ({' -> '.join(l.country_iso3 for l in legs)}):")
+    print(render_recommendation(planner.recommend(legs)))
+
+    print("\nAiralo median $/GB per continent:")
+    grouped = median_usd_per_gb_by_continent(snapshot.offers, countries, provider="Airalo")
+    for continent, values in sorted(grouped.items()):
+        print(f"  {continent:14} ${statistics.median(values):5.2f} "
+              f"({len(values)} countries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Scenario: what will an Airalo eSIM actually do in a given country?
+
+The paper's motivating question, answered with the library's public API:
+provision an eSIM for a destination, attach it next to the local
+physical SIM, and run the full AmiGo toolbox — traceroute, speedtest,
+DNS identification, a CDN fetch and a YouTube playback — printing a
+side-by-side diagnostic.
+
+Run:  python examples/roaming_probe.py [ISO3]       (default: ESP)
+"""
+
+import random
+import statistics
+import sys
+
+from repro.cellular import UserEquipment, issue_physical_sim
+from repro.measure import fetch_from_cdn, probe_dns, probe_video, run_speedtest
+from repro.measure.traceroute import postprocess
+from repro.worlds import build_airalo_world
+from repro.worlds import paperdata as pd
+
+
+def probe(country: str) -> None:
+    world = build_airalo_world(seed=7)
+    rng = random.Random(f"probe:{country}")
+    spec = world.offering(country)
+    resources = world.resources
+    city = world.cities.get(spec.user_city, country)
+
+    # A dual-SIM phone: local physical SIM + the Airalo eSIM.
+    physical_operator_name = pd.PHYSICAL_SIM_OPERATORS.get(country, spec.v_mno)
+    physical_operator = world.operators.get(physical_operator_name)
+    device = UserEquipment.provision("Samsung S21+ 5G", city, rng)
+    physical_slot = device.install_sim(issue_physical_sim(physical_operator, rng))
+    esim_slot = device.install_sim(world.sell_esim(country, rng))
+
+    print(f"Destination: {country} ({city.name}); Airalo issues via "
+          f"{spec.b_mno} and the device camps on {spec.v_mno}.\n")
+
+    for label, slot, v_mno in (
+        ("physical SIM", physical_slot, physical_operator_name),
+        ("Airalo eSIM", esim_slot, spec.v_mno),
+    ):
+        session = device.switch_to(slot, v_mno, world.factory, rng)
+        conditions = resources.fabric.radio.sample_conditions(
+            device.preferred_rat(rng), rng
+        )
+        policy = resources.policy_for(session)
+        sim = device.active_sim
+
+        print(f"--- {label} ---")
+        print(f"architecture : {session.architecture.label}")
+        print(f"public IP    : {session.public_ip} "
+              f"(AS{session.pgw_site.provider_asn}, {session.pgw_site.provider_org})")
+        print(f"breakout     : {session.pgw_site.city.name}, {session.breakout_country} "
+              f"({session.tunnel.distance_km:.0f} km from the SGW)")
+
+        trace = resources.traceroute_engine.trace(
+            session, resources.sp_targets["Google"], conditions, rng
+        )
+        record = postprocess(trace, session, sim, conditions, resources.geoip)
+        print(f"traceroute   : {record.private_hops} private + "
+              f"{record.public_hops} public hops, ASNs {record.unique_asns}, "
+              f"final RTT {record.final_rtt_ms:.0f} ms")
+
+        speed = run_speedtest(session, sim, resources.ookla, resources.fabric,
+                              policy, conditions, rng)
+        print(f"speedtest    : {speed.download_mbps:.1f}/{speed.upload_mbps:.1f} Mbps "
+              f"@ {speed.latency_ms:.0f} ms (server: {speed.server_city})")
+
+        dns = probe_dns(session, sim, resources.dns_for(session),
+                        resources.fabric, conditions, rng)
+        print(f"DNS          : {dns.resolver_service} in {dns.resolver_country}, "
+              f"{dns.lookup_ms:.0f} ms" + (" (DoH)" if dns.used_doh else ""))
+
+        cdn = fetch_from_cdn(session, sim, resources.cdns["Cloudflare"],
+                             resources.dns_for(session), resources.fabric,
+                             policy, conditions, rng)
+        print(f"CDN fetch    : jquery.min.js via {cdn.edge_city} edge in "
+              f"{cdn.total_ms:.0f} ms ({'HIT' if cdn.cache_hit else 'MISS'})")
+
+        video = probe_video(session, sim, resources.player, resources.fabric,
+                            policy, conditions, rng,
+                            youtube_cap_mbps=resources.youtube_cap_for(session))
+        print(f"YouTube      : mostly {video.dominant_resolution}, "
+              f"{video.rebuffer_events} rebuffer(s), "
+              f"buffer ~{video.mean_buffer_s:.0f} s")
+        print()
+
+
+def main() -> None:
+    country = sys.argv[1].upper() if len(sys.argv) > 1 else "ESP"
+    probe(country)
+
+
+if __name__ == "__main__":
+    main()

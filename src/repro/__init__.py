@@ -1,0 +1,14 @@
+"""repro — reproduction of "Roam Without a Home: Unraveling the Airalo
+Ecosystem" (IMC 2025).
+
+A simulated thick-MNA / IPX / public-internet ecosystem plus the paper's
+complete measurement and analysis pipeline. Start from
+:class:`repro.core.ThickMnaStudy` or build the world directly with
+:func:`repro.worlds.build_airalo_world`.
+"""
+
+from repro.core import ThickMnaStudy
+
+__version__ = "1.0.0"
+
+__all__ = ["ThickMnaStudy", "__version__"]

@@ -1,0 +1,77 @@
+"""Analysis layer.
+
+The paper's methodology distilled into reusable pieces: the roaming-
+architecture classifier (public IP ASN vs b-MNO/v-MNO ASNs), traceroute
+path analytics (private/public split, ASN diversity, PGW RTT series),
+statistical machinery (boxplot summaries, CDFs, Welch t-test, Levene),
+and headline latency/bandwidth metrics.
+"""
+
+from repro.analysis.classify import (
+    ClassifiedBreakout,
+    classify_architecture,
+    classify_session_context,
+    build_breakout_table,
+)
+from repro.analysis.stats import (
+    BoxplotSummary,
+    boxplot_summary,
+    empirical_cdf,
+    cdf_at,
+    percent_above,
+    percent_below,
+    welch_ttest,
+    levene_test,
+)
+from repro.analysis.paths import (
+    path_length_series,
+    unique_asn_medians,
+    pgw_rtt_values,
+    private_share_values,
+)
+from repro.analysis.jurisdiction import GeoExperience, assess_geo_experience
+from repro.analysis.audit import (
+    AuditFinding,
+    AuditPlan,
+    ThickMnaAuditor,
+    render_findings,
+)
+from repro.analysis.metrics import (
+    latency_inflation_by_architecture,
+    high_latency_share,
+    speed_categories,
+    SPEED_SLOW_MBPS,
+    SPEED_FAST_MBPS,
+    LATENCY_BAD_MS,
+)
+
+__all__ = [
+    "ClassifiedBreakout",
+    "classify_architecture",
+    "classify_session_context",
+    "build_breakout_table",
+    "BoxplotSummary",
+    "boxplot_summary",
+    "empirical_cdf",
+    "cdf_at",
+    "percent_above",
+    "percent_below",
+    "welch_ttest",
+    "levene_test",
+    "path_length_series",
+    "unique_asn_medians",
+    "pgw_rtt_values",
+    "private_share_values",
+    "latency_inflation_by_architecture",
+    "high_latency_share",
+    "speed_categories",
+    "SPEED_SLOW_MBPS",
+    "SPEED_FAST_MBPS",
+    "LATENCY_BAD_MS",
+    "GeoExperience",
+    "assess_geo_experience",
+    "AuditFinding",
+    "AuditPlan",
+    "ThickMnaAuditor",
+    "render_findings",
+]

@@ -1,0 +1,114 @@
+"""Terminal rendering of the paper's figure idioms.
+
+The evaluation speaks in boxplots and CDFs; these helpers draw both as
+monospace text so benchmark output shows the *shape* of each figure, not
+just summary numbers. Pure string manipulation — no plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.analysis.stats import BoxplotSummary
+
+
+def _scale(value: float, low: float, high: float, width: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return max(0, min(width - 1, round(position * (width - 1))))
+
+
+def ascii_boxplot(
+    rows: Mapping[str, BoxplotSummary],
+    width: int = 60,
+    label_width: int = 22,
+) -> str:
+    """One boxplot per row on a shared axis.
+
+    ``|--[==+==]--|`` per row: whiskers, interquartile box, median mark.
+    """
+    if not rows:
+        raise ValueError("nothing to plot")
+    if width < 10:
+        raise ValueError("width too small")
+    low = min(summary.whisker_low for summary in rows.values())
+    high = max(summary.whisker_high for summary in rows.values())
+    lines: List[str] = []
+    for label, summary in rows.items():
+        canvas = [" "] * width
+        left = _scale(summary.whisker_low, low, high, width)
+        right = _scale(summary.whisker_high, low, high, width)
+        box_left = _scale(summary.q1, low, high, width)
+        box_right = _scale(summary.q3, low, high, width)
+        median = _scale(summary.median, low, high, width)
+        for i in range(left, right + 1):
+            canvas[i] = "-"
+        for i in range(box_left, box_right + 1):
+            canvas[i] = "="
+        canvas[left] = "|"
+        canvas[right] = "|"
+        canvas[box_left] = "["
+        canvas[box_right] = "]"
+        canvas[median] = "+"
+        lines.append(f"{label[:label_width]:{label_width}} {''.join(canvas)}")
+    lines.append(
+        f"{'':{label_width}} {low:<{width // 2}.0f}{high:>{width - width // 2}.0f}"
+    )
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    series: Mapping[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Several CDFs on one grid; each series gets a distinct glyph."""
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+    populated = {k: v for k, v in series.items() if v[0]}
+    if not populated:
+        raise ValueError("all series are empty")
+    low = min(xs[0] for xs, _ in populated.values())
+    high = max(xs[-1] for xs, _ in populated.values())
+    glyphs = "*o#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (label, (xs, ys)) in enumerate(populated.items()):
+        glyph = glyphs[index % len(glyphs)]
+        legend.append(f"{glyph}={label}")
+        for x, y in zip(xs, ys):
+            col = _scale(x, low, high, width)
+            row = height - 1 - _scale(y, 0.0, 1.0, height)
+            grid[row][col] = glyph
+    lines = ["1.0 |" + "".join(row) for row in grid[:1]]
+    for row in grid[1:-1]:
+        lines.append("    |" + "".join(row))
+    lines.append("0.0 |" + "".join(grid[-1]))
+    lines.append("    +" + "-" * width)
+    lines.append(f"     {low:<{width // 2}.0f}{high:>{width - width // 2}.0f}")
+    lines.append("     " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    width: int = 50,
+    label_width: int = 22,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart for per-category scalars."""
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("all values non-positive")
+    lines = []
+    for label, value in values.items():
+        bar = "#" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(
+            f"{label[:label_width]:{label_width}} {bar} {value:.1f}{unit}"
+        )
+    return "\n".join(lines)

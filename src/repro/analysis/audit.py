@@ -1,0 +1,164 @@
+"""Generic thick-MNA auditing.
+
+The paper suggests "extending our methodology to study additional eSIM
+providers that may also operate as thick MNAs". This module packages the
+whole pipeline — provision, attach, observe the public IP, traceroute,
+verify the demarcation, geolocate the breakout, classify — as a reusable
+auditor that works against *any* MNA built on the substrate (Airalo, the
+emnify validation world, or an operator you define yourself).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.classify import classify_session_context
+from repro.cellular.attach import SessionFactory
+from repro.cellular.mno import OperatorRegistry
+from repro.cellular.radio import RadioAccessTechnology, RadioConditions
+from repro.cellular.roaming import RoamingArchitecture
+from repro.cellular.ue import UserEquipment
+from repro.geo.cities import City, CityRegistry
+from repro.measure.records import MeasurementContext
+from repro.measure.traceroute import TracerouteEngine, postprocess
+from repro.mna.aggregator import MobileNetworkAggregator
+from repro.net.geoip import GeoIPDatabase
+from repro.services.providers import ServiceProvider
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """What the audit concluded for one offering."""
+
+    country_iso3: str
+    b_mno: str
+    v_mno: str
+    inferred_architecture: RoamingArchitecture
+    pgw_provider_org: str
+    pgw_asn: int
+    pgw_city: str
+    pgw_country: str
+    traceroutes: int
+    verified_traceroutes: int
+
+    @property
+    def verification_rate(self) -> float:
+        if self.traceroutes == 0:
+            return 0.0
+        return self.verified_traceroutes / self.traceroutes
+
+
+@dataclass(frozen=True)
+class AuditPlan:
+    """Where to test one offering: the user city and visited network."""
+
+    country_iso3: str
+    user_city: City
+    v_mno_name: str
+
+
+class ThickMnaAuditor:
+    """Runs the paper's classification methodology against any MNA."""
+
+    def __init__(
+        self,
+        operators: OperatorRegistry,
+        factory: SessionFactory,
+        geoip: GeoIPDatabase,
+        engine: TracerouteEngine,
+        sp_targets: Sequence[ServiceProvider],
+        traceroutes_per_offering: int = 12,
+    ) -> None:
+        if not sp_targets:
+            raise ValueError("auditor needs at least one traceroute target")
+        if traceroutes_per_offering < 1:
+            raise ValueError("need at least one traceroute per offering")
+        self.operators = operators
+        self.factory = factory
+        self.geoip = geoip
+        self.engine = engine
+        self.sp_targets = list(sp_targets)
+        self.traceroutes_per_offering = traceroutes_per_offering
+
+    def audit_offering(
+        self,
+        mna: MobileNetworkAggregator,
+        plan: AuditPlan,
+        rng: random.Random,
+    ) -> AuditFinding:
+        """Provision, attach, measure and classify one country offering."""
+        esim = mna.sell_esim(plan.country_iso3, self.operators, rng)
+        ue = UserEquipment.provision("audit device", plan.user_city, rng)
+        ue.install_sim(esim)
+        session = ue.switch_to(0, plan.v_mno_name, self.factory, rng)
+        conditions = RadioConditions(RadioAccessTechnology.NR, 11, -84.0, 13.0)
+
+        # Step 1: architecture from the public IP (web-campaign style).
+        context = MeasurementContext.from_session(session, esim, conditions)
+        architecture = classify_session_context(context, self.geoip, self.operators)
+
+        # Step 2: breakout verification and geolocation via traceroutes.
+        runs = 0
+        verified = 0
+        breakout: Optional[Dict] = None
+        for index in range(self.traceroutes_per_offering):
+            target = self.sp_targets[index % len(self.sp_targets)]
+            result = self.engine.trace(session, target, conditions, rng)
+            record = postprocess(result, session, esim, conditions, self.geoip)
+            runs += 1
+            if not record.pgw_verified:
+                continue
+            verified += 1
+            geo = self.geoip.lookup(record.pgw_ip)
+            breakout = {
+                "asn": geo.asn,
+                "city": geo.city,
+                "country": geo.country_iso3,
+            }
+        ue.detach()
+
+        if breakout is None:
+            raise RuntimeError(
+                f"audit of {plan.country_iso3} never verified a PGW hop "
+                f"in {runs} traceroutes"
+            )
+        return AuditFinding(
+            country_iso3=plan.country_iso3,
+            b_mno=session.b_mno_name,
+            v_mno=session.v_mno_name,
+            inferred_architecture=architecture,
+            pgw_provider_org=session.pgw_site.provider_org,
+            pgw_asn=breakout["asn"],
+            pgw_city=breakout["city"],
+            pgw_country=breakout["country"],
+            traceroutes=runs,
+            verified_traceroutes=verified,
+        )
+
+    def audit(
+        self,
+        mna: MobileNetworkAggregator,
+        plans: Sequence[AuditPlan],
+        rng: random.Random,
+    ) -> List[AuditFinding]:
+        """Audit every plan; findings sorted by (b-MNO, country)."""
+        findings = [self.audit_offering(mna, plan, rng) for plan in plans]
+        findings.sort(key=lambda f: (f.b_mno, f.country_iso3))
+        return findings
+
+
+def render_findings(findings: Sequence[AuditFinding]) -> str:
+    """Tabulate findings the way Table 2 reads."""
+    lines = [
+        f"{'Country':8} {'b-MNO':16} {'Type':7} {'Breakout':24} {'Verified':9}"
+    ]
+    for finding in findings:
+        breakout = f"AS{finding.pgw_asn} {finding.pgw_city}, {finding.pgw_country}"
+        lines.append(
+            f"{finding.country_iso3:8} {finding.b_mno:16} "
+            f"{finding.inferred_architecture.label:7} {breakout:24} "
+            f"{finding.verification_rate:>8.0%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Content localization and data-jurisdiction analysis (Section 7).
+
+Beyond performance, the paper flags two user implications of IHBO:
+services geo-locate users at the PGW's country (wrong-language Netflix,
+foreign content policies), and user traffic is handled by a third-party
+network in an intermediary country the user never chose. This module
+derives both from a session: the *apparent* country internet services
+see, and the full set of jurisdictions the data path crosses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cellular.core import PDNSession
+from repro.cellular.mno import OperatorRegistry
+from repro.cellular.roaming import RoamingArchitecture
+
+
+@dataclass(frozen=True)
+class GeoExperience:
+    """What geography-dependent services conclude about one session."""
+
+    user_country: str
+    apparent_country: str          # where the public IP geolocates
+    architecture: RoamingArchitecture
+    # Every jurisdiction the user-plane path crosses, in order:
+    # visited country, intermediary (PGW/IPX) country, home country.
+    jurisdictions: Tuple[str, ...]
+    third_party_operator: str      # who runs the breakout
+
+    @property
+    def localized_correctly(self) -> bool:
+        """True when geo-targeted content matches the user's location."""
+        return self.apparent_country == self.user_country
+
+    @property
+    def crosses_third_country(self) -> bool:
+        """Data handled in a country that is neither visited nor home."""
+        return len(self.jurisdictions) > 2 or (
+            len(self.jurisdictions) == 2
+            and self.apparent_country not in (self.user_country,)
+        )
+
+
+def assess_geo_experience(
+    session: PDNSession, operators: OperatorRegistry
+) -> GeoExperience:
+    """Derive the Section 7 implications for one attach."""
+    user_country = session.sgw.city.country_iso3
+    apparent = session.breakout_country
+    b_mno = operators.get(session.b_mno_name)
+
+    jurisdictions: List[str] = [user_country]
+    if session.architecture is RoamingArchitecture.HR:
+        # Traffic transits the IPX into the home country and breaks out there.
+        if b_mno.country_iso3 not in jurisdictions:
+            jurisdictions.append(b_mno.country_iso3)
+    elif session.architecture is RoamingArchitecture.IHBO:
+        # Breakout in the hub's country — typically neither home nor visited.
+        if apparent not in jurisdictions:
+            jurisdictions.append(apparent)
+    # LBO and NATIVE break out in the visited country itself.
+
+    return GeoExperience(
+        user_country=user_country,
+        apparent_country=apparent,
+        architecture=session.architecture,
+        jurisdictions=tuple(jurisdictions),
+        third_party_operator=session.pgw_site.provider_org,
+    )

@@ -1,0 +1,70 @@
+"""Headline metrics.
+
+The numbers the paper quotes in its abstract and takeaways: latency
+inflation per architecture relative to native, the share of measurements
+in the "less desirable" (> 150 ms) latency band, and the speed-category
+split against the Speedtest Global Index thresholds.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.cellular.roaming import RoamingArchitecture
+from repro.measure.records import SpeedtestRecord
+
+#: "Less desirable" latency threshold (Section 5.1).
+LATENCY_BAD_MS = 150.0
+#: Speedtest Global Index categories used by the paper.
+SPEED_SLOW_MBPS = 15.0
+SPEED_FAST_MBPS = 30.0
+
+
+def latency_inflation_by_architecture(
+    latencies: Dict[RoamingArchitecture, Sequence[float]],
+) -> Dict[RoamingArchitecture, float]:
+    """Mean latency inflation of each roaming architecture vs native.
+
+    Returns, per architecture, ``mean(arch) / mean(native) - 1`` (e.g.
+    6.21 for the paper's 621% HR figure). Requires a NATIVE entry.
+    """
+    if RoamingArchitecture.NATIVE not in latencies:
+        raise ValueError("need NATIVE latencies as the baseline")
+    native = latencies[RoamingArchitecture.NATIVE]
+    if not native:
+        raise ValueError("native baseline is empty")
+    base = statistics.fmean(native)
+    inflation: Dict[RoamingArchitecture, float] = {}
+    for architecture, values in latencies.items():
+        if architecture is RoamingArchitecture.NATIVE or not values:
+            continue
+        inflation[architecture] = statistics.fmean(values) / base - 1.0
+    return inflation
+
+
+def high_latency_share(values: Sequence[float], threshold: float = LATENCY_BAD_MS) -> float:
+    """Share of measurements above the 'less desirable' threshold."""
+    if not values:
+        raise ValueError("empty sample")
+    return sum(1 for v in values if v > threshold) / len(values)
+
+
+def speed_categories(
+    records: Iterable[SpeedtestRecord],
+    slow_mbps: float = SPEED_SLOW_MBPS,
+    fast_mbps: float = SPEED_FAST_MBPS,
+) -> Dict[str, float]:
+    """Share of downloads in the slow / medium / fast bands.
+
+    Returns fractions keyed ``"slow"`` (<= slow threshold), ``"fast"``
+    (>= fast threshold) and ``"medium"`` (in between) — the split quoted
+    for Figure 13b.
+    """
+    downloads = [r.download_mbps for r in records]
+    if not downloads:
+        raise ValueError("no speedtest records")
+    n = len(downloads)
+    slow = sum(1 for d in downloads if d <= slow_mbps) / n
+    fast = sum(1 for d in downloads if d >= fast_mbps) / n
+    return {"slow": slow, "medium": 1.0 - slow - fast, "fast": fast}

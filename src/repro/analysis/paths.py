@@ -1,0 +1,90 @@
+"""Traceroute path analytics (Section 4.3).
+
+Slices post-processed traceroute records into the series the figures
+plot: private/public path-length distributions per country and SIM kind
+(Figures 7 and 10), median unique-ASN counts (Figure 6), PGW-hop RTT
+samples (Figures 8 and 9) and private-latency shares (Figure 12).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cellular.esim import SIMKind
+from repro.measure.records import TracerouteRecord
+
+
+def path_length_series(
+    records: Sequence[TracerouteRecord],
+    segment: str = "private",
+) -> Dict[Tuple[str, str], List[int]]:
+    """Hop-count samples keyed by (country, config label).
+
+    ``segment`` selects ``"private"`` (Figure 7) or ``"public"``
+    (Figure 10) path lengths.
+    """
+    if segment not in ("private", "public"):
+        raise ValueError("segment must be 'private' or 'public'")
+    series: Dict[Tuple[str, str], List[int]] = {}
+    for record in records:
+        key = (record.context.country_iso3, record.context.config_label)
+        value = record.private_hops if segment == "private" else record.public_hops
+        series.setdefault(key, []).append(value)
+    return series
+
+
+def unique_asn_medians(
+    records: Sequence[TracerouteRecord],
+) -> Dict[Tuple[str, str], float]:
+    """Median count of unique ASNs per (country, SIM/eSIM) — Figure 6."""
+    buckets: Dict[Tuple[str, str], List[int]] = {}
+    for record in records:
+        kind = "SIM" if record.context.sim_kind is SIMKind.PHYSICAL else "eSIM"
+        key = (record.context.country_iso3, kind)
+        buckets.setdefault(key, []).append(len(record.unique_asns))
+    return {key: statistics.median(counts) for key, counts in buckets.items()}
+
+
+def pgw_rtt_values(
+    records: Sequence[TracerouteRecord],
+    country: Optional[str] = None,
+    pgw_provider: Optional[str] = None,
+    sim_kind: Optional[SIMKind] = None,
+) -> List[float]:
+    """Best RTTs observed at the PGW-IP hop, optionally filtered.
+
+    The raw material of the Figure 8/9 CDFs: RTT where the first public
+    IP answered.
+    """
+    out: List[float] = []
+    for record in records:
+        if record.pgw_rtt_ms is None:
+            continue
+        if country is not None and record.context.country_iso3 != country.upper():
+            continue
+        if pgw_provider is not None and record.context.pgw_provider != pgw_provider:
+            continue
+        if sim_kind is not None and record.context.sim_kind is not sim_kind:
+            continue
+        out.append(record.pgw_rtt_ms)
+    return out
+
+
+def private_share_values(
+    records: Sequence[TracerouteRecord],
+    country: Optional[str] = None,
+    sim_kind: Optional[SIMKind] = None,
+) -> List[float]:
+    """Private-latency shares (PGW RTT / final RTT) for Figure 12."""
+    out: List[float] = []
+    for record in records:
+        share = record.private_latency_share
+        if share is None:
+            continue
+        if country is not None and record.context.country_iso3 != country.upper():
+            continue
+        if sim_kind is not None and record.context.sim_kind is not sim_kind:
+            continue
+        out.append(share)
+    return out

@@ -1,0 +1,105 @@
+"""Statistical machinery for the experiments.
+
+Boxplot summaries (the paper's dominant visual), empirical CDFs, and the
+two hypothesis tests the paper runs: Welch's t-test (SIM vs eSIM RTTs)
+and Levene's test (variance homogeneity of RTTs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class BoxplotSummary:
+    """Five-number summary plus mean and sample count."""
+
+    count: int
+    mean: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    @property
+    def whisker_low(self) -> float:
+        """Tukey lower whisker: smallest point above Q1 - 1.5 IQR."""
+        return max(self.minimum, self.q1 - 1.5 * self.iqr)
+
+    @property
+    def whisker_high(self) -> float:
+        """Tukey upper whisker: largest point below Q3 + 1.5 IQR."""
+        return min(self.maximum, self.q3 + 1.5 * self.iqr)
+
+
+def boxplot_summary(values: Sequence[float]) -> BoxplotSummary:
+    """Summary statistics for one boxplot."""
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    arr = np.asarray(values, dtype=float)
+    q1, median, q3 = np.percentile(arr, [25, 50, 75])
+    return BoxplotSummary(
+        count=arr.size,
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(arr.max()),
+    )
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Sorted sample values and their cumulative probabilities."""
+    if not values:
+        raise ValueError("cannot build a CDF from an empty sample")
+    xs = sorted(float(v) for v in values)
+    n = len(xs)
+    ys = [(i + 1) / n for i in range(n)]
+    return xs, ys
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """P(X <= threshold) under the empirical distribution."""
+    if not values:
+        raise ValueError("cannot evaluate a CDF on an empty sample")
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def percent_above(values: Sequence[float], threshold: float) -> float:
+    """Share of the sample strictly above ``threshold`` (0..1)."""
+    if not values:
+        raise ValueError("empty sample")
+    return sum(1 for v in values if v > threshold) / len(values)
+
+
+def percent_below(values: Sequence[float], threshold: float) -> float:
+    """Share of the sample at or below ``threshold`` (0..1)."""
+    return 1.0 - percent_above(values, threshold)
+
+
+def welch_ttest(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+    """Welch's unequal-variance t-test; returns (statistic, p-value)."""
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("t-test needs at least two samples per group")
+    result = scipy_stats.ttest_ind(list(a), list(b), equal_var=False)
+    return float(result.statistic), float(result.pvalue)
+
+
+def levene_test(*groups: Sequence[float]) -> Tuple[float, float]:
+    """Levene's test for homogeneity of variances across groups."""
+    if len(groups) < 2:
+        raise ValueError("Levene's test needs at least two groups")
+    if any(len(g) < 2 for g in groups):
+        raise ValueError("each group needs at least two samples")
+    result = scipy_stats.levene(*[list(g) for g in groups])
+    return float(result.statistic), float(result.pvalue)

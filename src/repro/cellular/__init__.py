@@ -1,0 +1,113 @@
+"""Cellular ecosystem substrate.
+
+Subscriber identifiers, operators, radio model, core-network elements
+(SGW/PGW/GTP), roaming agreements, eSIM provisioning, user equipment and
+v-MNO core telemetry. Together these produce the attach sessions whose
+observable surface (public IP, path structure, latency, bandwidth) the
+measurement layer probes exactly like the paper probed the real Airalo.
+"""
+
+from repro.cellular.identifiers import (
+    PLMN,
+    IMSI,
+    IMSIRange,
+    generate_imei,
+    generate_iccid,
+    luhn_check_digit,
+    luhn_is_valid,
+    infer_imsi_prefixes,
+)
+from repro.cellular.radio import (
+    RadioAccessTechnology,
+    RadioConditions,
+    RadioModel,
+    modulation_for_cqi,
+)
+from repro.cellular.mno import (
+    MobileOperator,
+    OperatorKind,
+    OperatorRegistry,
+    DNSResolverSpec,
+    BandwidthPolicy,
+)
+from repro.cellular.core import SGW, PGWSite, GTPTunnel, PDNSession
+from repro.cellular.roaming import (
+    RoamingArchitecture,
+    RoamingAgreement,
+    AgreementRegistry,
+    PGWSelection,
+)
+from repro.cellular.esim import SIMProfile, SIMKind, RSPServer, ProvisioningError, issue_physical_sim
+from repro.cellular.attach import SessionFactory
+from repro.cellular.ue import UserEquipment, AttachError
+from repro.cellular.procedures import AttachTiming, estimate_attach_time_ms
+from repro.cellular.steering import (
+    NetworkSelector,
+    SteeringPolicy,
+    VisitedNetworkOption,
+)
+from repro.cellular.signalling import (
+    SignallingEvent,
+    SignallingProfile,
+    EVENT_SIZE_KB,
+    NATIVE_PROFILE,
+    AIRALO_PROFILE,
+    ROAMER_PROFILE,
+)
+from repro.cellular.telemetry import (
+    CoreTelemetryGenerator,
+    SubscriberPopulation,
+    UsageRecord,
+    detect_airalo_imsis,
+)
+
+__all__ = [
+    "PLMN",
+    "IMSI",
+    "IMSIRange",
+    "generate_imei",
+    "generate_iccid",
+    "luhn_check_digit",
+    "luhn_is_valid",
+    "infer_imsi_prefixes",
+    "RadioAccessTechnology",
+    "RadioConditions",
+    "RadioModel",
+    "modulation_for_cqi",
+    "MobileOperator",
+    "OperatorKind",
+    "OperatorRegistry",
+    "DNSResolverSpec",
+    "BandwidthPolicy",
+    "SGW",
+    "PGWSite",
+    "GTPTunnel",
+    "PDNSession",
+    "RoamingArchitecture",
+    "RoamingAgreement",
+    "AgreementRegistry",
+    "PGWSelection",
+    "SIMProfile",
+    "SIMKind",
+    "RSPServer",
+    "ProvisioningError",
+    "issue_physical_sim",
+    "SessionFactory",
+    "UserEquipment",
+    "AttachError",
+    "AttachTiming",
+    "estimate_attach_time_ms",
+    "NetworkSelector",
+    "SteeringPolicy",
+    "VisitedNetworkOption",
+    "SignallingEvent",
+    "SignallingProfile",
+    "EVENT_SIZE_KB",
+    "NATIVE_PROFILE",
+    "AIRALO_PROFILE",
+    "ROAMER_PROFILE",
+    "CoreTelemetryGenerator",
+    "SubscriberPopulation",
+    "UsageRecord",
+    "detect_airalo_imsis",
+]

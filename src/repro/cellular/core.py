@@ -1,0 +1,158 @@
+"""Core-network elements: SGW, PGW sites, GTP tunnels, PDN sessions.
+
+A PDN session is the unit of observation for every measurement in the
+repository: it fixes where the traffic breaks out (PGW site), which
+public IP the device shows to the world (CG-NAT binding), how long the
+invisible private path is, and how expensive the GTP tunnel is.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cellular.roaming import RoamingArchitecture
+from repro.geo.cities import City
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.net.cgnat import CarrierGradeNAT
+from repro.net.ipv4 import IPAddress
+
+
+@dataclass(frozen=True)
+class SGW:
+    """Serving gateway inside the visited network, near the user."""
+
+    operator_name: str
+    city: City
+
+    @property
+    def location(self) -> GeoPoint:
+        return self.city.location
+
+
+@dataclass
+class PGWSite:
+    """A packet gateway deployment of one provider in one city.
+
+    ``private_hop_depths`` is the set of traceroute depths at which the
+    first public IP appears for sessions through this site (Packet Host
+    shows 6-7, OVH 3, operators' own cores 4-10 in the paper). The CG-NAT
+    holds the small pool of "PGW IP addresses" observed externally.
+    """
+
+    site_id: str
+    provider_org: str
+    provider_asn: int
+    city: City
+    cgnat: CarrierGradeNAT
+    private_hop_depths: Tuple[int, ...] = (6, 7)
+    # Mean extra RTT between first private hop (the PGW) and the CG-NAT
+    # public hop; the paper measures ~8 ms on average.
+    core_crossing_ms: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not self.private_hop_depths:
+            raise ValueError("private_hop_depths cannot be empty")
+        if any(d < 1 for d in self.private_hop_depths):
+            raise ValueError("hop depths must be >= 1")
+        if self.core_crossing_ms < 0:
+            raise ValueError("core_crossing_ms cannot be negative")
+
+    @property
+    def location(self) -> GeoPoint:
+        return self.city.location
+
+    @property
+    def country_iso3(self) -> str:
+        return self.city.country_iso3
+
+    def sample_hop_depth(self, rng: random.Random) -> int:
+        """Private-path length for one session through this site."""
+        return rng.choice(self.private_hop_depths)
+
+
+@dataclass(frozen=True)
+class GTPTunnel:
+    """The GTP-U tunnel from the visited SGW to the selected PGW."""
+
+    sgw: SGW
+    pgw_site: PGWSite
+    base_rtt_ms: float
+    stretch: float
+    extra_rtt_ms: float
+
+    def __post_init__(self) -> None:
+        if self.base_rtt_ms < 0:
+            raise ValueError("tunnel RTT cannot be negative")
+
+    @property
+    def distance_km(self) -> float:
+        """Straight-line SGW-to-PGW distance (the lines of Figures 3-4)."""
+        return haversine_km(self.sgw.location, self.pgw_site.location)
+
+
+@dataclass
+class PDNSession:
+    """One attach: everything the measurement layer needs to observe.
+
+    ``private_path`` lists the private-IP hops traceroute sees before the
+    public demarcation point, and ``public_ip`` is both the device's
+    public address and the first public hop (the paper verifies these
+    match, see Section 4.3).
+    """
+
+    session_id: str
+    ue_imei: str
+    sim_iccid: str
+    v_mno_name: str
+    b_mno_name: str
+    architecture: RoamingArchitecture
+    sgw: SGW
+    pgw_site: PGWSite
+    tunnel: GTPTunnel
+    public_ip: IPAddress
+    private_path: List[str]
+    dns_operator: str
+    dns_uses_doh: bool
+    dns_anycast: bool
+
+    def __post_init__(self) -> None:
+        if not self.private_path:
+            raise ValueError("a session always has at least the PGW private hop")
+
+    @property
+    def is_roaming(self) -> bool:
+        return self.architecture is not RoamingArchitecture.NATIVE
+
+    @property
+    def private_hop_count(self) -> int:
+        """Private path length as plotted in Figure 7."""
+        return len(self.private_path)
+
+    @property
+    def base_private_rtt_ms(self) -> float:
+        """Deterministic RTT from SGW to public breakout (radio excluded)."""
+        return self.tunnel.base_rtt_ms + self.pgw_site.core_crossing_ms
+
+    @property
+    def breakout_country(self) -> str:
+        return self.pgw_site.country_iso3
+
+
+def build_private_path(hop_depth: int, subnet_seed: int) -> List[str]:
+    """Generate the private-IP hop addresses of a session.
+
+    Hops live in 10.0.0.0/8, carved per-session so different sessions show
+    different (but stable) internal addresses, like real PGW cores do.
+    The list has ``hop_depth`` entries: the PGW itself first, then the
+    internal forwarding chain up to (but excluding) the public CG-NAT hop.
+    """
+    if hop_depth < 1:
+        raise ValueError("hop_depth must be >= 1")
+    # Stay inside 10/8: 10.<a>.<b>.<i> with a,b derived from the seed.
+    a = (subnet_seed >> 8) % 256
+    b = subnet_seed % 256
+    base = ipaddress.IPv4Address(f"10.{a}.{b}.1")
+    return [str(base + i) for i in range(hop_depth)]

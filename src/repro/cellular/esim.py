@@ -1,0 +1,130 @@
+"""SIM profiles and remote SIM provisioning.
+
+An MNA like Airalo does not own spectrum or subscribers: it rents IMSI
+ranges from b-MNOs and provisions them onto customers' devices as eSIM
+profiles via an RSP (Remote SIM Provisioning) server. Physical SIMs from
+local operators use the same profile type with ``SIMKind.PHYSICAL``.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cellular.identifiers import IMSI, IMSIRange, generate_iccid
+from repro.cellular.mno import MobileOperator
+
+
+class SIMKind(enum.Enum):
+    PHYSICAL = "physical"
+    ESIM = "esim"
+
+
+@dataclass(frozen=True)
+class SIMProfile:
+    """One provisioned subscription.
+
+    ``issuer_mno_name`` is the b-MNO whose core recognises the IMSI;
+    ``provider`` is who sold it (an MNA like "Airalo", or the operator
+    itself for local physical SIMs); ``plan_country`` is the country the
+    plan was bought for — for Airalo this routinely differs from the
+    issuer's home country, which is the paper's headline observation.
+    """
+
+    kind: SIMKind
+    iccid: str
+    imsi: IMSI
+    issuer_mno_name: str
+    provider: str
+    plan_country_iso3: str
+
+    @property
+    def is_esim(self) -> bool:
+        return self.kind is SIMKind.ESIM
+
+
+class ProvisioningError(Exception):
+    """Raised when a profile cannot be issued (no rented range, etc.)."""
+
+
+class RSPServer:
+    """Remote SIM Provisioning server of an eSIM marketplace.
+
+    Issues eSIM profiles out of the IMSI ranges that b-MNOs rented to the
+    MNA. Every issued IMSI is unique; issuance order is deterministic so
+    a seeded campaign always provisions the same profiles.
+    """
+
+    def __init__(self, mna_name: str) -> None:
+        self.mna_name = mna_name
+        # (b-MNO name) -> list of (range, next_index) cursors.
+        self._cursors: Dict[str, List[Tuple[IMSIRange, int]]] = {}
+        self._issued: List[SIMProfile] = []
+
+    def register_operator(self, operator: MobileOperator) -> None:
+        """Pick up the IMSI ranges ``operator`` rents to this MNA."""
+        ranges = operator.ranges_for(self.mna_name)
+        if not ranges:
+            raise ProvisioningError(
+                f"{operator.name} rents no IMSI ranges to {self.mna_name}"
+            )
+        self._cursors[operator.name] = [(imsi_range, 0) for imsi_range in ranges]
+
+    def issued_profiles(self) -> List[SIMProfile]:
+        return list(self._issued)
+
+    def issue(
+        self,
+        b_mno: MobileOperator,
+        plan_country_iso3: str,
+        rng: random.Random,
+    ) -> SIMProfile:
+        """Provision one eSIM profile for a plan in ``plan_country_iso3``."""
+        if b_mno.name not in self._cursors:
+            self.register_operator(b_mno)
+        cursors = self._cursors[b_mno.name]
+        # Fill ranges in order; move to the next when one is exhausted.
+        for slot, (imsi_range, next_index) in enumerate(cursors):
+            if next_index < imsi_range.capacity:
+                imsi = imsi_range.issue(next_index)
+                cursors[slot] = (imsi_range, next_index + 1)
+                profile = SIMProfile(
+                    kind=SIMKind.ESIM,
+                    iccid=generate_iccid(rng),
+                    imsi=imsi,
+                    issuer_mno_name=b_mno.name,
+                    provider=self.mna_name,
+                    plan_country_iso3=plan_country_iso3.upper(),
+                )
+                self._issued.append(profile)
+                return profile
+        raise ProvisioningError(
+            f"all IMSI ranges rented by {b_mno.name} to {self.mna_name} are exhausted"
+        )
+
+
+def issue_physical_sim(
+    operator: MobileOperator,
+    rng: random.Random,
+    subscriber_index: Optional[int] = None,
+) -> SIMProfile:
+    """A local physical SIM issued directly by ``operator``.
+
+    Uses a wide operator-owned IMSI block (PLMN prefix + random MSIN),
+    distinct from any MNA-rented sub-range.
+    """
+    own_range = IMSIRange(prefix=operator.plmn.code, label=f"{operator.name} retail")
+    if subscriber_index is None:
+        imsi = own_range.sample(rng)
+    else:
+        imsi = own_range.issue(subscriber_index)
+    return SIMProfile(
+        kind=SIMKind.PHYSICAL,
+        iccid=generate_iccid(rng),
+        imsi=imsi,
+        issuer_mno_name=operator.name,
+        provider=operator.name,
+        plan_country_iso3=operator.country_iso3,
+    )

@@ -1,0 +1,201 @@
+"""Subscriber and equipment identifiers.
+
+IMSI / IMEI / ICCID generation with proper structure and Luhn check
+digits, PLMN (MCC-MNC) codes, contiguous IMSI ranges for operators, and
+the prefix-mining routine the paper uses to infer which IMSI ranges a
+b-MNO rents to Airalo (Section 4.2, Figure 5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def luhn_check_digit(digits: str) -> int:
+    """Luhn check digit for a string of decimal digits.
+
+    Used by both IMEI (15th digit) and ICCID (final digit).
+    """
+    if not digits.isdigit():
+        raise ValueError(f"not a digit string: {digits!r}")
+    total = 0
+    # Process from the rightmost digit of the payload: double every
+    # second digit counting from the right (position 1 = rightmost).
+    for position, char in enumerate(reversed(digits), start=1):
+        value = int(char)
+        if position % 2 == 1:
+            value *= 2
+            if value > 9:
+                value -= 9
+        total += value
+    return (10 - total % 10) % 10
+
+
+def luhn_is_valid(digits: str) -> bool:
+    """True when the final digit is a correct Luhn check digit."""
+    if not digits.isdigit() or len(digits) < 2:
+        return False
+    return luhn_check_digit(digits[:-1]) == int(digits[-1])
+
+
+@dataclass(frozen=True)
+class PLMN:
+    """Public Land Mobile Network code: MCC (3 digits) + MNC (2-3 digits)."""
+
+    mcc: str
+    mnc: str
+
+    def __post_init__(self) -> None:
+        if len(self.mcc) != 3 or not self.mcc.isdigit():
+            raise ValueError(f"MCC must be 3 digits: {self.mcc!r}")
+        if len(self.mnc) not in (2, 3) or not self.mnc.isdigit():
+            raise ValueError(f"MNC must be 2-3 digits: {self.mnc!r}")
+
+    def __str__(self) -> str:
+        return f"{self.mcc}-{self.mnc}"
+
+    @property
+    def code(self) -> str:
+        """Concatenated MCC+MNC as it appears at the front of an IMSI."""
+        return self.mcc + self.mnc
+
+
+@dataclass(frozen=True)
+class IMSI:
+    """International Mobile Subscriber Identity (15 digits)."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if len(self.value) != 15 or not self.value.isdigit():
+            raise ValueError(f"IMSI must be 15 digits: {self.value!r}")
+
+    def __str__(self) -> str:
+        return self.value
+
+    def plmn_of(self, mnc_length: int = 2) -> PLMN:
+        """PLMN encoded at the front of the IMSI."""
+        if mnc_length not in (2, 3):
+            raise ValueError("MNC length must be 2 or 3")
+        return PLMN(self.value[:3], self.value[3 : 3 + mnc_length])
+
+    @property
+    def msin(self) -> str:
+        """Subscriber part (assumes 2-digit MNC, the common case here)."""
+        return self.value[5:]
+
+
+@dataclass(frozen=True)
+class IMSIRange:
+    """A contiguous block of IMSIs belonging to one operator.
+
+    ``prefix`` is the fixed leading digits (PLMN plus any sub-allocation
+    pattern); the remaining digits enumerate subscribers. The paper's
+    v-MNO analysis hinges on Airalo renting *narrow, pre-determined*
+    ranges from Play, i.e. long prefixes.
+    """
+
+    prefix: str
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.prefix.isdigit():
+            raise ValueError(f"IMSI prefix must be digits: {self.prefix!r}")
+        if not 5 <= len(self.prefix) <= 14:
+            raise ValueError("IMSI prefix must be 5-14 digits (PLMN + sub-pattern)")
+
+    @property
+    def capacity(self) -> int:
+        """Number of distinct IMSIs in the range."""
+        return 10 ** (15 - len(self.prefix))
+
+    def contains(self, imsi: IMSI) -> bool:
+        return imsi.value.startswith(self.prefix)
+
+    def issue(self, index: int) -> IMSI:
+        """The ``index``-th IMSI of the range (stable, zero-padded)."""
+        if not 0 <= index < self.capacity:
+            raise ValueError(f"index {index} outside range capacity {self.capacity}")
+        suffix_len = 15 - len(self.prefix)
+        return IMSI(self.prefix + str(index).zfill(suffix_len))
+
+    def sample(self, rng: random.Random) -> IMSI:
+        """A uniformly random IMSI from the range."""
+        return self.issue(rng.randrange(self.capacity))
+
+
+def generate_imei(rng: random.Random, tac: str = "35123456") -> str:
+    """A syntactically valid 15-digit IMEI (8-digit TAC + SNR + Luhn)."""
+    if len(tac) != 8 or not tac.isdigit():
+        raise ValueError(f"TAC must be 8 digits: {tac!r}")
+    snr = "".join(str(rng.randrange(10)) for _ in range(6))
+    payload = tac + snr
+    return payload + str(luhn_check_digit(payload))
+
+
+def generate_iccid(rng: random.Random, issuer: str = "8901") -> str:
+    """A syntactically valid 19-digit ICCID ending in a Luhn digit."""
+    if not issuer.isdigit() or not 2 <= len(issuer) <= 7:
+        raise ValueError(f"issuer prefix must be 2-7 digits: {issuer!r}")
+    body_len = 18 - len(issuer)
+    body = "".join(str(rng.randrange(10)) for _ in range(body_len))
+    payload = issuer + body
+    return payload + str(luhn_check_digit(payload))
+
+
+def infer_imsi_prefixes(
+    imsis: Sequence[IMSI],
+    plmn: PLMN,
+    min_support: int = 3,
+    max_prefix_len: int = 11,
+    max_branching: int = 3,
+) -> List[Tuple[str, int]]:
+    """Mine candidate rented-IMSI prefixes from observed IMSIs.
+
+    Reproduces the paper's pattern-matching analysis: restrict to IMSIs
+    matching the b-MNO's MCC/MNC, then grow prefixes digit by digit and
+    keep the longest prefixes that still cover at least ``min_support``
+    observed IMSIs. A prefix is only refined into children when the split
+    is clean (no member loses support) *and* narrow (at most
+    ``max_branching`` children): members spread uniformly over many next
+    digits indicate the parent itself is the allocated range, not a
+    coincidence of sub-ranges. Returns ``(prefix, support)`` pairs sorted
+    by descending support then prefix.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be >= 1")
+    plmn_code = plmn.code
+    matching = [i.value for i in imsis if i.value.startswith(plmn_code)]
+    if len(matching) < min_support:
+        return []
+
+    results: List[Tuple[str, int]] = []
+    frontier: Dict[str, List[str]] = {plmn_code: matching}
+    while frontier:
+        next_frontier: Dict[str, List[str]] = {}
+        for prefix, members in frontier.items():
+            if len(prefix) >= max_prefix_len:
+                results.append((prefix, len(members)))
+                continue
+            # Split members by their next digit.
+            buckets: Dict[str, List[str]] = {}
+            for value in members:
+                buckets.setdefault(value[: len(prefix) + 1], []).append(value)
+            survived = {
+                p: vals for p, vals in buckets.items() if len(vals) >= min_support
+            }
+            covered = sum(len(vals) for vals in survived.values())
+            if survived and covered == len(members) and len(survived) <= max_branching:
+                # A clean split: every member stays supported, so the
+                # children are strictly more specific — recurse.
+                next_frontier.update(survived)
+            else:
+                # Splitting further would orphan members (or nothing
+                # survives): this prefix is the maximal supported range.
+                results.append((prefix, len(members)))
+        frontier = next_frontier
+
+    results.sort(key=lambda pair: (-pair[1], pair[0]))
+    return results

@@ -1,0 +1,120 @@
+"""Roaming architectures and agreements.
+
+Models the three data-path configurations of Figure 1 (HR, LBO, IHBO)
+plus the native (non-roaming) case, and the pre-configured agreements
+among b-MNOs, v-MNOs, IPX providers and PGW operators that Section 4
+found to pin PGW selection statically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class RoamingArchitecture(enum.Enum):
+    """Where a data session breaks out to the public internet."""
+
+    NATIVE = "native"   # not roaming: b-MNO == v-MNO
+    HR = "hr"           # home-routed: breakout at the b-MNO's PGW
+    LBO = "lbo"         # local breakout: breakout at the v-MNO's PGW
+    IHBO = "ihbo"       # IPX hub breakout: breakout at a third-party PGW
+
+    @property
+    def label(self) -> str:
+        return {
+            RoamingArchitecture.NATIVE: "Native",
+            RoamingArchitecture.HR: "HR",
+            RoamingArchitecture.LBO: "LBO",
+            RoamingArchitecture.IHBO: "IHBO",
+        }[self]
+
+
+class PGWSelection(enum.Enum):
+    """How a PGW site is chosen among an agreement's candidates.
+
+    ``STATIC_BMNO`` reproduces the paper's finding: the b-MNO determines
+    the PGW (France/Uzbekistan eSIMs from Polkomtel always broke out in
+    Virginia even though Amsterdam was closer). ``NEAREST`` is the
+    geography-aware policy the paper suggests as future work; it powers
+    the ablation benchmark. ``UNIFORM`` models Packet Host's even
+    spreading of sessions across its pool.
+    """
+
+    STATIC_BMNO = "static-bmno"
+    NEAREST = "nearest"
+    UNIFORM = "uniform"
+
+
+@dataclass(frozen=True)
+class RoamingAgreement:
+    """A pre-configured roaming arrangement between two operators.
+
+    ``pgw_site_ids`` are the PGW deployments this agreement may use
+    (the b-MNO's own sites for HR, IPX-P/hosting sites for IHBO, the
+    v-MNO's own sites for LBO). ``tunnel_stretch`` and ``extra_rtt_ms``
+    calibrate the GTP corridor: IPX paths are more indirect than public
+    internet routes, and some corridors (e.g. Pakistan's v-MNO to
+    Singtel) carry a large fixed peering penalty.
+    """
+
+    b_mno_name: str
+    v_mno_name: str
+    architecture: RoamingArchitecture
+    pgw_site_ids: Tuple[str, ...]
+    selection: PGWSelection = PGWSelection.STATIC_BMNO
+    tunnel_stretch: float = 2.2
+    extra_rtt_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.architecture is RoamingArchitecture.NATIVE:
+            if self.b_mno_name != self.v_mno_name:
+                raise ValueError("native agreements require b-MNO == v-MNO")
+        elif self.b_mno_name == self.v_mno_name:
+            raise ValueError("roaming agreements require distinct operators")
+        if not self.pgw_site_ids:
+            raise ValueError("an agreement needs at least one PGW site")
+        if self.tunnel_stretch < 1.0:
+            raise ValueError("tunnel_stretch must be >= 1")
+        if self.extra_rtt_ms < 0:
+            raise ValueError("extra_rtt_ms cannot be negative")
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.b_mno_name, self.v_mno_name)
+
+
+class AgreementRegistry:
+    """Lookup of roaming agreements by (b-MNO, v-MNO) pair."""
+
+    def __init__(self, agreements: Iterable[RoamingAgreement] = ()) -> None:
+        self._by_key: Dict[Tuple[str, str], RoamingAgreement] = {}
+        for agreement in agreements:
+            self.add(agreement)
+
+    def add(self, agreement: RoamingAgreement) -> None:
+        if agreement.key in self._by_key:
+            raise ValueError(f"duplicate agreement: {agreement.key}")
+        self._by_key[agreement.key] = agreement
+
+    def get(self, b_mno_name: str, v_mno_name: str) -> RoamingAgreement:
+        key = (b_mno_name, v_mno_name)
+        if key not in self._by_key:
+            raise KeyError(f"no roaming agreement between {b_mno_name} and {v_mno_name}")
+        return self._by_key[key]
+
+    def has(self, b_mno_name: str, v_mno_name: str) -> bool:
+        return (b_mno_name, v_mno_name) in self._by_key
+
+    def for_b_mno(self, b_mno_name: str) -> List[RoamingAgreement]:
+        return sorted(
+            (a for a in self._by_key.values() if a.b_mno_name == b_mno_name),
+            key=lambda a: a.v_mno_name,
+        )
+
+    def __iter__(self) -> Iterator[RoamingAgreement]:
+        return iter(self._by_key.values())
+
+    def __len__(self) -> int:
+        return len(self._by_key)

@@ -1,0 +1,112 @@
+"""User equipment.
+
+Models the rooted Samsung S21+ 5G devices of the device-based campaign:
+two SIM slots (local physical SIM + Airalo eSIM), a location, RAT
+capability, and attach/detach against a :class:`SessionFactory`. The
+AmiGo endpoint drives these devices exactly like the real testbed drove
+the phones via termux.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cellular.attach import AttachError, SessionFactory
+from repro.cellular.core import PDNSession
+from repro.cellular.esim import SIMKind, SIMProfile
+from repro.cellular.identifiers import generate_imei
+from repro.cellular.radio import RadioAccessTechnology
+from repro.geo.cities import City
+
+__all__ = ["UserEquipment", "AttachError"]
+
+
+@dataclass
+class UserEquipment:
+    """A measurement phone with two SIM slots."""
+
+    imei: str
+    model: str
+    city: City
+    supports_5g: bool = True
+    data_roaming_enabled: bool = True
+    doh_enabled: bool = True            # Android default the paper kept
+    slots: List[SIMProfile] = field(default_factory=list)
+    active_slot: Optional[int] = None
+    session: Optional[PDNSession] = None
+
+    @classmethod
+    def provision(
+        cls,
+        model: str,
+        city: City,
+        rng: random.Random,
+        supports_5g: bool = True,
+    ) -> "UserEquipment":
+        """Create a device with a fresh IMEI."""
+        return cls(imei=generate_imei(rng), model=model, city=city, supports_5g=supports_5g)
+
+    # -- SIM management -----------------------------------------------------
+
+    def install_sim(self, sim: SIMProfile) -> int:
+        """Insert a physical SIM or download an eSIM profile; returns slot."""
+        if sim.kind is SIMKind.PHYSICAL:
+            occupied = [s for s in self.slots if s.kind is SIMKind.PHYSICAL]
+            if occupied:
+                raise ValueError("physical SIM slot already occupied")
+        self.slots.append(sim)
+        return len(self.slots) - 1
+
+    def sim_in_slot(self, slot: int) -> SIMProfile:
+        if not 0 <= slot < len(self.slots):
+            raise IndexError(f"no SIM in slot {slot}")
+        return self.slots[slot]
+
+    @property
+    def active_sim(self) -> SIMProfile:
+        if self.active_slot is None:
+            raise AttachError("no active SIM")
+        return self.slots[self.active_slot]
+
+    # -- attach lifecycle ----------------------------------------------------
+
+    def switch_to(
+        self,
+        slot: int,
+        v_mno_name: str,
+        factory: SessionFactory,
+        rng: random.Random,
+    ) -> PDNSession:
+        """Activate a slot and (re)attach — the SIM-flip AmiGo automates."""
+        sim = self.sim_in_slot(slot)
+        self.detach()
+        session = factory.attach(
+            imei=self.imei,
+            sim=sim,
+            v_mno_name=v_mno_name,
+            user_city=self.city,
+            rng=rng,
+            data_roaming_enabled=self.data_roaming_enabled,
+            doh_enabled=self.doh_enabled,
+        )
+        self.active_slot = slot
+        self.session = session
+        return session
+
+    def detach(self) -> None:
+        if self.session is not None:
+            self.session.pgw_site.cgnat.release(self.session.session_id)
+        self.session = None
+        self.active_slot = None
+
+    @property
+    def attached(self) -> bool:
+        return self.session is not None
+
+    def preferred_rat(self, rng: random.Random, p_5g: float = 0.5) -> RadioAccessTechnology:
+        """RAT for a measurement: 5G when supported and available."""
+        if self.supports_5g and rng.random() < p_5g:
+            return RadioAccessTechnology.NR
+        return RadioAccessTechnology.LTE

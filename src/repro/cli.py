@@ -1,0 +1,250 @@
+"""Command-line interface.
+
+Exposes the reproduction from the shell::
+
+    python -m repro list                      # available experiments
+    python -m repro run T2                    # render one table/figure
+    python -m repro run HX1 --scale 0.5
+    python -m repro campaign device --scale 0.1
+    python -m repro campaign web
+    python -m repro probe ESP                 # per-country eSIM diagnostic
+    python -m repro market --country ESP --gb 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import statistics
+import sys
+from typing import List, Optional
+
+from repro.core.study import EXPERIMENT_REGISTRY, ThickMnaStudy
+from repro.experiments import common
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    study = ThickMnaStudy(seed=args.seed)
+    descriptions = {
+        "T": "table", "F": "figure", "H": "headline", "X": "extension",
+    }
+    for artefact in study.available_experiments():
+        kind = descriptions.get(artefact[0], "artefact")
+        module = EXPERIMENT_REGISTRY[artefact]
+        print(f"{artefact:5} {kind:10} repro.experiments.{module}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    study = ThickMnaStudy(seed=args.seed)
+    try:
+        result = study.run(args.artefact, scale=args.scale)
+        module = study._module(args.artefact)  # noqa: SLF001
+        print(module.format_result(result))
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    if args.json:
+        from repro.experiments.export import save_result
+
+        save_result(result, args.json)
+        print(f"(raw series written to {args.json})")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    study = ThickMnaStudy(seed=args.seed)
+    if args.kind == "device":
+        dataset = study.device_dataset(scale=args.scale)
+    else:
+        dataset = study.web_dataset()
+    print(f"{args.kind} campaign: {dataset.total_records()} records "
+          f"across {len(dataset.countries())} countries")
+    print(f"  traceroutes : {len(dataset.traceroutes)}")
+    print(f"  speedtests  : {len(dataset.speedtests)}")
+    print(f"  CDN fetches : {len(dataset.cdn_fetches)}")
+    print(f"  DNS probes  : {len(dataset.dns_probes)}")
+    print(f"  video probes: {len(dataset.video_probes)}")
+    print(f"  web records : {len(dataset.web_measurements)}")
+    if args.save:
+        from repro.measure.io import save_dataset
+
+        count = save_dataset(dataset, args.save)
+        print(f"saved {count} records to {args.save}")
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    from repro.cellular import UserEquipment
+    from repro.measure import probe_dns, run_speedtest
+    from repro.measure.voip import probe_voip
+
+    study = ThickMnaStudy(seed=args.seed)
+    world = study.world
+    country = args.country.upper()
+    try:
+        spec = world.offering(country)
+    except KeyError:
+        print(f"Airalo does not serve {country} in the measured set; "
+              f"try one of {', '.join(world.airalo.served_countries())}",
+              file=sys.stderr)
+        return 2
+
+    rng = random.Random(f"{args.seed}:cli-probe:{country}")
+    resources = world.resources
+    city = world.cities.get(spec.user_city, country)
+    device = UserEquipment.provision("cli probe", city, rng)
+    device.install_sim(world.sell_esim(country, rng))
+    session = device.switch_to(0, spec.v_mno, world.factory, rng)
+    conditions = resources.fabric.radio.sample_conditions(
+        device.preferred_rat(rng), rng
+    )
+
+    print(f"Airalo eSIM for {country} ({city.name}):")
+    print(f"  issuer (b-MNO)  : {spec.b_mno}")
+    print(f"  visited network : {session.v_mno_name}")
+    print(f"  architecture    : {session.architecture.label}")
+    print(f"  breakout        : {session.pgw_site.city.name}, "
+          f"{session.breakout_country} "
+          f"(AS{session.pgw_site.provider_asn} {session.pgw_site.provider_org})")
+    print(f"  tunnel distance : {session.tunnel.distance_km:.0f} km")
+
+    speed = run_speedtest(session, device.active_sim, resources.ookla,
+                          resources.fabric, resources.policy_for(session),
+                          conditions, rng)
+    print(f"  speedtest       : {speed.download_mbps:.1f}/"
+          f"{speed.upload_mbps:.1f} Mbps @ {speed.latency_ms:.0f} ms")
+    dns = probe_dns(session, device.active_sim, resources.dns_for(session),
+                    resources.fabric, conditions, rng)
+    print(f"  DNS             : {dns.resolver_service} ({dns.resolver_country}), "
+          f"{dns.lookup_ms:.0f} ms" + (", DoH" if dns.used_doh else ""))
+    voip = probe_voip(session, device.active_sim, resources.sp_targets["Google"],
+                      resources.fabric, conditions, rng)
+    print(f"  VoIP (E-model)  : MOS {voip.mos:.2f}, jitter {voip.jitter_ms:.1f} ms, "
+          f"loss {voip.loss_rate:.1%}")
+    return 0
+
+
+def _cmd_trip(args: argparse.Namespace) -> int:
+    from repro.geo import default_country_registry
+    from repro.market import ItineraryPlanner, TripLeg, render_recommendation
+
+    esimdb, _ = common.get_market()
+    legs = []
+    for spec in args.legs:
+        try:
+            country, _, gb = spec.partition(":")
+            legs.append(TripLeg(country.upper(), float(gb or 1.0)))
+        except ValueError:
+            print(f"bad leg {spec!r}; use ISO3[:GB], e.g. ESP:2", file=sys.stderr)
+            return 2
+    planner = ItineraryPlanner(esimdb, common.get_countries())
+    try:
+        plans = planner.recommend(legs, day=args.day)
+    except (KeyError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(render_recommendation(plans))
+    return 0
+
+
+def _cmd_tools(args: argparse.Namespace) -> int:
+    from repro.measure import TOOL_CATALOGUE
+
+    print(f"{'Tool':11} {'Visibility':38} implementation")
+    for name, _description, visibility, implementation in TOOL_CATALOGUE:
+        print(f"{name:11} {visibility:38} {implementation}")
+    print()
+    for name, description, _v, _i in TOOL_CATALOGUE:
+        print(f"{name}: {description}")
+    return 0
+
+
+def _cmd_market(args: argparse.Namespace) -> int:
+    from repro.market import provider_country_medians
+
+    esimdb, _ = common.get_market()
+    snapshot = esimdb.snapshot(args.day)
+    if args.country:
+        country = args.country.upper()
+        offers = [
+            o for o in snapshot.for_country(country) if o.data_gb >= args.gb
+        ]
+        offers.sort(key=lambda o: o.price_usd)
+        if not offers:
+            print(f"no offers with >= {args.gb:g} GB for {country}", file=sys.stderr)
+            return 2
+        print(f"cheapest plans with >= {args.gb:g} GB for {country} (day {args.day}):")
+        for offer in offers[: args.top]:
+            print(f"  {offer.provider:14} {offer.data_gb:5.1f} GB  "
+                  f"${offer.price_usd:7.2f}  (${offer.usd_per_gb:.2f}/GB)")
+        return 0
+    medians = provider_country_medians(snapshot.offers)
+    print(f"provider medians on day {args.day} "
+          f"({len(snapshot.offers)} listed offers):")
+    for provider in sorted(medians, key=lambda p: statistics.median(medians[p])):
+        print(f"  {provider:14} ${statistics.median(medians[provider]):6.2f}/GB "
+              f"({len(medians[provider])} countries)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Roam Without a Home' (IMC 2025)",
+    )
+    parser.add_argument("--seed", type=int, default=common.DEFAULT_SEED)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="render one table/figure")
+    run_parser.add_argument("artefact", help="artefact id, e.g. T2 or F11")
+    run_parser.add_argument("--scale", type=float, default=None,
+                            help="campaign scale (default 0.15)")
+    run_parser.add_argument("--json", default=None, metavar="FILE",
+                            help="also dump the raw result series as JSON")
+
+    campaign_parser = sub.add_parser("campaign", help="run a measurement campaign")
+    campaign_parser.add_argument("kind", choices=("device", "web"))
+    campaign_parser.add_argument("--scale", type=float, default=common.DEFAULT_SCALE)
+    campaign_parser.add_argument("--save", default=None, metavar="FILE",
+                                 help="persist the dataset as JSON-lines")
+
+    probe_parser = sub.add_parser("probe", help="diagnose one country's eSIM")
+    probe_parser.add_argument("country", help="ISO3 code, e.g. ESP")
+
+    sub.add_parser("tools", help="describe the measurement instruments (paper Table 1)")
+
+    trip_parser = sub.add_parser("trip", help="plan eSIM purchases for an itinerary")
+    trip_parser.add_argument("legs", nargs="+", metavar="ISO3[:GB]",
+                             help="trip legs, e.g. ESP:2 FRA:1.5 THA:3")
+    trip_parser.add_argument("--day", type=int, default=90)
+
+    market_parser = sub.add_parser("market", help="query the eSIM marketplace")
+    market_parser.add_argument("--day", type=int, default=90,
+                               help="crawl day (0 = 2024-02-01)")
+    market_parser.add_argument("--country", default=None)
+    market_parser.add_argument("--gb", type=float, default=1.0)
+    market_parser.add_argument("--top", type=int, default=5)
+    return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "campaign": _cmd_campaign,
+    "probe": _cmd_probe,
+    "tools": _cmd_tools,
+    "trip": _cmd_trip,
+    "market": _cmd_market,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Public facade.
+
+:class:`ThickMnaStudy` is the one-stop entry point: build the calibrated
+world, run the paper's three campaigns, and regenerate any table or
+figure by its identifier.
+"""
+
+from repro.core.study import ThickMnaStudy, EXPERIMENT_REGISTRY
+
+__all__ = ["ThickMnaStudy", "EXPERIMENT_REGISTRY"]

@@ -1,0 +1,124 @@
+"""The study driver: the repository's primary public API.
+
+Typical use::
+
+    from repro.core import ThickMnaStudy
+
+    study = ThickMnaStudy(seed=2024)
+    result = study.run("T2")          # rebuild Table 2 from measurements
+    print(study.render("T2"))         # ... formatted like the paper
+    report = study.run_all(scale=0.1) # every table and figure
+
+Experiments are identified by the paper's artefact ids ("T2"-"T4",
+"F3"-"F20", "HX1" headline numbers, "HX2" emnify validation).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List, Optional
+
+from repro.experiments import common
+from repro.measure.dataset import MeasurementDataset
+from repro.worlds import AiraloWorld
+
+#: Artefact id -> experiment module name under ``repro.experiments``.
+EXPERIMENT_REGISTRY: Dict[str, str] = {
+    "T2": "table2",
+    "T3": "table3",
+    "T4": "table4",
+    "F3": "fig3",
+    "F4": "fig4",
+    "F5": "fig5",
+    "F6": "fig6",
+    "F7": "fig7",
+    "F8": "fig8",
+    "F9": "fig9",
+    "F10": "fig10",
+    "F11": "fig11",
+    "F12": "fig12",
+    "F13": "fig13",
+    "F14": "fig14",
+    "F15": "fig15",
+    "F16": "fig16",
+    "F17": "fig17",
+    "F18": "fig18",
+    "F19": "fig19",
+    "F20": "fig20",
+    "HX1": "headline",
+    "HX2": "validation",
+    # Extensions: the paper's future-work items, implemented.
+    "X1": "ext_voip",          # jitter / loss / VoIP MOS
+    "X2": "ext_placement",     # dynamic PGW placement
+    "X3": "ext_audit",         # generic thick-MNA auditor
+    "X4": "ext_steering",      # steering of roaming / partner visibility
+    "X5": "ext_economics",     # wholesale corridors / unit economics
+    "X6": "ext_jurisdiction",  # content localization / data jurisdictions
+    "XA": "ablations",         # design-choice ablations
+}
+
+#: Experiments whose ``run`` accepts a campaign ``scale`` parameter.
+_SCALED = {"T4", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13",
+           "F14", "F15", "F20", "HX1"}
+
+
+class ThickMnaStudy:
+    """Drives the full reproduction for one seed."""
+
+    def __init__(self, seed: int = common.DEFAULT_SEED) -> None:
+        self.seed = seed
+
+    # -- building blocks ---------------------------------------------------
+
+    @property
+    def world(self) -> AiraloWorld:
+        """The calibrated ecosystem (built once per seed)."""
+        return common.get_world(self.seed)
+
+    def device_dataset(self, scale: float = common.DEFAULT_SCALE) -> MeasurementDataset:
+        """The Table 4 device campaign at ``scale``."""
+        return common.get_device_dataset(scale, self.seed)
+
+    def web_dataset(self) -> MeasurementDataset:
+        """The Table 3 web campaign."""
+        return common.get_web_dataset(self.seed)
+
+    # -- experiments -----------------------------------------------------------
+
+    def available_experiments(self) -> List[str]:
+        return sorted(EXPERIMENT_REGISTRY)
+
+    def _module(self, artefact_id: str):
+        artefact_id = artefact_id.upper()
+        if artefact_id not in EXPERIMENT_REGISTRY:
+            raise KeyError(
+                f"unknown experiment {artefact_id!r}; "
+                f"known: {', '.join(sorted(EXPERIMENT_REGISTRY))}"
+            )
+        return importlib.import_module(
+            f"repro.experiments.{EXPERIMENT_REGISTRY[artefact_id]}"
+        )
+
+    def run(self, artefact_id: str, scale: Optional[float] = None) -> Dict:
+        """Run one experiment and return its data series."""
+        module = self._module(artefact_id)
+        artefact_id = artefact_id.upper()
+        if artefact_id in _SCALED:
+            return module.run(scale=scale or common.DEFAULT_SCALE, seed=self.seed)
+        if artefact_id in ("F16", "F17", "F18", "F19"):
+            return module.run()
+        if artefact_id == "HX2":
+            return module.run()
+        return module.run(seed=self.seed)
+
+    def render(self, artefact_id: str, scale: Optional[float] = None) -> str:
+        """Run one experiment and format it the way the paper reports it."""
+        module = self._module(artefact_id)
+        return module.format_result(self.run(artefact_id, scale=scale))
+
+    def run_all(self, scale: Optional[float] = None) -> Dict[str, Dict]:
+        """Every table and figure; returns {artefact id: result}."""
+        return {
+            artefact_id: self.run(artefact_id, scale=scale)
+            for artefact_id in self.available_experiments()
+        }

@@ -1,0 +1,11 @@
+"""Experiment reproductions.
+
+One module per table/figure of the paper. Every module exposes
+``run(...) -> dict`` returning the figure's data series plus a
+``format_result(result) -> str`` that prints the same rows/series the
+paper reports. The benchmark harness in ``benchmarks/`` wraps these.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,43 @@
+"""Figure 16: evolution of Airalo's median $/GB per continent, February
+to May 2024, plus the New-Jersey-vantage check."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict
+
+from repro.market import MarketCrawler, price_timeline
+from repro.experiments import common
+
+
+def run(step_days: int = 7) -> Dict:
+    esimdb, crawl = common.get_market(step_days)
+    countries = common.get_countries()
+    snapshots = {s.day: s.offers for s in crawl.daily_snapshots}
+    timeline = price_timeline(snapshots, countries, provider="Airalo")
+
+    crawler = MarketCrawler(esimdb)
+    vantage_snaps = crawler.crawl_vantages(day=84)  # late April
+    discrimination = MarketCrawler.price_discrimination_detected(vantage_snaps)
+
+    return {
+        "timeline": timeline,
+        "price_discrimination": discrimination,
+        "days": sorted(snapshots),
+    }
+
+
+def format_result(result: Dict) -> str:
+    lines = ["median Airalo $/GB per continent over the crawl:"]
+    for continent, series in sorted(result["timeline"].items()):
+        first = series[0][1]
+        last = series[-1][1]
+        lines.append(
+            f"{continent:14} day {series[0][0]:>3}: ${first:5.2f}  ->  "
+            f"day {series[-1][0]:>3}: ${last:5.2f}"
+        )
+    lines.append(
+        f"price discrimination across vantages: {result['price_discrimination']} "
+        "(paper: none observed)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Figure 17: CDF of median $/GB per country for notable providers, plus
+the local-physical-SIM survey line."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict
+
+from repro.analysis.stats import empirical_cdf
+from repro.experiments import common
+from repro.market import (
+    DEFAULT_LOCAL_OFFERS,
+    LocalSIMSurvey,
+    provider_country_medians,
+)
+
+PROVIDERS = ("Airhub", "MobiMatter", "Airalo", "Keepgo")
+
+
+def run(step_days: int = 7, snapshot_day: int = 90) -> Dict:
+    esimdb, _ = common.get_market(step_days)
+    snapshot = esimdb.snapshot(snapshot_day)
+    medians = provider_country_medians(snapshot.offers)
+
+    result: Dict = {"providers": {}}
+    for provider in PROVIDERS:
+        values = medians.get(provider, [])
+        result["providers"][provider] = {
+            "cdf": empirical_cdf(values),
+            "median": statistics.median(values),
+            "countries": len(values),
+            "offer_share": len(snapshot.for_provider(provider)) / len(snapshot.offers),
+        }
+    survey = LocalSIMSurvey(DEFAULT_LOCAL_OFFERS)
+    result["local_sim"] = {
+        "cdf": empirical_cdf(survey.usd_per_gb_values()),
+        "median": survey.median_usd_per_gb(),
+    }
+    result["total_offers"] = len(snapshot.offers)
+    return result
+
+
+def format_result(result: Dict) -> str:
+    lines = [f"aggregator lists {result['total_offers']} offers on snapshot day"]
+    for provider, data in result["providers"].items():
+        lines.append(
+            f"{provider:12} median ${data['median']:5.2f}/GB over "
+            f"{data['countries']} countries ({data['offer_share']:.1%} of offers)"
+        )
+    lines.append(
+        f"{'local SIM':12} median ${result['local_sim']['median']:5.2f}/GB (dashed line)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Table 4: device-based campaign overview.
+
+Reports per-country successful test counts as <physical SIM> // <eSIM>
+for every tool, from an actual campaign run (scaled by default).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cellular import SIMKind
+from repro.experiments import common
+
+_TESTS = [
+    ("Ookla", "speedtest"),
+    ("MTR(Facebook)", "mtr:Facebook"),
+    ("MTR(Google)", "mtr:Google"),
+    ("MTR(YouTube)", "mtr:YouTube"),
+    ("CDN(Cloudflare)", "cdn:Cloudflare"),
+    ("CDN(Google)", "cdn:Google CDN"),
+    ("CDN(jQuery)", "cdn:jQuery"),
+    ("CDN(jsDelivr)", "cdn:jsDelivr"),
+    ("CDN(MS Ajax)", "cdn:Microsoft Ajax"),
+    ("Video", "video"),
+]
+
+
+def _count(dataset, country: str) -> Dict[str, Tuple[int, int]]:
+    counts: Dict[str, Tuple[int, int]] = {}
+
+    def pair(records):
+        sim = sum(1 for r in records if r.context.sim_kind is SIMKind.PHYSICAL)
+        esim = sum(1 for r in records if r.context.sim_kind is SIMKind.ESIM)
+        return (sim, esim)
+
+    counts["speedtest"] = pair(
+        [r for r in dataset.speedtests if r.context.country_iso3 == country]
+    )
+    for target in ("Facebook", "Google", "YouTube"):
+        counts[f"mtr:{target}"] = pair(dataset.traceroutes_to(target, country=country))
+    for provider in ("Cloudflare", "Google CDN", "jQuery", "jsDelivr", "Microsoft Ajax"):
+        counts[f"cdn:{provider}"] = pair(
+            dataset.cdn_fetches_where(provider=provider, country=country)
+        )
+    counts["video"] = pair(dataset.video_probes_where(country=country))
+    return counts
+
+
+def run(scale: float = common.DEFAULT_SCALE, seed: int = common.DEFAULT_SEED) -> Dict:
+    dataset = common.get_device_dataset(scale, seed)
+    rows = {}
+    for country in dataset.countries():
+        rows[country] = _count(dataset, country)
+    return {"rows": rows, "scale": scale}
+
+
+def format_result(result: Dict) -> str:
+    header = f"{'Country':8}" + "".join(f"{label:>17}" for label, _ in _TESTS)
+    lines = [f"(scale={result['scale']}) counts are <SIM> // <eSIM>", header]
+    for country, counts in sorted(result["rows"].items()):
+        cells = []
+        for _, key in _TESTS:
+            sim, esim = counts.get(key, (0, 0))
+            cells.append(f"{sim:>7} // {esim:<5}")
+        lines.append(f"{country:8}" + "".join(f"{c:>17}" for c in cells))
+    return "\n".join(lines)

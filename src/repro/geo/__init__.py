@@ -1,0 +1,22 @@
+"""Geography substrate.
+
+Provides WGS84 coordinates, great-circle distance, and the country/city
+databases every other subsystem (cellular, IPX, services, market) builds on.
+"""
+
+from repro.geo.coords import GeoPoint, haversine_km, initial_bearing_deg, midpoint
+from repro.geo.countries import Country, CountryRegistry, default_country_registry
+from repro.geo.cities import City, CityRegistry, default_city_registry
+
+__all__ = [
+    "GeoPoint",
+    "haversine_km",
+    "initial_bearing_deg",
+    "midpoint",
+    "Country",
+    "CountryRegistry",
+    "default_country_registry",
+    "City",
+    "CityRegistry",
+    "default_city_registry",
+]

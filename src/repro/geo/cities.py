@@ -1,0 +1,142 @@
+"""City database.
+
+Cities pin the concrete endpoints of the simulated infrastructure: SGW
+sites (where volunteers used their eSIMs), PGW sites (Amsterdam, Ashburn,
+Lille, ... as observed in the paper), DNS resolver and CDN edge locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List
+
+from repro.geo.coords import GeoPoint
+
+
+@dataclass(frozen=True)
+class City:
+    """A city with its country (ISO3) and coordinates."""
+
+    name: str
+    country_iso3: str
+    location: GeoPoint
+
+    @property
+    def key(self) -> str:
+        """Registry key: ``"<name>, <ISO3>"`` disambiguates duplicates."""
+        return f"{self.name}, {self.country_iso3}"
+
+
+class CityRegistry:
+    """Lookup table of cities keyed by ``"<name>, <ISO3>"``."""
+
+    def __init__(self, cities: Iterable[City] = ()) -> None:
+        self._by_key: Dict[str, City] = {}
+        for city in cities:
+            self.add(city)
+
+    def add(self, city: City) -> None:
+        if city.key in self._by_key:
+            raise ValueError(f"duplicate city: {city.key}")
+        self._by_key[city.key] = city
+
+    def get(self, name: str, country_iso3: str) -> City:
+        key = f"{name}, {country_iso3.upper()}"
+        if key not in self._by_key:
+            raise KeyError(f"unknown city: {key}")
+        return self._by_key[key]
+
+    def in_country(self, country_iso3: str) -> List[City]:
+        """All registered cities in a country, sorted by name."""
+        iso3 = country_iso3.upper()
+        matches = [c for c in self._by_key.values() if c.country_iso3 == iso3]
+        return sorted(matches, key=lambda c: c.name)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._by_key
+
+    def __iter__(self) -> Iterator[City]:
+        return iter(self._by_key.values())
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+
+# (name, iso3, lat, lon) — measurement, PGW, DNS and CDN anchor cities.
+_CITY_ROWS = [
+    # PGW sites observed in the paper (Table 2 / Figures 3-4, Section 5.1).
+    ("Amsterdam", "NLD", 52.37, 4.90),
+    ("Ashburn", "USA", 39.04, -77.49),
+    ("Lille", "FRA", 50.63, 3.07),
+    ("Wattrelos", "FRA", 50.70, 3.22),
+    ("London", "GBR", 51.51, -0.13),
+    ("Singapore", "SGP", 1.35, 103.82),
+    ("Dallas", "USA", 32.78, -96.80),
+    ("Fort Worth", "USA", 32.76, -97.33),
+    ("Tulsa", "USA", 36.15, -95.99),
+    ("Dublin", "IRL", 53.35, -6.26),
+    # Korean PGW sites (Section 4.3.2).
+    ("Seoul", "KOR", 37.57, 126.98),
+    ("Goyang", "KOR", 37.66, 126.83),
+    ("Cheonan", "KOR", 36.82, 127.15),
+    # Volunteer / SGW cities for the 24 measured countries.
+    ("Abu Dhabi", "ARE", 24.47, 54.37),
+    ("Tokyo", "JPN", 35.68, 139.69),
+    ("Karachi", "PAK", 24.86, 67.01),
+    ("Kuala Lumpur", "MYS", 3.14, 101.69),
+    ("Beijing", "CHN", 39.90, 116.41),
+    ("Berlin", "DEU", 52.52, 13.41),
+    ("Tbilisi", "GEO", 41.72, 44.83),
+    ("Madrid", "ESP", 40.42, -3.70),
+    ("Doha", "QAT", 25.29, 51.53),
+    ("Riyadh", "SAU", 24.71, 46.68),
+    ("Istanbul", "TUR", 41.01, 28.98),
+    ("Cairo", "EGY", 30.04, 31.24),
+    ("Chisinau", "MDA", 47.01, 28.86),
+    ("Nairobi", "KEN", -1.29, 36.82),
+    ("Helsinki", "FIN", 60.17, 24.94),
+    ("Baku", "AZE", 40.41, 49.87),
+    ("Rome", "ITA", 41.90, 12.50),
+    ("New York", "USA", 40.71, -74.01),
+    ("Paris", "FRA", 48.86, 2.35),
+    ("Tashkent", "UZB", 41.30, 69.24),
+    ("Bangkok", "THA", 13.76, 100.50),
+    ("Male", "MDV", 4.18, 73.51),
+    # b-MNO home cities.
+    ("Warsaw", "POL", 52.23, 21.01),
+    ("Milan", "ITA", 45.46, 9.19),
+    # Market-crawler vantage points (Section 3.3).
+    ("Newark", "USA", 40.74, -74.17),
+    # Major interconnection hubs for the public-internet topology.
+    ("Frankfurt", "DEU", 50.11, 8.68),
+    ("Marseille", "FRA", 43.30, 5.37),
+    ("Vienna", "AUT", 48.21, 16.37),
+    ("Stockholm", "SWE", 59.33, 18.07),
+    ("Moscow", "RUS", 55.76, 37.62),
+    ("Mumbai", "IND", 19.08, 72.88),
+    ("Hong Kong", "HKG", 22.32, 114.17),
+    ("Seattle", "USA", 47.61, -122.33),
+    ("San Jose", "USA", 37.34, -121.89),
+    ("Los Angeles", "USA", 34.05, -118.24),
+    ("Miami", "USA", 25.76, -80.19),
+    ("Chicago", "USA", 41.88, -87.63),
+    ("Toronto", "CAN", 43.65, -79.38),
+    ("Sao Paulo", "BRA", -23.55, -46.63),
+    ("Johannesburg", "ZAF", -26.20, 28.05),
+    ("Sydney", "AUS", -33.87, 151.21),
+    ("Dubai", "ARE", 25.20, 55.27),
+    ("Jakarta", "IDN", -6.21, 106.85),
+    ("Manila", "PHL", 14.60, 120.98),
+    ("Taipei", "TWN", 25.03, 121.57),
+    ("Osaka", "JPN", 34.69, 135.50),
+    ("Lagos", "NGA", 6.52, 3.38),
+    ("Mombasa", "KEN", -4.04, 39.66),
+]
+
+
+def default_city_registry() -> CityRegistry:
+    """Build the default registry of anchor cities."""
+    registry = CityRegistry()
+    for name, iso3, lat, lon in _CITY_ROWS:
+        registry.add(City(name=name, country_iso3=iso3, location=GeoPoint(lat, lon)))
+    return registry

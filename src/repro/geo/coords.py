@@ -1,0 +1,85 @@
+"""WGS84 coordinates and great-circle geometry.
+
+The latency model converts great-circle distances into propagation delays,
+and the tomography experiments (Figures 3 and 4) report straight-line
+SGW-to-PGW distances, so an accurate haversine is the one geometric
+primitive the whole repository depends on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Mean Earth radius in kilometres (IUGG value).
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on the Earth's surface.
+
+    Latitude is degrees north in [-90, 90]; longitude is degrees east in
+    [-180, 180]. Values outside those ranges raise ``ValueError`` so that a
+    swapped (lon, lat) pair fails loudly instead of silently producing
+    nonsense distances.
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat!r}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon!r}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self, other)
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in kilometres.
+
+    Uses the haversine formulation, which is numerically stable for the
+    small and antipodal distances that appear in the experiments.
+    """
+    lat1 = math.radians(a.lat)
+    lat2 = math.radians(b.lat)
+    dlat = lat2 - lat1
+    dlon = math.radians(b.lon - a.lon)
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    # Clamp to [0, 1] to protect asin against floating-point overshoot.
+    h = min(1.0, max(0.0, h))
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def initial_bearing_deg(a: GeoPoint, b: GeoPoint) -> float:
+    """Initial great-circle bearing from ``a`` to ``b`` in degrees [0, 360)."""
+    lat1 = math.radians(a.lat)
+    lat2 = math.radians(b.lat)
+    dlon = math.radians(b.lon - a.lon)
+    x = math.sin(dlon) * math.cos(lat2)
+    y = math.cos(lat1) * math.sin(lat2) - math.sin(lat1) * math.cos(lat2) * math.cos(dlon)
+    bearing = math.degrees(math.atan2(x, y))
+    return bearing % 360.0
+
+
+def midpoint(a: GeoPoint, b: GeoPoint) -> GeoPoint:
+    """Geographic midpoint of the great-circle segment between two points."""
+    lat1 = math.radians(a.lat)
+    lat2 = math.radians(b.lat)
+    lon1 = math.radians(a.lon)
+    dlon = math.radians(b.lon - a.lon)
+    bx = math.cos(lat2) * math.cos(dlon)
+    by = math.cos(lat2) * math.sin(dlon)
+    lat3 = math.atan2(
+        math.sin(lat1) + math.sin(lat2),
+        math.sqrt((math.cos(lat1) + bx) ** 2 + by**2),
+    )
+    lon3 = lon1 + math.atan2(by, math.cos(lat1) + bx)
+    lon_deg = math.degrees(lon3)
+    # Normalise longitude into [-180, 180].
+    lon_deg = (lon_deg + 180.0) % 360.0 - 180.0
+    return GeoPoint(math.degrees(lat3), lon_deg)

@@ -1,0 +1,262 @@
+"""Country database.
+
+A static registry of countries with ISO codes, continent/subregion labels
+and a representative coordinate (the capital city). The market experiments
+(Figures 16-18) group eSIM prices by continent and highlight Central
+America, so subregions are first-class here.
+
+Coordinates are capital-city approximations; the latency model only needs
+country-level accuracy (hundreds of km), matching how the paper geolocates
+PGWs from public IPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.geo.coords import GeoPoint
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country (or eSIM market region) with geographic metadata."""
+
+    iso3: str
+    iso2: str
+    name: str
+    continent: str
+    capital: str
+    location: GeoPoint
+    subregion: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if len(self.iso3) != 3 or not self.iso3.isalpha() or not self.iso3.isupper():
+            raise ValueError(f"invalid ISO3 code: {self.iso3!r}")
+        if len(self.iso2) != 2 or not self.iso2.isalpha() or not self.iso2.isupper():
+            raise ValueError(f"invalid ISO2 code: {self.iso2!r}")
+
+
+class CountryRegistry:
+    """Lookup table of countries keyed by ISO3 (and ISO2) code."""
+
+    def __init__(self, countries: Iterable[Country] = ()) -> None:
+        self._by_iso3: Dict[str, Country] = {}
+        self._by_iso2: Dict[str, Country] = {}
+        for country in countries:
+            self.add(country)
+
+    def add(self, country: Country) -> None:
+        """Register a country; duplicate ISO codes raise ``ValueError``."""
+        if country.iso3 in self._by_iso3:
+            raise ValueError(f"duplicate ISO3 code: {country.iso3}")
+        if country.iso2 in self._by_iso2:
+            raise ValueError(f"duplicate ISO2 code: {country.iso2}")
+        self._by_iso3[country.iso3] = country
+        self._by_iso2[country.iso2] = country
+
+    def get(self, code: str) -> Country:
+        """Look up a country by ISO3 or ISO2 code (case-insensitive)."""
+        code = code.upper()
+        if len(code) == 3 and code in self._by_iso3:
+            return self._by_iso3[code]
+        if len(code) == 2 and code in self._by_iso2:
+            return self._by_iso2[code]
+        raise KeyError(f"unknown country code: {code}")
+
+    def __contains__(self, code: str) -> bool:
+        try:
+            self.get(code)
+        except KeyError:
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[Country]:
+        return iter(self._by_iso3.values())
+
+    def __len__(self) -> int:
+        return len(self._by_iso3)
+
+    def by_continent(self, continent: str) -> List[Country]:
+        """All countries on ``continent``, sorted by ISO3 code."""
+        matches = [c for c in self._by_iso3.values() if c.continent == continent]
+        return sorted(matches, key=lambda c: c.iso3)
+
+    def by_subregion(self, subregion: str) -> List[Country]:
+        """All countries in ``subregion``, sorted by ISO3 code."""
+        matches = [c for c in self._by_iso3.values() if c.subregion == subregion]
+        return sorted(matches, key=lambda c: c.iso3)
+
+    def continents(self) -> List[str]:
+        """Sorted list of distinct continent names."""
+        return sorted({c.continent for c in self._by_iso3.values()})
+
+
+# (iso3, iso2, name, continent, subregion, capital, lat, lon)
+_COUNTRY_ROWS = [
+    # --- Europe ---
+    ("ALB", "AL", "Albania", "Europe", None, "Tirana", 41.33, 19.82),
+    ("AUT", "AT", "Austria", "Europe", None, "Vienna", 48.21, 16.37),
+    ("BEL", "BE", "Belgium", "Europe", None, "Brussels", 50.85, 4.35),
+    ("BGR", "BG", "Bulgaria", "Europe", None, "Sofia", 42.70, 23.32),
+    ("BIH", "BA", "Bosnia and Herzegovina", "Europe", None, "Sarajevo", 43.86, 18.41),
+    ("BLR", "BY", "Belarus", "Europe", None, "Minsk", 53.90, 27.57),
+    ("CHE", "CH", "Switzerland", "Europe", None, "Bern", 46.95, 7.45),
+    ("CYP", "CY", "Cyprus", "Europe", None, "Nicosia", 35.17, 33.36),
+    ("CZE", "CZ", "Czechia", "Europe", None, "Prague", 50.08, 14.44),
+    ("DEU", "DE", "Germany", "Europe", None, "Berlin", 52.52, 13.41),
+    ("DNK", "DK", "Denmark", "Europe", None, "Copenhagen", 55.68, 12.57),
+    ("ESP", "ES", "Spain", "Europe", None, "Madrid", 40.42, -3.70),
+    ("EST", "EE", "Estonia", "Europe", None, "Tallinn", 59.44, 24.75),
+    ("FIN", "FI", "Finland", "Europe", None, "Helsinki", 60.17, 24.94),
+    ("FRA", "FR", "France", "Europe", None, "Paris", 48.86, 2.35),
+    ("GBR", "GB", "United Kingdom", "Europe", None, "London", 51.51, -0.13),
+    ("GRC", "GR", "Greece", "Europe", None, "Athens", 37.98, 23.73),
+    ("HRV", "HR", "Croatia", "Europe", None, "Zagreb", 45.81, 15.98),
+    ("HUN", "HU", "Hungary", "Europe", None, "Budapest", 47.50, 19.04),
+    ("IRL", "IE", "Ireland", "Europe", None, "Dublin", 53.35, -6.26),
+    ("ISL", "IS", "Iceland", "Europe", None, "Reykjavik", 64.15, -21.94),
+    ("ITA", "IT", "Italy", "Europe", None, "Rome", 41.90, 12.50),
+    ("LTU", "LT", "Lithuania", "Europe", None, "Vilnius", 54.69, 25.28),
+    ("LUX", "LU", "Luxembourg", "Europe", None, "Luxembourg", 49.61, 6.13),
+    ("LVA", "LV", "Latvia", "Europe", None, "Riga", 56.95, 24.11),
+    ("MDA", "MD", "Moldova", "Europe", None, "Chisinau", 47.01, 28.86),
+    ("MKD", "MK", "North Macedonia", "Europe", None, "Skopje", 42.00, 21.43),
+    ("MLT", "MT", "Malta", "Europe", None, "Valletta", 35.90, 14.51),
+    ("MNE", "ME", "Montenegro", "Europe", None, "Podgorica", 42.44, 19.26),
+    ("NLD", "NL", "Netherlands", "Europe", None, "Amsterdam", 52.37, 4.90),
+    ("NOR", "NO", "Norway", "Europe", None, "Oslo", 59.91, 10.75),
+    ("POL", "PL", "Poland", "Europe", None, "Warsaw", 52.23, 21.01),
+    ("PRT", "PT", "Portugal", "Europe", None, "Lisbon", 38.72, -9.14),
+    ("ROU", "RO", "Romania", "Europe", None, "Bucharest", 44.43, 26.10),
+    ("SRB", "RS", "Serbia", "Europe", None, "Belgrade", 44.79, 20.45),
+    ("SVK", "SK", "Slovakia", "Europe", None, "Bratislava", 48.15, 17.11),
+    ("SVN", "SI", "Slovenia", "Europe", None, "Ljubljana", 46.06, 14.51),
+    ("SWE", "SE", "Sweden", "Europe", None, "Stockholm", 59.33, 18.07),
+    ("UKR", "UA", "Ukraine", "Europe", None, "Kyiv", 50.45, 30.52),
+    # --- Asia ---
+    ("ARE", "AE", "United Arab Emirates", "Asia", "Middle East", "Abu Dhabi", 24.47, 54.37),
+    ("ARM", "AM", "Armenia", "Asia", None, "Yerevan", 40.18, 44.51),
+    ("AZE", "AZ", "Azerbaijan", "Asia", None, "Baku", 40.41, 49.87),
+    ("BGD", "BD", "Bangladesh", "Asia", None, "Dhaka", 23.81, 90.41),
+    ("BHR", "BH", "Bahrain", "Asia", "Middle East", "Manama", 26.23, 50.59),
+    ("BRN", "BN", "Brunei", "Asia", None, "Bandar Seri Begawan", 4.94, 114.95),
+    ("BTN", "BT", "Bhutan", "Asia", None, "Thimphu", 27.47, 89.64),
+    ("CHN", "CN", "China", "Asia", None, "Beijing", 39.90, 116.41),
+    ("GEO", "GE", "Georgia", "Asia", None, "Tbilisi", 41.72, 44.83),
+    ("HKG", "HK", "Hong Kong", "Asia", None, "Hong Kong", 22.32, 114.17),
+    ("IDN", "ID", "Indonesia", "Asia", None, "Jakarta", -6.21, 106.85),
+    ("IND", "IN", "India", "Asia", None, "New Delhi", 28.61, 77.21),
+    ("IRQ", "IQ", "Iraq", "Asia", "Middle East", "Baghdad", 33.31, 44.37),
+    ("ISR", "IL", "Israel", "Asia", "Middle East", "Jerusalem", 31.77, 35.21),
+    ("JOR", "JO", "Jordan", "Asia", "Middle East", "Amman", 31.96, 35.95),
+    ("JPN", "JP", "Japan", "Asia", None, "Tokyo", 35.68, 139.69),
+    ("KAZ", "KZ", "Kazakhstan", "Asia", None, "Astana", 51.17, 71.45),
+    ("KGZ", "KG", "Kyrgyzstan", "Asia", None, "Bishkek", 42.87, 74.59),
+    ("KHM", "KH", "Cambodia", "Asia", None, "Phnom Penh", 11.56, 104.92),
+    ("KOR", "KR", "South Korea", "Asia", None, "Seoul", 37.57, 126.98),
+    ("KWT", "KW", "Kuwait", "Asia", "Middle East", "Kuwait City", 29.38, 47.99),
+    ("LAO", "LA", "Laos", "Asia", None, "Vientiane", 17.98, 102.63),
+    ("LBN", "LB", "Lebanon", "Asia", "Middle East", "Beirut", 33.89, 35.50),
+    ("LKA", "LK", "Sri Lanka", "Asia", None, "Colombo", 6.93, 79.86),
+    ("MAC", "MO", "Macao", "Asia", None, "Macao", 22.20, 113.55),
+    ("MDV", "MV", "Maldives", "Asia", None, "Male", 4.18, 73.51),
+    ("MMR", "MM", "Myanmar", "Asia", None, "Naypyidaw", 19.76, 96.08),
+    ("MNG", "MN", "Mongolia", "Asia", None, "Ulaanbaatar", 47.89, 106.91),
+    ("MYS", "MY", "Malaysia", "Asia", None, "Kuala Lumpur", 3.14, 101.69),
+    ("NPL", "NP", "Nepal", "Asia", None, "Kathmandu", 27.72, 85.32),
+    ("OMN", "OM", "Oman", "Asia", "Middle East", "Muscat", 23.59, 58.41),
+    ("PAK", "PK", "Pakistan", "Asia", None, "Islamabad", 33.68, 73.05),
+    ("PHL", "PH", "Philippines", "Asia", None, "Manila", 14.60, 120.98),
+    ("QAT", "QA", "Qatar", "Asia", "Middle East", "Doha", 25.29, 51.53),
+    ("RUS", "RU", "Russia", "Asia", None, "Moscow", 55.76, 37.62),
+    ("SAU", "SA", "Saudi Arabia", "Asia", "Middle East", "Riyadh", 24.71, 46.68),
+    ("SGP", "SG", "Singapore", "Asia", None, "Singapore", 1.35, 103.82),
+    ("THA", "TH", "Thailand", "Asia", None, "Bangkok", 13.76, 100.50),
+    ("TJK", "TJ", "Tajikistan", "Asia", None, "Dushanbe", 38.56, 68.77),
+    ("TKM", "TM", "Turkmenistan", "Asia", None, "Ashgabat", 37.96, 58.33),
+    ("TUR", "TR", "Turkey", "Asia", "Middle East", "Ankara", 39.93, 32.87),
+    ("TWN", "TW", "Taiwan", "Asia", None, "Taipei", 25.03, 121.57),
+    ("UZB", "UZ", "Uzbekistan", "Asia", None, "Tashkent", 41.30, 69.24),
+    ("VNM", "VN", "Vietnam", "Asia", None, "Hanoi", 21.03, 105.85),
+    # --- Africa ---
+    ("AGO", "AO", "Angola", "Africa", None, "Luanda", -8.84, 13.23),
+    ("BEN", "BJ", "Benin", "Africa", None, "Porto-Novo", 6.50, 2.60),
+    ("BWA", "BW", "Botswana", "Africa", None, "Gaborone", -24.65, 25.91),
+    ("CIV", "CI", "Ivory Coast", "Africa", None, "Yamoussoukro", 6.83, -5.29),
+    ("CMR", "CM", "Cameroon", "Africa", None, "Yaounde", 3.87, 11.52),
+    ("COD", "CD", "DR Congo", "Africa", None, "Kinshasa", -4.44, 15.27),
+    ("DZA", "DZ", "Algeria", "Africa", None, "Algiers", 36.75, 3.06),
+    ("EGY", "EG", "Egypt", "Africa", None, "Cairo", 30.04, 31.24),
+    ("ETH", "ET", "Ethiopia", "Africa", None, "Addis Ababa", 9.01, 38.75),
+    ("GHA", "GH", "Ghana", "Africa", None, "Accra", 5.60, -0.19),
+    ("KEN", "KE", "Kenya", "Africa", None, "Nairobi", -1.29, 36.82),
+    ("MAR", "MA", "Morocco", "Africa", None, "Rabat", 34.02, -6.84),
+    ("MDG", "MG", "Madagascar", "Africa", None, "Antananarivo", -18.88, 47.51),
+    ("MOZ", "MZ", "Mozambique", "Africa", None, "Maputo", -25.97, 32.57),
+    ("MUS", "MU", "Mauritius", "Africa", None, "Port Louis", -20.16, 57.50),
+    ("NAM", "NA", "Namibia", "Africa", None, "Windhoek", -22.56, 17.08),
+    ("NGA", "NG", "Nigeria", "Africa", None, "Abuja", 9.08, 7.40),
+    ("RWA", "RW", "Rwanda", "Africa", None, "Kigali", -1.94, 30.06),
+    ("SEN", "SN", "Senegal", "Africa", None, "Dakar", 14.72, -17.47),
+    ("TUN", "TN", "Tunisia", "Africa", None, "Tunis", 36.81, 10.18),
+    ("TZA", "TZ", "Tanzania", "Africa", None, "Dodoma", -6.16, 35.75),
+    ("UGA", "UG", "Uganda", "Africa", None, "Kampala", 0.35, 32.58),
+    ("ZAF", "ZA", "South Africa", "Africa", None, "Pretoria", -25.75, 28.19),
+    ("ZMB", "ZM", "Zambia", "Africa", None, "Lusaka", -15.39, 28.32),
+    ("ZWE", "ZW", "Zimbabwe", "Africa", None, "Harare", -17.83, 31.05),
+    # --- North America (incl. Central America & Caribbean subregions) ---
+    ("BHS", "BS", "Bahamas", "North America", "Caribbean", "Nassau", 25.05, -77.36),
+    ("BLZ", "BZ", "Belize", "North America", "Central America", "Belmopan", 17.25, -88.77),
+    ("BRB", "BB", "Barbados", "North America", "Caribbean", "Bridgetown", 13.10, -59.62),
+    ("CAN", "CA", "Canada", "North America", None, "Ottawa", 45.42, -75.70),
+    ("CRI", "CR", "Costa Rica", "North America", "Central America", "San Jose", 9.93, -84.08),
+    ("CUB", "CU", "Cuba", "North America", "Caribbean", "Havana", 23.11, -82.37),
+    ("DOM", "DO", "Dominican Republic", "North America", "Caribbean", "Santo Domingo", 18.49, -69.93),
+    ("GTM", "GT", "Guatemala", "North America", "Central America", "Guatemala City", 14.63, -90.51),
+    ("HND", "HN", "Honduras", "North America", "Central America", "Tegucigalpa", 14.07, -87.19),
+    ("HTI", "HT", "Haiti", "North America", "Caribbean", "Port-au-Prince", 18.54, -72.34),
+    ("JAM", "JM", "Jamaica", "North America", "Caribbean", "Kingston", 18.02, -76.80),
+    ("MEX", "MX", "Mexico", "North America", None, "Mexico City", 19.43, -99.13),
+    ("NIC", "NI", "Nicaragua", "North America", "Central America", "Managua", 12.11, -86.24),
+    ("PAN", "PA", "Panama", "North America", "Central America", "Panama City", 8.98, -79.52),
+    ("SLV", "SV", "El Salvador", "North America", "Central America", "San Salvador", 13.69, -89.19),
+    ("TTO", "TT", "Trinidad and Tobago", "North America", "Caribbean", "Port of Spain", 10.65, -61.51),
+    ("USA", "US", "United States", "North America", None, "Washington", 38.91, -77.04),
+    # --- South America ---
+    ("ARG", "AR", "Argentina", "South America", None, "Buenos Aires", -34.60, -58.38),
+    ("BOL", "BO", "Bolivia", "South America", None, "La Paz", -16.49, -68.12),
+    ("BRA", "BR", "Brazil", "South America", None, "Brasilia", -15.79, -47.88),
+    ("CHL", "CL", "Chile", "South America", None, "Santiago", -33.45, -70.67),
+    ("COL", "CO", "Colombia", "South America", None, "Bogota", 4.71, -74.07),
+    ("ECU", "EC", "Ecuador", "South America", None, "Quito", -0.18, -78.47),
+    ("GUY", "GY", "Guyana", "South America", None, "Georgetown", 6.80, -58.16),
+    ("PER", "PE", "Peru", "South America", None, "Lima", -12.05, -77.04),
+    ("PRY", "PY", "Paraguay", "South America", None, "Asuncion", -25.26, -57.58),
+    ("URY", "UY", "Uruguay", "South America", None, "Montevideo", -34.90, -56.16),
+    ("VEN", "VE", "Venezuela", "South America", None, "Caracas", 10.48, -66.90),
+    # --- Oceania ---
+    ("AUS", "AU", "Australia", "Oceania", None, "Canberra", -35.28, 149.13),
+    ("FJI", "FJ", "Fiji", "Oceania", None, "Suva", -18.14, 178.44),
+    ("NZL", "NZ", "New Zealand", "Oceania", None, "Wellington", -41.29, 174.78),
+    ("PNG", "PG", "Papua New Guinea", "Oceania", None, "Port Moresby", -9.44, 147.18),
+    ("WSM", "WS", "Samoa", "Oceania", None, "Apia", -13.83, -171.77),
+]
+
+
+def default_country_registry() -> CountryRegistry:
+    """Build the default registry of countries used across the repository."""
+    registry = CountryRegistry()
+    for iso3, iso2, name, continent, subregion, capital, lat, lon in _COUNTRY_ROWS:
+        registry.add(
+            Country(
+                iso3=iso3,
+                iso2=iso2,
+                name=name,
+                continent=continent,
+                capital=capital,
+                location=GeoPoint(lat, lon),
+                subregion=subregion,
+            )
+        )
+    return registry

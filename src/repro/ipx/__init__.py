@@ -1,0 +1,24 @@
+"""IPX network substrate.
+
+The private interconnection fabric between mobile operators: IPX
+providers peer with each other and sell roaming-hub services (signalling,
+GTP transport, and — for thick MNAs — hub-breakout PGWs) to operators.
+"""
+
+from repro.ipx.network import IPXProvider, IPXNetwork, IPXReachabilityError
+from repro.ipx.placement import (
+    DemandPoint,
+    greedy_k_median,
+    mean_weighted_distance_km,
+    assignment,
+)
+
+__all__ = [
+    "IPXProvider",
+    "IPXNetwork",
+    "IPXReachabilityError",
+    "DemandPoint",
+    "greedy_k_median",
+    "mean_weighted_distance_km",
+    "assignment",
+]

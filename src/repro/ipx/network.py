@@ -1,0 +1,136 @@
+"""IPX providers and their private interconnection mesh.
+
+Section 2 of the paper describes the IPX network as a small set of
+providers peering over a private backbone: an operator contracts one
+IPX-P and thereby reaches every other operator. This module models that
+mesh and answers the reachability questions world-building needs: can
+this b-MNO's traffic reach that hub-breakout PGW, and through which
+providers does the GTP tunnel transit?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+
+class IPXReachabilityError(Exception):
+    """Raised when no IPX path connects an operator to a target."""
+
+
+@dataclass
+class IPXProvider:
+    """One IPX provider.
+
+    ``hub_pgw_site_ids`` are the breakout PGW deployments this provider
+    operates or fronts (possibly hosted on third-party infrastructure
+    like Packet Host or OVH — the paper's key observation is exactly that
+    the ASN seen at breakout is a hosting company's, not an MNO's).
+    """
+
+    name: str
+    asn: int
+    hub_pgw_site_ids: Tuple[str, ...] = ()
+    customer_operators: Set[str] = field(default_factory=set)
+
+    def serves(self, operator_name: str) -> bool:
+        return operator_name in self.customer_operators
+
+    def add_customer(self, operator_name: str) -> None:
+        self.customer_operators.add(operator_name)
+
+
+class IPXNetwork:
+    """The peering mesh among IPX providers.
+
+    Operators attach to the mesh via their contracted providers; PGW
+    sites attach via the provider that fronts them. Reachability and
+    transit paths are computed over the provider-level graph.
+    """
+
+    def __init__(self) -> None:
+        self._providers: Dict[str, IPXProvider] = {}
+        self._graph = nx.Graph()
+        self._site_owner: Dict[str, str] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_provider(self, provider: IPXProvider) -> None:
+        if provider.name in self._providers:
+            raise ValueError(f"duplicate IPX provider: {provider.name}")
+        self._providers[provider.name] = provider
+        self._graph.add_node(provider.name)
+        for site_id in provider.hub_pgw_site_ids:
+            if site_id in self._site_owner:
+                raise ValueError(f"PGW site {site_id} already fronted by "
+                                 f"{self._site_owner[site_id]}")
+            self._site_owner[site_id] = provider.name
+
+    def peer(self, a: str, b: str) -> None:
+        """Establish bilateral peering between two providers."""
+        self._require(a)
+        self._require(b)
+        if a == b:
+            raise ValueError("a provider cannot peer with itself")
+        self._graph.add_edge(a, b)
+
+    def contract(self, operator_name: str, provider_name: str) -> None:
+        """Operator buys IPX service from a provider."""
+        self._require(provider_name)
+        self._providers[provider_name].add_customer(operator_name)
+
+    def _require(self, name: str) -> None:
+        if name not in self._providers:
+            raise KeyError(f"unknown IPX provider: {name}")
+
+    # -- queries ---------------------------------------------------------------
+
+    def providers(self) -> List[IPXProvider]:
+        return sorted(self._providers.values(), key=lambda p: p.name)
+
+    def provider_of_site(self, site_id: str) -> IPXProvider:
+        if site_id not in self._site_owner:
+            raise KeyError(f"PGW site {site_id} is not fronted by any IPX provider")
+        return self._providers[self._site_owner[site_id]]
+
+    def providers_serving(self, operator_name: str) -> List[IPXProvider]:
+        return sorted(
+            (p for p in self._providers.values() if p.serves(operator_name)),
+            key=lambda p: p.name,
+        )
+
+    def transit_path(self, operator_name: str, site_id: str) -> List[str]:
+        """Provider chain from an operator's IPX-P to a PGW site's IPX-P.
+
+        The shortest provider-level path; its length approximates how many
+        IPX domains the GTP tunnel transits (which the world builders use
+        to scale tunnel stretch). Raises :class:`IPXReachabilityError`
+        when the operator has no contract or the mesh is partitioned.
+        """
+        entry_points = self.providers_serving(operator_name)
+        if not entry_points:
+            raise IPXReachabilityError(f"{operator_name} has no IPX contract")
+        target = self.provider_of_site(site_id).name
+
+        best: Optional[List[str]] = None
+        for entry in entry_points:
+            try:
+                path = nx.shortest_path(self._graph, entry.name, target)
+            except nx.NetworkXNoPath:
+                continue
+            if best is None or len(path) < len(best):
+                best = path
+        if best is None:
+            raise IPXReachabilityError(
+                f"no IPX path from {operator_name} to site {site_id}"
+            )
+        return best
+
+    def can_reach(self, operator_name: str, site_id: str) -> bool:
+        try:
+            self.transit_path(operator_name, site_id)
+        except (IPXReachabilityError, KeyError):
+            return False
+        return True

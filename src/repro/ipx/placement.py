@@ -1,0 +1,102 @@
+"""Dynamic PGW placement.
+
+The paper's conclusion argues thick MNAs should "leverage PGW deployment
+that adapts dynamically to user geography" instead of today's static
+IHBO. This module provides the optimisation behind that idea: given
+where an MNA's users actually are and where PGWs *could* be hosted,
+choose a fleet of k sites minimising the demand-weighted tunnel
+distance (greedy k-median, the classic facility-location heuristic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.geo.cities import City
+from repro.geo.coords import GeoPoint, haversine_km
+
+
+@dataclass(frozen=True)
+class DemandPoint:
+    """A user population at one location (e.g. an eSIM's visited city)."""
+
+    location: GeoPoint
+    weight: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("demand weight must be positive")
+
+
+def mean_weighted_distance_km(
+    demands: Sequence[DemandPoint], sites: Sequence[GeoPoint]
+) -> float:
+    """Average distance from each demand to its nearest site, weighted."""
+    if not demands:
+        raise ValueError("no demand points")
+    if not sites:
+        raise ValueError("no sites")
+    total_weight = sum(d.weight for d in demands)
+    total = 0.0
+    for demand in demands:
+        nearest = min(haversine_km(demand.location, site) for site in sites)
+        total += demand.weight * nearest
+    return total / total_weight
+
+
+def greedy_k_median(
+    demands: Sequence[DemandPoint],
+    candidates: Sequence[City],
+    k: int,
+) -> List[City]:
+    """Choose k candidate cities minimising weighted distance (greedy).
+
+    Classic greedy facility location: repeatedly add the candidate that
+    most reduces the objective. The greedy solution is within a constant
+    factor of optimal and, at this problem size, usually optimal.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not candidates:
+        raise ValueError("no candidate sites")
+    if k > len(candidates):
+        raise ValueError("k exceeds the candidate count")
+
+    chosen: List[City] = []
+    remaining = list(candidates)
+    while len(chosen) < k:
+        best_city = None
+        best_cost = None
+        for city in remaining:
+            cost = mean_weighted_distance_km(
+                demands, [c.location for c in chosen] + [city.location]
+            )
+            if best_cost is None or cost < best_cost or (
+                cost == best_cost and city.key < best_city.key  # type: ignore[union-attr]
+            ):
+                best_city = city
+                best_cost = cost
+        assert best_city is not None
+        chosen.append(best_city)
+        remaining.remove(best_city)
+    return chosen
+
+
+def assignment(
+    demands: Sequence[DemandPoint], sites: Sequence[City]
+) -> Dict[str, Tuple[str, float]]:
+    """Map each demand label to (nearest site key, distance km)."""
+    if not sites:
+        raise ValueError("no sites")
+    out: Dict[str, Tuple[str, float]] = {}
+    for demand in demands:
+        nearest = min(
+            sites, key=lambda c: (haversine_km(demand.location, c.location), c.key)
+        )
+        out[demand.label] = (
+            nearest.key,
+            haversine_km(demand.location, nearest.location),
+        )
+    return out

@@ -1,0 +1,79 @@
+"""The crawler-based campaign (Section 3.3).
+
+Daily retrievals of the aggregator's full listing from February to May
+2024, plus the three-vantage crawl (Madrid, Abu Dhabi, New Jersey) run in
+April/May to test for price discrimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.market.esimdb import EsimDB
+from repro.market.models import ESIMOffer, MarketSnapshot
+
+#: The multi-vantage check of Section 3.3.
+VANTAGE_POINTS = ("Madrid", "Abu Dhabi", "NJ")
+
+
+@dataclass
+class CrawlDataset:
+    """Everything the crawler collected."""
+
+    daily_snapshots: List[MarketSnapshot] = field(default_factory=list)
+    vantage_snapshots: List[MarketSnapshot] = field(default_factory=list)
+
+    def offers_on(self, day: int) -> List[ESIMOffer]:
+        for snapshot in self.daily_snapshots:
+            if snapshot.day == day:
+                return list(snapshot.offers)
+        raise KeyError(f"no snapshot for day {day}")
+
+    def days(self) -> List[int]:
+        return [snapshot.day for snapshot in self.daily_snapshots]
+
+    def all_offers(self) -> List[ESIMOffer]:
+        return [o for snap in self.daily_snapshots for o in snap.offers]
+
+
+class MarketCrawler:
+    """Runs the full crawl schedule against an aggregator."""
+
+    def __init__(self, esimdb: EsimDB) -> None:
+        self.esimdb = esimdb
+
+    def crawl_daily(
+        self, start_day: int = 0, end_day: int = 120, step: int = 1
+    ) -> CrawlDataset:
+        """One snapshot per ``step`` days over [start_day, end_day)."""
+        if end_day <= start_day:
+            raise ValueError("end_day must exceed start_day")
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        dataset = CrawlDataset()
+        for day in range(start_day, end_day, step):
+            dataset.daily_snapshots.append(self.esimdb.snapshot(day))
+        return dataset
+
+    def crawl_vantages(
+        self, day: int, vantages: Sequence[str] = VANTAGE_POINTS
+    ) -> List[MarketSnapshot]:
+        """The price-discrimination probe: one snapshot per location."""
+        return [self.esimdb.snapshot(day, vantage=v) for v in vantages]
+
+    @staticmethod
+    def price_discrimination_detected(snapshots: Sequence[MarketSnapshot]) -> bool:
+        """True if any (provider, country, size) price differs by vantage."""
+        if len(snapshots) < 2:
+            raise ValueError("need at least two vantage snapshots to compare")
+        reference = {
+            (o.provider, o.country_iso3, o.data_gb): o.price_usd
+            for o in snapshots[0].offers
+        }
+        for snapshot in snapshots[1:]:
+            for offer in snapshot.offers:
+                key = (offer.provider, offer.country_iso3, offer.data_gb)
+                if key not in reference or reference[key] != offer.price_usd:
+                    return True
+        return False

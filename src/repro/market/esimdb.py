@@ -1,0 +1,70 @@
+"""The eSIM-offer aggregator (EsimDB stand-in).
+
+Serves daily snapshots of every provider's catalogue over the covered
+regions. The crawler queries it exactly like the paper's crawler queried
+esimdb.com: one full listing per day per vantage point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.geo.countries import Country, CountryRegistry
+from repro.market.models import ESIMOffer, MarketSnapshot
+from repro.market.providers import ContinentPricing, EsimProvider
+
+
+class EsimDB:
+    """Aggregates provider catalogues into queryable daily snapshots."""
+
+    def __init__(
+        self,
+        providers: Sequence[EsimProvider],
+        countries: CountryRegistry,
+        continent_pricing: Optional[Dict[str, ContinentPricing]] = None,
+    ) -> None:
+        if not providers:
+            raise ValueError("aggregator needs at least one provider")
+        self.providers = list(providers)
+        self.countries = countries
+        self.continent_pricing = continent_pricing
+        # Footprints are stable: compute once.
+        universe = len(countries)
+        self._footprint: Dict[str, List[Country]] = {
+            provider.name: [
+                c for c in countries if provider.covers(c, universe)
+            ]
+            for provider in self.providers
+        }
+
+    def footprint(self, provider_name: str) -> List[Country]:
+        if provider_name not in self._footprint:
+            raise KeyError(f"unknown provider: {provider_name}")
+        return list(self._footprint[provider_name])
+
+    def snapshot(self, day: int, vantage: str = "NJ") -> MarketSnapshot:
+        """Every offer listed on ``day`` as seen from ``vantage``.
+
+        Prices carry no vantage dependence — crawling from Madrid, Abu
+        Dhabi or New Jersey returns identical numbers, matching the
+        paper's no-price-discrimination finding.
+        """
+        if day < 0:
+            raise ValueError("day cannot be negative")
+        snapshot = MarketSnapshot(day=day, vantage=vantage)
+        for provider in self.providers:
+            for country in self._footprint[provider.name]:
+                snapshot.offers.extend(
+                    provider.offers_for(
+                        country, day, vantage=vantage,
+                        continent_pricing=self.continent_pricing,
+                    )
+                )
+        return snapshot
+
+    def total_offers_per_day(self) -> int:
+        """Catalogue size (the paper quotes 75,875 offers on 2024-05-01)."""
+        return sum(
+            len(self._footprint[p.name]) * len(p.plan_sizes_gb)
+            for p in self.providers
+        )

@@ -1,0 +1,108 @@
+"""Pricing analysis (Figures 16-19).
+
+Median $/GB per country / continent / provider, decile bounds for the
+world map, the Feb-May timeline, and the size-vs-price curves compared
+across countries sharing a b-MNO.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.geo.countries import CountryRegistry
+from repro.market.models import ESIMOffer
+
+
+def median_usd_per_gb_by_country(
+    offers: Iterable[ESIMOffer],
+    provider: Optional[str] = None,
+) -> Dict[str, float]:
+    """Median $/GB per country (one value per country)."""
+    buckets: Dict[str, List[float]] = {}
+    for offer in offers:
+        if provider is not None and offer.provider != provider:
+            continue
+        buckets.setdefault(offer.country_iso3, []).append(offer.usd_per_gb)
+    return {iso3: statistics.median(vals) for iso3, vals in buckets.items()}
+
+
+def median_usd_per_gb_by_continent(
+    offers: Iterable[ESIMOffer],
+    countries: CountryRegistry,
+    provider: Optional[str] = None,
+) -> Dict[str, List[float]]:
+    """Country-median $/GB samples grouped by continent (Figure 16 boxes)."""
+    per_country = median_usd_per_gb_by_country(offers, provider=provider)
+    grouped: Dict[str, List[float]] = {}
+    for iso3, value in per_country.items():
+        continent = countries.get(iso3).continent
+        grouped.setdefault(continent, []).append(value)
+    return grouped
+
+
+def provider_country_medians(
+    offers: Iterable[ESIMOffer],
+) -> Dict[str, List[float]]:
+    """Per-provider lists of country medians (the Figure 17 CDFs)."""
+    buckets: Dict[Tuple[str, str], List[float]] = {}
+    for offer in offers:
+        buckets.setdefault((offer.provider, offer.country_iso3), []).append(
+            offer.usd_per_gb
+        )
+    out: Dict[str, List[float]] = {}
+    for (provider, _country), values in buckets.items():
+        out.setdefault(provider, []).append(statistics.median(values))
+    for values in out.values():
+        values.sort()
+    return out
+
+
+def decile_bounds(values: Sequence[float]) -> List[float]:
+    """The nine cut points dividing a distribution into deciles (Fig 18)."""
+    if not values:
+        raise ValueError("empty sample")
+    ordered = sorted(values)
+    bounds = []
+    n = len(ordered)
+    for decile in range(1, 10):
+        index = min(n - 1, max(0, round(decile * n / 10) - 1))
+        bounds.append(ordered[index])
+    return bounds
+
+
+def price_timeline(
+    snapshots_by_day: Dict[int, List[ESIMOffer]],
+    countries: CountryRegistry,
+    provider: str = "Airalo",
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Per-continent (day, median-of-country-medians) series (Figure 16)."""
+    timeline: Dict[str, List[Tuple[int, float]]] = {}
+    for day in sorted(snapshots_by_day):
+        grouped = median_usd_per_gb_by_continent(
+            snapshots_by_day[day], countries, provider=provider
+        )
+        for continent, medians in grouped.items():
+            timeline.setdefault(continent, []).append(
+                (day, statistics.median(medians))
+            )
+    return timeline
+
+
+def size_price_curve(
+    offers: Iterable[ESIMOffer],
+    country_iso3: str,
+    provider: str = "Airalo",
+    max_gb: float = 5.0,
+) -> List[Tuple[float, float]]:
+    """(size, price) points for one country's ladder (Figure 19)."""
+    points = sorted(
+        {
+            (offer.data_gb, offer.price_usd)
+            for offer in offers
+            if offer.provider == provider
+            and offer.country_iso3 == country_iso3.upper()
+            and offer.data_gb <= max_gb
+        }
+    )
+    return points

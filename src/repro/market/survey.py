@@ -1,0 +1,88 @@
+"""Local physical-SIM price survey.
+
+No EsimDB-like aggregator exists for physical SIMs, so the paper's
+authors compiled offers from online resources and travelling volunteers.
+This module carries that survey: marginal $/GB is the lowest of any
+option, but total outlay is often higher because plans are big (40 GB in
+Spain) or carry a SIM fee ($15.72 in the UAE).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.market.models import ESIMOffer, LocalSIMOffer
+
+#: The survey rows. Spain and the UAE figures are quoted in Section 6;
+#: the rest are plausible local-market offers for the device-campaign
+#: countries (documented substitution).
+DEFAULT_LOCAL_OFFERS: List[LocalSIMOffer] = [
+    LocalSIMOffer("ESP", "Movistar", price_usd=22.59, data_gb=40.0),
+    LocalSIMOffer("ARE", "Etisalat", price_usd=27.0, data_gb=6.0, sim_fee_usd=15.72),
+    LocalSIMOffer("GEO", "Magti", price_usd=9.0, data_gb=10.0, sim_fee_usd=1.5),
+    LocalSIMOffer("DEU", "O2 Germany", price_usd=16.0, data_gb=12.0),
+    LocalSIMOffer("KOR", "U+ UMobile", price_usd=25.0, data_gb=15.0, sim_fee_usd=3.0),
+    LocalSIMOffer("PAK", "Jazz", price_usd=4.5, data_gb=12.0, sim_fee_usd=0.7),
+    LocalSIMOffer("QAT", "Ooredoo Qatar", price_usd=22.0, data_gb=8.0, sim_fee_usd=5.5),
+    LocalSIMOffer("SAU", "STC", price_usd=24.0, data_gb=10.0, sim_fee_usd=8.0),
+    LocalSIMOffer("THA", "dtac", price_usd=9.0, data_gb=15.0, sim_fee_usd=1.5),
+    LocalSIMOffer("GBR", "O2 UK", price_usd=15.0, data_gb=20.0),
+]
+
+
+@dataclass
+class LocalSIMSurvey:
+    """Compares the local-SIM survey with aggregator offers."""
+
+    offers: List[LocalSIMOffer]
+
+    def __post_init__(self) -> None:
+        if not self.offers:
+            raise ValueError("survey needs at least one offer")
+
+    def usd_per_gb_values(self) -> List[float]:
+        """Marginal $/GB per surveyed country (the Fig 17 dashed line)."""
+        return sorted(offer.usd_per_gb for offer in self.offers)
+
+    def median_usd_per_gb(self) -> float:
+        return statistics.median(self.usd_per_gb_values())
+
+    def for_country(self, iso3: str) -> LocalSIMOffer:
+        iso3 = iso3.upper()
+        for offer in self.offers:
+            if offer.country_iso3 == iso3:
+                return offer
+        raise KeyError(f"no local SIM offer surveyed for {iso3}")
+
+    def total_cost_comparison(
+        self, esim_offers: Iterable[ESIMOffer], needed_gb: float = 3.0
+    ) -> Dict[str, Dict[str, float]]:
+        """Up-front cost of local SIM vs the cheapest adequate Airalo plan.
+
+        For each surveyed country: the local offer's total cost and the
+        cheapest aggregator plan with at least ``needed_gb``. Captures the
+        paper's point that $/GB favours local SIMs while total outlay
+        often favours Airalo.
+        """
+        if needed_gb <= 0:
+            raise ValueError("needed_gb must be positive")
+        cheapest: Dict[str, float] = {}
+        for offer in esim_offers:
+            if offer.provider != "Airalo" or offer.data_gb < needed_gb:
+                continue
+            key = offer.country_iso3
+            if key not in cheapest or offer.price_usd < cheapest[key]:
+                cheapest[key] = offer.price_usd
+        comparison: Dict[str, Dict[str, float]] = {}
+        for local in self.offers:
+            iso3 = local.country_iso3
+            if iso3 not in cheapest:
+                continue
+            comparison[iso3] = {
+                "local_total_usd": local.total_cost_usd,
+                "local_usd_per_gb": local.usd_per_gb,
+                "airalo_total_usd": cheapest[iso3],
+            }
+        return comparison

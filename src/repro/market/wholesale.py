@@ -1,0 +1,130 @@
+"""Wholesale roaming economics.
+
+Section 6 attributes the price differences among same-b-MNO Airalo plans
+to "the distinct roaming agreements between b-MNO and v-MNO". This module
+models that layer: every (b-MNO, v-MNO) corridor carries a wholesale
+data rate the aggregator pays, retail prices track it with a margin, and
+the unit-economics experiment decomposes Figure 19's Georgia-vs-Spain
+gap into wholesale cost versus markup.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.market.providers import _stable_unit
+
+
+@dataclass(frozen=True)
+class WholesaleRate:
+    """The per-GB price a corridor's roaming agreement charges."""
+
+    b_mno: str
+    v_mno: str
+    usd_per_gb: float
+
+    def __post_init__(self) -> None:
+        if self.usd_per_gb <= 0:
+            raise ValueError("wholesale rate must be positive")
+
+
+@dataclass(frozen=True)
+class UnitEconomics:
+    """Retail vs wholesale for one country offering."""
+
+    country_iso3: str
+    b_mno: str
+    v_mno: str
+    retail_usd_per_gb: float
+    wholesale_usd_per_gb: float
+
+    @property
+    def margin_usd_per_gb(self) -> float:
+        return self.retail_usd_per_gb - self.wholesale_usd_per_gb
+
+    @property
+    def margin_share(self) -> float:
+        """Fraction of the retail price the aggregator keeps."""
+        return self.margin_usd_per_gb / self.retail_usd_per_gb
+
+
+class WholesaleMarket:
+    """Derives corridor rates consistent with observed retail prices.
+
+    Retail tracks wholesale: the aggregator prices each country at its
+    corridor cost divided by a (stable, corridor-specific) pass-through —
+    so given retail, the implied wholesale is retail times a share in
+    ``[min_cost_share, max_cost_share]`` keyed deterministically by the
+    corridor. Same-b-MNO offerings then differ in *cost*, not just
+    markup, reproducing the paper's explanation.
+    """
+
+    def __init__(
+        self,
+        min_cost_share: float = 0.45,
+        max_cost_share: float = 0.70,
+    ) -> None:
+        if not 0.0 < min_cost_share < max_cost_share < 1.0:
+            raise ValueError("cost shares must satisfy 0 < min < max < 1")
+        self.min_cost_share = min_cost_share
+        self.max_cost_share = max_cost_share
+
+    def cost_share(self, b_mno: str, v_mno: str) -> float:
+        """Stable wholesale share of retail for one corridor."""
+        unit = _stable_unit(f"wholesale:{b_mno}:{v_mno}")
+        return self.min_cost_share + (self.max_cost_share - self.min_cost_share) * unit
+
+    def rate_for(
+        self, b_mno: str, v_mno: str, retail_usd_per_gb: float
+    ) -> WholesaleRate:
+        if retail_usd_per_gb <= 0:
+            raise ValueError("retail rate must be positive")
+        return WholesaleRate(
+            b_mno=b_mno,
+            v_mno=v_mno,
+            usd_per_gb=retail_usd_per_gb * self.cost_share(b_mno, v_mno),
+        )
+
+    def economics_for(
+        self,
+        offerings: Iterable[Tuple[str, str, str]],
+        retail_by_country: Dict[str, float],
+    ) -> List[UnitEconomics]:
+        """Unit economics for (country, b_mno, v_mno) offerings.
+
+        ``retail_by_country`` holds the observed retail $/GB medians
+        (from the aggregator snapshot). Offerings without retail data
+        are skipped.
+        """
+        rows: List[UnitEconomics] = []
+        for country, b_mno, v_mno in offerings:
+            retail = retail_by_country.get(country.upper())
+            if retail is None:
+                continue
+            rate = self.rate_for(b_mno, v_mno, retail)
+            rows.append(
+                UnitEconomics(
+                    country_iso3=country.upper(),
+                    b_mno=b_mno,
+                    v_mno=v_mno,
+                    retail_usd_per_gb=retail,
+                    wholesale_usd_per_gb=rate.usd_per_gb,
+                )
+            )
+        rows.sort(key=lambda r: (r.b_mno, r.country_iso3))
+        return rows
+
+
+def margin_summary(rows: Iterable[UnitEconomics]) -> Dict[str, float]:
+    """Aggregate margin statistics across offerings."""
+    shares = [row.margin_share for row in rows]
+    if not shares:
+        raise ValueError("no economics rows")
+    return {
+        "count": float(len(shares)),
+        "median_margin_share": statistics.median(shares),
+        "min_margin_share": min(shares),
+        "max_margin_share": max(shares),
+    }

@@ -1,0 +1,81 @@
+"""Measurement tooling.
+
+The instruments of both campaigns: traceroute (mtr-like), ping, the
+speedtest client, curl-style CDN fetches, the NextDNS-style resolver
+probe, the stats-for-nerds video probe, the AmiGo control server with
+its measurement endpoints, and the web-based campaign runner.
+"""
+
+from repro.measure.records import (
+    MeasurementContext,
+    TracerouteRecord,
+    SpeedtestRecord,
+    CDNRecord,
+    DNSRecord,
+    VideoRecord,
+    WebMeasurementRecord,
+)
+from repro.measure.traceroute import Hop, TracerouteEngine, TracerouteResult
+from repro.measure.ping import ping_provider
+from repro.measure.voip import VoIPRecord, probe_voip, rfc3550_jitter, e_model_r_factor, mos_from_r
+from repro.measure.clients import (
+    run_speedtest,
+    fetch_from_cdn,
+    probe_dns,
+    probe_video,
+)
+from repro.measure.amigo import AmigoControlServer, MeasurementEndpoint, DeviceStatus
+from repro.measure.webcampaign import WebCampaignRunner, ScreenshotValidator, UploadRejected
+
+__all__ = [
+    "MeasurementContext",
+    "TracerouteRecord",
+    "SpeedtestRecord",
+    "CDNRecord",
+    "DNSRecord",
+    "VideoRecord",
+    "WebMeasurementRecord",
+    "Hop",
+    "TracerouteEngine",
+    "TracerouteResult",
+    "ping_provider",
+    "VoIPRecord",
+    "probe_voip",
+    "rfc3550_jitter",
+    "e_model_r_factor",
+    "mos_from_r",
+    "run_speedtest",
+    "fetch_from_cdn",
+    "probe_dns",
+    "probe_video",
+    "AmigoControlServer",
+    "MeasurementEndpoint",
+    "DeviceStatus",
+    "WebCampaignRunner",
+    "ScreenshotValidator",
+    "UploadRejected",
+]
+
+
+#: Table 1 of the paper: the instruments of the device-based campaign,
+#: what they do, and what they make visible — as implemented here.
+TOOL_CATALOGUE = (
+    ("Speedtest", "Ookla-style test against the server nearest the "
+     "session's public-IP geolocation", "latency, down/up bandwidth",
+     "repro.measure.clients.run_speedtest"),
+    ("Traceroute", "mtr-style run to Google/Facebook/YouTube with "
+     "per-hop best RTTs", "latency, network path, ASNs",
+     "repro.measure.traceroute.TracerouteEngine"),
+    ("CDN", "download jquery.min.js (v3.6.0) from five CDN providers "
+     "with curl-style phase timing", "download time, cache state",
+     "repro.measure.clients.fetch_from_cdn"),
+    ("DNS", "identify the serving resolver NextDNS-style and time a "
+     "lookup", "resolver identity/geo, lookup time, DoH",
+     "repro.measure.clients.probe_dns"),
+    ("YouTube", "stats-for-nerds playback of a 4K-capable video",
+     "playback resolution, buffer occupancy",
+     "repro.measure.clients.probe_video"),
+    ("VoIP", "RTP-style packet train scored with the G.107 E-model "
+     "(the paper's future-work metrics)", "jitter, loss, MOS",
+     "repro.measure.voip.probe_voip"),
+)

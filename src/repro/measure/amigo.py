@@ -1,0 +1,296 @@
+"""AmiGo-style testbed: control server and measurement endpoints.
+
+Mirrors the architecture of the real AmiGo system the paper extends: a
+control server that endpoints poll over REST-like calls to (1) report
+device vitals and radio metrics and (2) receive instrumentation (which
+tests to run). Endpoints are rooted phones carrying a local physical SIM
+and an Airalo eSIM, flipping between them per battery of tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cellular.attach import SessionFactory
+from repro.cellular.core import PDNSession
+from repro.cellular.esim import SIMProfile
+from repro.cellular.mno import BandwidthPolicy, OperatorRegistry
+from repro.cellular.radio import RadioConditions
+from repro.cellular.ue import UserEquipment
+from repro.geo.cities import City
+from repro.measure.clients import fetch_from_cdn, probe_dns, probe_video, run_speedtest
+from repro.measure.dataset import MeasurementDataset
+from repro.measure.traceroute import TracerouteEngine, postprocess
+from repro.net.geoip import GeoIPDatabase
+from repro.services.cdn import CDNProvider
+from repro.services.dns import DNSService
+from repro.services.fabric import ServiceFabric
+from repro.services.providers import ServiceProvider
+from repro.services.speedtest import SpeedtestFleet
+from repro.services.video import AdaptiveBitratePlayer
+
+
+@dataclass
+class TestbedResources:
+    """Everything an endpoint needs to execute its instrumentation."""
+
+    fabric: ServiceFabric
+    geoip: GeoIPDatabase
+    traceroute_engine: TracerouteEngine
+    operators: OperatorRegistry
+    ookla: SpeedtestFleet
+    cdns: Dict[str, CDNProvider]
+    dns_services: Dict[str, DNSService]
+    sp_targets: Dict[str, ServiceProvider]
+    player: AdaptiveBitratePlayer = field(default_factory=AdaptiveBitratePlayer)
+
+    def dns_for(self, session: PDNSession) -> DNSService:
+        """The resolver service a session's DNS configuration points at."""
+        if session.dns_operator not in self.dns_services:
+            raise KeyError(f"no DNS service registered for {session.dns_operator}")
+        return self.dns_services[session.dns_operator]
+
+    def policy_for(self, session: PDNSession) -> BandwidthPolicy:
+        """The v-MNO shaper applied to this session's traffic class."""
+        operator = self.operators.get(session.v_mno_name)
+        if operator.bandwidth is not None:
+            return operator.bandwidth
+        parent = self.operators.parent_of(operator)
+        if parent.bandwidth is None:
+            raise ValueError(f"{operator.name} has no bandwidth policy configured")
+        return parent.bandwidth
+
+    def youtube_cap_for(self, session: PDNSession) -> Optional[float]:
+        """Per-service throttling on this session's path.
+
+        Either endpoint operator can shape YouTube: the b-MNO (it carries
+        HR traffic through its core) or the v-MNO (it owns the radio leg
+        every session crosses). The tightest configured cap applies.
+        """
+        caps = []
+        for name in (session.b_mno_name, session.v_mno_name):
+            operator = self.operators.get(name)
+            if operator.bandwidth is not None and operator.bandwidth.youtube_cap_mbps:
+                caps.append(operator.bandwidth.youtube_cap_mbps)
+        return min(caps) if caps else None
+
+
+@dataclass(frozen=True)
+class CountryDeployment:
+    """One volunteer's kit: device location, both SIMs, corridor quirks."""
+
+    country_iso3: str
+    city: City
+    physical_sim: SIMProfile
+    esim: SIMProfile
+    v_mno_physical: str
+    v_mno_esim: str
+    esim_uplink_asymmetry: float = 1.0
+    duration_days: int = 1
+
+    def __post_init__(self) -> None:
+        if self.esim_uplink_asymmetry <= 0:
+            raise ValueError("uplink asymmetry must be positive")
+        if self.duration_days < 1:
+            raise ValueError("deployment needs at least one day")
+
+
+@dataclass(frozen=True)
+class DeviceStatus:
+    """A status ping an endpoint posts to the control server."""
+
+    imei: str
+    day: int
+    battery_pct: float
+    connectivity: str
+    conditions: RadioConditions
+
+
+#: Test plan entry: (physical-SIM runs, eSIM runs), keyed by test name.
+TestPlan = Dict[str, Tuple[int, int]]
+
+
+class MeasurementEndpoint:
+    """A rooted phone executing instrumentation under server control."""
+
+    def __init__(
+        self,
+        deployment: CountryDeployment,
+        resources: TestbedResources,
+        factory: SessionFactory,
+        rng: random.Random,
+    ) -> None:
+        self.deployment = deployment
+        self.resources = resources
+        self.factory = factory
+        self.rng = rng
+        self.device = UserEquipment.provision("Samsung S21+ 5G", deployment.city, rng)
+        self._physical_slot = self.device.install_sim(deployment.physical_sim)
+        self._esim_slot = self.device.install_sim(deployment.esim)
+        self._battery = 100.0
+
+    # -- control-plane calls ---------------------------------------------------
+
+    def report_status(self, day: int) -> DeviceStatus:
+        """Device vitals + radio metrics (the first AmiGo API)."""
+        conditions = self._sample_conditions()
+        self._battery = max(5.0, self._battery - self.rng.uniform(1.0, 6.0))
+        if self._battery < 25.0 and self.rng.random() < 0.7:
+            self._battery = 100.0  # volunteer recharges
+        return DeviceStatus(
+            imei=self.device.imei,
+            day=day,
+            battery_pct=self._battery,
+            connectivity="cellular" if self.device.attached else "idle",
+            conditions=conditions,
+        )
+
+    # -- data-plane execution ---------------------------------------------------
+
+    def run_battery(self, plan: TestPlan, day: int) -> MeasurementDataset:
+        """Execute one day's share of the plan on both SIMs.
+
+        Each test script reattaches before running (the SIM flip tears the
+        PDP context down anyway), so PGW selection is re-rolled per test
+        type — which is how the paper observed Play/Telna eSIMs
+        alternating between Packet Host and OVH within a deployment.
+        """
+        dataset = MeasurementDataset()
+        for use_esim in (False, True):
+            for test_name, (sim_count, esim_count) in sorted(plan.items()):
+                count = esim_count if use_esim else sim_count
+                if count == 0:
+                    continue
+                self._attach(use_esim)
+                sim = self.device.active_sim
+                session = self.device.session
+                assert session is not None
+                for _ in range(count):
+                    self._run_one(test_name, session, sim, day, dataset)
+        self.device.detach()
+        return dataset
+
+    def _attach(self, use_esim: bool) -> None:
+        slot = self._esim_slot if use_esim else self._physical_slot
+        v_mno = (
+            self.deployment.v_mno_esim if use_esim else self.deployment.v_mno_physical
+        )
+        self.device.switch_to(slot, v_mno, self.factory, self.rng)
+
+    def _sample_conditions(self) -> RadioConditions:
+        rat = self.device.preferred_rat(self.rng)
+        return self.resources.fabric.radio.sample_conditions(rat, self.rng)
+
+    def _run_one(
+        self,
+        test_name: str,
+        session: PDNSession,
+        sim: SIMProfile,
+        day: int,
+        dataset: MeasurementDataset,
+    ) -> None:
+        resources = self.resources
+        conditions = self._sample_conditions()
+        policy = resources.policy_for(session)
+
+        if test_name == "speedtest":
+            asymmetry = (
+                self.deployment.esim_uplink_asymmetry if sim.is_esim else 1.0
+            )
+            dataset.speedtests.append(
+                run_speedtest(
+                    session, sim, resources.ookla, resources.fabric, policy,
+                    conditions, self.rng, uplink_asymmetry=asymmetry, day=day,
+                )
+            )
+        elif test_name.startswith("mtr:"):
+            target = test_name.split(":", 1)[1]
+            provider = resources.sp_targets[target]
+            result = resources.traceroute_engine.trace(
+                session, provider, conditions, self.rng
+            )
+            dataset.traceroutes.append(
+                postprocess(result, session, sim, conditions, resources.geoip, day=day)
+            )
+        elif test_name.startswith("cdn:"):
+            provider_name = test_name.split(":", 1)[1]
+            cdn = resources.cdns[provider_name]
+            dns = resources.dns_for(session)
+            dataset.cdn_fetches.append(
+                fetch_from_cdn(
+                    session, sim, cdn, dns, resources.fabric, policy,
+                    conditions, self.rng, day=day,
+                )
+            )
+        elif test_name == "dns":
+            dns = resources.dns_for(session)
+            dataset.dns_probes.append(
+                probe_dns(session, sim, dns, resources.fabric, conditions, self.rng, day=day)
+            )
+        elif test_name == "video":
+            dataset.video_probes.append(
+                probe_video(
+                    session, sim, resources.player, resources.fabric, policy,
+                    conditions, self.rng,
+                    youtube_cap_mbps=resources.youtube_cap_for(session), day=day,
+                )
+            )
+        else:
+            raise ValueError(f"unknown test: {test_name}")
+
+
+class AmigoControlServer:
+    """Coordinates endpoints: collects status pings, distributes plans."""
+
+    def __init__(self, resources: TestbedResources, factory: SessionFactory) -> None:
+        self.resources = resources
+        self.factory = factory
+        self._endpoints: List[MeasurementEndpoint] = []
+        self.status_log: List[DeviceStatus] = []
+
+    def register_endpoint(
+        self, deployment: CountryDeployment, rng: random.Random
+    ) -> MeasurementEndpoint:
+        endpoint = MeasurementEndpoint(deployment, self.resources, self.factory, rng)
+        self._endpoints.append(endpoint)
+        return endpoint
+
+    @property
+    def endpoints(self) -> List[MeasurementEndpoint]:
+        return list(self._endpoints)
+
+    def run_campaign(self, plans: Dict[str, TestPlan]) -> MeasurementDataset:
+        """Run every endpoint's plan, spread over its deployment days.
+
+        ``plans`` maps country ISO3 to the total per-test counts; counts
+        are split evenly across the deployment's days (remainder lands on
+        the earliest days, like a cron-driven battery does).
+        """
+        dataset = MeasurementDataset()
+        for endpoint in self._endpoints:
+            country = endpoint.deployment.country_iso3
+            if country not in plans:
+                continue
+            plan = plans[country]
+            days = endpoint.deployment.duration_days
+            for day in range(days):
+                self.status_log.append(endpoint.report_status(day))
+                daily = {
+                    test: (
+                        _share(sim_count, day, days),
+                        _share(esim_count, day, days),
+                    )
+                    for test, (sim_count, esim_count) in plan.items()
+                }
+                daily = {t: c for t, c in daily.items() if c != (0, 0)}
+                if daily:
+                    dataset.merge(endpoint.run_battery(daily, day))
+        return dataset
+
+
+def _share(total: int, day: int, days: int) -> int:
+    """Even split of ``total`` runs across ``days``, remainder first."""
+    base, remainder = divmod(total, days)
+    return base + (1 if day < remainder else 0)

@@ -1,0 +1,151 @@
+"""Client-side wrappers: speedtest, CDN fetch, DNS probe, video probe.
+
+Each wrapper runs one tool over a PDN session and returns the
+corresponding record type, tagging it with the full measurement context.
+They correspond one-to-one with the shell scripts the AmiGo endpoints
+execute in the real testbed (Table 1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.cellular.core import PDNSession
+from repro.cellular.esim import SIMProfile
+from repro.cellular.mno import BandwidthPolicy
+from repro.cellular.radio import RadioConditions
+from repro.measure.records import (
+    CDNRecord,
+    DNSRecord,
+    MeasurementContext,
+    SpeedtestRecord,
+    VideoRecord,
+)
+from repro.services.cdn import Asset, CDNProvider, JQUERY_ASSET
+from repro.services.dns import DNSService
+from repro.services.fabric import ServiceFabric
+from repro.services.speedtest import SpeedtestFleet
+from repro.services.video import AdaptiveBitratePlayer
+
+
+def run_speedtest(
+    session: PDNSession,
+    sim: SIMProfile,
+    fleet: SpeedtestFleet,
+    fabric: ServiceFabric,
+    policy: BandwidthPolicy,
+    conditions: RadioConditions,
+    rng: random.Random,
+    uplink_asymmetry: float = 1.0,
+    day: int = 0,
+) -> SpeedtestRecord:
+    """One Ookla-style run; the CQI filter is applied later in analysis."""
+    result = fleet.run(
+        session, fabric, policy, conditions, rng, uplink_asymmetry=uplink_asymmetry
+    )
+    return SpeedtestRecord(
+        context=MeasurementContext.from_session(session, sim, conditions, day=day),
+        server_city=result.server.site.city.name,
+        latency_ms=result.latency_ms,
+        download_mbps=result.download_mbps,
+        upload_mbps=result.upload_mbps,
+    )
+
+
+def probe_dns(
+    session: PDNSession,
+    sim: SIMProfile,
+    dns: DNSService,
+    fabric: ServiceFabric,
+    conditions: RadioConditions,
+    rng: random.Random,
+    use_doh: Optional[bool] = None,
+    day: int = 0,
+) -> DNSRecord:
+    """NextDNS-style probe: time a lookup and identify the resolver."""
+    answer = dns.resolve(session, fabric, rng, use_doh=use_doh)
+    return DNSRecord(
+        context=MeasurementContext.from_session(session, sim, conditions, day=day),
+        resolver_service=answer.service_name,
+        resolver_ip=str(answer.resolver.ip),
+        resolver_country=answer.resolver_country,
+        lookup_ms=answer.lookup_ms,
+        used_doh=answer.used_doh,
+    )
+
+
+def fetch_from_cdn(
+    session: PDNSession,
+    sim: SIMProfile,
+    cdn: CDNProvider,
+    dns: DNSService,
+    fabric: ServiceFabric,
+    policy: BandwidthPolicy,
+    conditions: RadioConditions,
+    rng: random.Random,
+    asset: Asset = JQUERY_ASSET,
+    day: int = 0,
+) -> CDNRecord:
+    """curl-style fetch: DNS phase via the session's resolver, then HTTPS.
+
+    CDN request steering sees the resolver's location, so IHBO sessions
+    (Google DNS near the PGW) land on edges near the breakout, while
+    operator-resolved sessions are steered from the b-MNO's core.
+    """
+    answer = dns.resolve(session, fabric, rng)
+    bandwidth = fabric.radio.throughput_mbps(
+        policy.downlink_for(session.is_roaming), conditions, rng
+    )
+    bandwidth = max(bandwidth, 0.1)  # a fetch always trickles through
+    result = cdn.fetch(
+        session=session,
+        fabric=fabric,
+        asset=asset,
+        dns_ms=answer.lookup_ms,
+        resolver_location=answer.resolver.location,
+        bandwidth_mbps=bandwidth,
+        rng=rng,
+    )
+    return CDNRecord(
+        context=MeasurementContext.from_session(session, sim, conditions, day=day),
+        provider=cdn.name,
+        edge_city=result.edge.city.name,
+        dns_ms=result.dns_ms,
+        total_ms=result.total_ms,
+        cache_hit=result.cache_hit,
+    )
+
+
+def probe_video(
+    session: PDNSession,
+    sim: SIMProfile,
+    player: AdaptiveBitratePlayer,
+    fabric: ServiceFabric,
+    policy: BandwidthPolicy,
+    conditions: RadioConditions,
+    rng: random.Random,
+    youtube_cap_mbps: Optional[float] = None,
+    duration_s: float = 120.0,
+    day: int = 0,
+) -> VideoRecord:
+    """stats-for-nerds playback probe.
+
+    ``youtube_cap_mbps`` models per-service traffic differentiation by
+    the operator (the paper's conjecture for the flat 720p in Pakistan
+    and the UAE despite sufficient raw bandwidth).
+    """
+    throughput = fabric.radio.throughput_mbps(
+        policy.downlink_for(session.is_roaming), conditions, rng
+    )
+    if youtube_cap_mbps is not None:
+        throughput = min(throughput, youtube_cap_mbps)
+    throughput = max(throughput, 0.1)
+    report = player.play(throughput, rng, duration_s=duration_s)
+    return VideoRecord(
+        context=MeasurementContext.from_session(session, sim, conditions, day=day),
+        resolution_counts=report.resolution_counts,
+        dominant_resolution=report.dominant_resolution,
+        rebuffer_events=report.rebuffer_events,
+        mean_buffer_s=report.mean_buffer_s,
+    )

@@ -1,0 +1,142 @@
+"""Campaign dataset: the typed store all probes append to.
+
+One object holds every record of a campaign; the analysis layer slices it
+by country / SIM kind / architecture / target, which is how each figure
+of the paper selects its series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cellular.esim import SIMKind
+from repro.cellular.roaming import RoamingArchitecture
+from repro.measure.records import (
+    CDNRecord,
+    DNSRecord,
+    SpeedtestRecord,
+    TracerouteRecord,
+    VideoRecord,
+    WebMeasurementRecord,
+)
+
+
+@dataclass
+class MeasurementDataset:
+    """All records collected by a campaign."""
+
+    traceroutes: List[TracerouteRecord] = field(default_factory=list)
+    speedtests: List[SpeedtestRecord] = field(default_factory=list)
+    cdn_fetches: List[CDNRecord] = field(default_factory=list)
+    dns_probes: List[DNSRecord] = field(default_factory=list)
+    video_probes: List[VideoRecord] = field(default_factory=list)
+    web_measurements: List[WebMeasurementRecord] = field(default_factory=list)
+
+    def merge(self, other: "MeasurementDataset") -> None:
+        """Append every record of ``other`` into this dataset."""
+        self.traceroutes.extend(other.traceroutes)
+        self.speedtests.extend(other.speedtests)
+        self.cdn_fetches.extend(other.cdn_fetches)
+        self.dns_probes.extend(other.dns_probes)
+        self.video_probes.extend(other.video_probes)
+        self.web_measurements.extend(other.web_measurements)
+
+    def total_records(self) -> int:
+        return (
+            len(self.traceroutes)
+            + len(self.speedtests)
+            + len(self.cdn_fetches)
+            + len(self.dns_probes)
+            + len(self.video_probes)
+            + len(self.web_measurements)
+        )
+
+    # -- common slices --------------------------------------------------------
+
+    def countries(self) -> List[str]:
+        """Countries present in the dataset, sorted."""
+        seen = set()
+        for records in (
+            self.traceroutes,
+            self.speedtests,
+            self.cdn_fetches,
+            self.dns_probes,
+            self.video_probes,
+            self.web_measurements,
+        ):
+            seen.update(r.context.country_iso3 for r in records)
+        return sorted(seen)
+
+    def traceroutes_to(
+        self,
+        target: str,
+        country: Optional[str] = None,
+        sim_kind: Optional[SIMKind] = None,
+    ) -> List[TracerouteRecord]:
+        out = [r for r in self.traceroutes if r.target == target]
+        if country is not None:
+            out = [r for r in out if r.context.country_iso3 == country.upper()]
+        if sim_kind is not None:
+            out = [r for r in out if r.context.sim_kind is sim_kind]
+        return out
+
+    def speedtests_where(
+        self,
+        country: Optional[str] = None,
+        sim_kind: Optional[SIMKind] = None,
+        architecture: Optional[RoamingArchitecture] = None,
+        cqi_filtered: bool = False,
+    ) -> List[SpeedtestRecord]:
+        out = list(self.speedtests)
+        if country is not None:
+            out = [r for r in out if r.context.country_iso3 == country.upper()]
+        if sim_kind is not None:
+            out = [r for r in out if r.context.sim_kind is sim_kind]
+        if architecture is not None:
+            out = [r for r in out if r.context.architecture is architecture]
+        if cqi_filtered:
+            out = [r for r in out if r.passes_cqi_filter]
+        return out
+
+    def cdn_fetches_where(
+        self,
+        provider: Optional[str] = None,
+        country: Optional[str] = None,
+        sim_kind: Optional[SIMKind] = None,
+    ) -> List[CDNRecord]:
+        out = list(self.cdn_fetches)
+        if provider is not None:
+            out = [r for r in out if r.provider == provider]
+        if country is not None:
+            out = [r for r in out if r.context.country_iso3 == country.upper()]
+        if sim_kind is not None:
+            out = [r for r in out if r.context.sim_kind is sim_kind]
+        return out
+
+    def dns_probes_where(
+        self,
+        country: Optional[str] = None,
+        sim_kind: Optional[SIMKind] = None,
+        architecture: Optional[RoamingArchitecture] = None,
+    ) -> List[DNSRecord]:
+        out = list(self.dns_probes)
+        if country is not None:
+            out = [r for r in out if r.context.country_iso3 == country.upper()]
+        if sim_kind is not None:
+            out = [r for r in out if r.context.sim_kind is sim_kind]
+        if architecture is not None:
+            out = [r for r in out if r.context.architecture is architecture]
+        return out
+
+    def video_probes_where(
+        self,
+        country: Optional[str] = None,
+        sim_kind: Optional[SIMKind] = None,
+    ) -> List[VideoRecord]:
+        out = list(self.video_probes)
+        if country is not None:
+            out = [r for r in out if r.context.country_iso3 == country.upper()]
+        if sim_kind is not None:
+            out = [r for r in out if r.context.sim_kind is sim_kind]
+        return out

@@ -1,0 +1,108 @@
+"""Campaign dataset persistence.
+
+Campaigns are cheap to regenerate but expensive to share: saving the
+record stream as JSON-lines lets an analysis run elsewhere (or a
+notebook) consume exactly what a campaign measured. One line per record,
+tagged with its type; loading restores the full typed dataset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import pathlib
+from typing import Any, Dict, Type, Union
+
+from repro.cellular.esim import SIMKind
+from repro.cellular.roaming import RoamingArchitecture
+from repro.measure.dataset import MeasurementDataset
+from repro.measure.records import (
+    CDNRecord,
+    DNSRecord,
+    MeasurementContext,
+    SpeedtestRecord,
+    TracerouteRecord,
+    VideoRecord,
+    WebMeasurementRecord,
+)
+
+_RECORD_TYPES: Dict[str, Type] = {
+    "traceroute": TracerouteRecord,
+    "speedtest": SpeedtestRecord,
+    "cdn": CDNRecord,
+    "dns": DNSRecord,
+    "video": VideoRecord,
+    "web": WebMeasurementRecord,
+}
+_FIELD_BY_TYPE = {
+    "traceroute": "traceroutes",
+    "speedtest": "speedtests",
+    "cdn": "cdn_fetches",
+    "dns": "dns_probes",
+    "video": "video_probes",
+    "web": "web_measurements",
+}
+
+
+def _encode(obj: Any) -> Any:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: _encode(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {key: _encode(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_encode(item) for item in obj]
+    return obj
+
+
+def _decode_context(payload: Dict[str, Any]) -> MeasurementContext:
+    payload = dict(payload)
+    payload["sim_kind"] = SIMKind(payload["sim_kind"])
+    payload["architecture"] = RoamingArchitecture(payload["architecture"])
+    return MeasurementContext(**payload)
+
+
+def _decode_record(kind: str, payload: Dict[str, Any]):
+    record_type = _RECORD_TYPES[kind]
+    payload = dict(payload)
+    payload["context"] = _decode_context(payload["context"])
+    return record_type(**payload)
+
+
+def save_dataset(dataset: MeasurementDataset, path: Union[str, pathlib.Path]) -> int:
+    """Write the dataset as JSON-lines; returns the record count."""
+    path = pathlib.Path(path)
+    count = 0
+    with path.open("w") as handle:
+        for kind, field_name in _FIELD_BY_TYPE.items():
+            for record in getattr(dataset, field_name):
+                line = {"type": kind, "record": _encode(record)}
+                handle.write(json.dumps(line) + "\n")
+                count += 1
+    return count
+
+
+def load_dataset(path: Union[str, pathlib.Path]) -> MeasurementDataset:
+    """Read a JSON-lines file back into a typed dataset."""
+    path = pathlib.Path(path)
+    dataset = MeasurementDataset()
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                parsed = json.loads(line)
+                kind = parsed["type"]
+                record = _decode_record(kind, parsed["record"])
+            except (KeyError, ValueError, TypeError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed record ({error})"
+                ) from error
+            getattr(dataset, _FIELD_BY_TYPE[kind]).append(record)
+    return dataset

@@ -1,0 +1,169 @@
+"""Measurement record types.
+
+Every probe emits a record carrying a :class:`MeasurementContext` — the
+metadata dimension along which all the paper's figures pivot (country,
+SIM kind, architecture, b-MNO, PGW provider, RAT) — plus the probe's own
+observables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cellular.core import PDNSession
+from repro.cellular.esim import SIMKind, SIMProfile
+from repro.cellular.radio import RadioConditions
+from repro.cellular.roaming import RoamingArchitecture
+
+
+@dataclass(frozen=True)
+class MeasurementContext:
+    """Where / with what a measurement ran."""
+
+    country_iso3: str
+    sim_kind: SIMKind
+    architecture: RoamingArchitecture
+    b_mno: str
+    v_mno: str
+    pgw_provider: str
+    pgw_asn: int
+    pgw_country: str
+    public_ip: str
+    rat: str
+    cqi: int
+    session_id: str
+    day: int = 0
+
+    @classmethod
+    def from_session(
+        cls,
+        session: PDNSession,
+        sim: SIMProfile,
+        conditions: RadioConditions,
+        day: int = 0,
+    ) -> "MeasurementContext":
+        return cls(
+            country_iso3=session.sgw.city.country_iso3,
+            sim_kind=sim.kind,
+            architecture=session.architecture,
+            b_mno=session.b_mno_name,
+            v_mno=session.v_mno_name,
+            pgw_provider=session.pgw_site.provider_org,
+            pgw_asn=session.pgw_site.provider_asn,
+            pgw_country=session.breakout_country,
+            public_ip=str(session.public_ip),
+            rat=conditions.rat.value,
+            cqi=conditions.cqi,
+            session_id=session.session_id,
+            day=day,
+        )
+
+    @property
+    def is_esim(self) -> bool:
+        return self.sim_kind is SIMKind.ESIM
+
+    @property
+    def config_label(self) -> str:
+        """'SIM' or the eSIM's architecture — the x-axis grouping of most figures."""
+        if self.sim_kind is SIMKind.PHYSICAL:
+            return "SIM"
+        return f"eSIM/{self.architecture.label}"
+
+
+@dataclass(frozen=True)
+class TracerouteRecord:
+    """One mtr run, post-processed (Section 4.3's dataset row)."""
+
+    context: MeasurementContext
+    target: str
+    hop_ips: List[Optional[str]]
+    hop_rtts_ms: List[Optional[float]]
+    private_hops: int
+    public_hops: int
+    pgw_ip: Optional[str]
+    pgw_rtt_ms: Optional[float]
+    final_rtt_ms: Optional[float]
+    unique_asns: List[int]
+
+    @property
+    def path_length(self) -> int:
+        return len(self.hop_ips)
+
+    @property
+    def pgw_verified(self) -> bool:
+        """The paper's sanity check: the first public hop must carry the
+        same address the device sees as its public IP (obtained from the
+        speedtest run just before the traceroute). A mismatch means the
+        CG-NAT hop timed out and the demarcation is unreliable."""
+        return self.pgw_ip is not None and self.pgw_ip == self.context.public_ip
+
+    @property
+    def private_latency_share(self) -> Optional[float]:
+        """Fraction of end-to-end RTT spent before public breakout (Fig 12)."""
+        if self.pgw_rtt_ms is None or self.final_rtt_ms is None or self.final_rtt_ms <= 0:
+            return None
+        return min(1.0, self.pgw_rtt_ms / self.final_rtt_ms)
+
+
+@dataclass(frozen=True)
+class SpeedtestRecord:
+    """One Ookla-style run."""
+
+    context: MeasurementContext
+    server_city: str
+    latency_ms: float
+    download_mbps: float
+    upload_mbps: float
+
+    @property
+    def passes_cqi_filter(self) -> bool:
+        """The paper's CQI >= 7 admission rule for bandwidth analysis."""
+        return self.context.cqi >= 7
+
+
+@dataclass(frozen=True)
+class CDNRecord:
+    """One jquery.min.js fetch."""
+
+    context: MeasurementContext
+    provider: str
+    edge_city: str
+    dns_ms: float
+    total_ms: float
+    cache_hit: bool
+
+
+@dataclass(frozen=True)
+class DNSRecord:
+    """One resolver-identification probe."""
+
+    context: MeasurementContext
+    resolver_service: str
+    resolver_ip: str
+    resolver_country: str
+    lookup_ms: float
+    used_doh: bool
+
+
+@dataclass(frozen=True)
+class VideoRecord:
+    """One stats-for-nerds playback."""
+
+    context: MeasurementContext
+    resolution_counts: Dict[str, int]
+    dominant_resolution: str
+    rebuffer_events: int
+    mean_buffer_s: float
+
+
+@dataclass(frozen=True)
+class WebMeasurementRecord:
+    """One completed web-campaign measurement (DNS upload + fast.com)."""
+
+    context: MeasurementContext
+    volunteer: str
+    download_mbps: float
+    latency_ms: float
+    resolver_service: str
+    resolver_country: str

@@ -1,0 +1,177 @@
+"""The web-based measurement campaign (Section 3.1).
+
+Volunteers visit a measurement webpage while travelling: they upload a
+screenshot of their network settings (validated — in the paper by a
+vision model — to prove the Airalo eSIM is active and Wi-Fi is off), the
+page retrieves their DNS configuration, then runs a fast.com-style
+speedtest in an iframe and parses the uploaded result.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cellular.attach import SessionFactory
+from repro.cellular.esim import SIMProfile
+from repro.cellular.mno import OperatorRegistry
+from repro.cellular.ue import UserEquipment
+from repro.geo.cities import City
+from repro.measure.dataset import MeasurementDataset
+from repro.measure.records import MeasurementContext, WebMeasurementRecord
+from repro.services.dns import DNSService
+from repro.services.fabric import ServiceFabric
+from repro.services.speedtest import SpeedtestFleet
+
+
+class UploadRejected(Exception):
+    """The screenshot failed validation (Wi-Fi on, wrong SIM, unreadable)."""
+
+
+@dataclass(frozen=True)
+class ScreenshotUpload:
+    """What the vision model extracts from a settings screenshot."""
+
+    shows_cellular: bool
+    operator_shown: str
+    readable: bool = True
+
+
+class ScreenshotValidator:
+    """Stand-in for the ChatGPT-vision screenshot check.
+
+    Validates the extracted claims against the session that produced the
+    upload: the device must be on cellular (not Wi-Fi) and camped on the
+    expected visited operator.
+    """
+
+    def validate(self, upload: ScreenshotUpload, expected_operator: str) -> None:
+        if not upload.readable:
+            raise UploadRejected("screenshot unreadable")
+        if not upload.shows_cellular:
+            raise UploadRejected("device is on Wi-Fi, not the eSIM")
+        if upload.operator_shown != expected_operator:
+            raise UploadRejected(
+                f"screenshot shows {upload.operator_shown!r}, "
+                f"expected {expected_operator!r}"
+            )
+
+
+@dataclass(frozen=True)
+class WebVolunteer:
+    """One traveller with a complimentary Airalo eSIM."""
+
+    name: str
+    country_iso3: str
+    city: City
+    esim: SIMProfile
+    v_mno_name: str
+    duration_days: int
+    planned_measurements: int
+    # Probability a given upload attempt is valid (volunteers sometimes
+    # forget to disable Wi-Fi; such attempts are rejected and retried).
+    upload_reliability: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.duration_days < 1 or self.planned_measurements < 1:
+            raise ValueError("volunteer needs at least one day and one measurement")
+        if not 0.0 < self.upload_reliability <= 1.0:
+            raise ValueError("upload_reliability must be in (0, 1]")
+
+
+class WebCampaignRunner:
+    """Runs the full web campaign for a set of volunteers."""
+
+    def __init__(
+        self,
+        fabric: ServiceFabric,
+        fastcom: SpeedtestFleet,
+        dns_services: Dict[str, DNSService],
+        operators: OperatorRegistry,
+        factory: SessionFactory,
+        validator: Optional[ScreenshotValidator] = None,
+    ) -> None:
+        self.fabric = fabric
+        self.fastcom = fastcom
+        self.dns_services = dns_services
+        self.operators = operators
+        self.factory = factory
+        self.validator = validator or ScreenshotValidator()
+        self.rejected_uploads = 0
+
+    def run(self, volunteers: List[WebVolunteer], rng: random.Random) -> MeasurementDataset:
+        dataset = MeasurementDataset()
+        for volunteer in volunteers:
+            dataset.merge(self._run_volunteer(volunteer, rng))
+        return dataset
+
+    def _run_volunteer(
+        self, volunteer: WebVolunteer, rng: random.Random
+    ) -> MeasurementDataset:
+        dataset = MeasurementDataset()
+        device = UserEquipment.provision("volunteer phone", volunteer.city, rng)
+        slot = device.install_sim(volunteer.esim)
+
+        completed = 0
+        attempts = 0
+        # Volunteers retry failed uploads, but give up eventually.
+        max_attempts = volunteer.planned_measurements * 3
+        while completed < volunteer.planned_measurements and attempts < max_attempts:
+            attempts += 1
+            day = (attempts - 1) * volunteer.duration_days // max_attempts
+            session = device.switch_to(slot, volunteer.v_mno_name, self.factory, rng)
+
+            upload = self._simulate_upload(volunteer, session.v_mno_name, rng)
+            try:
+                self.validator.validate(upload, session.v_mno_name)
+            except UploadRejected:
+                self.rejected_uploads += 1
+                continue
+
+            record = self._measure(volunteer, device, session, day, rng)
+            dataset.web_measurements.append(record)
+            completed += 1
+        device.detach()
+        return dataset
+
+    def _simulate_upload(
+        self, volunteer: WebVolunteer, operator: str, rng: random.Random
+    ) -> ScreenshotUpload:
+        if rng.random() < volunteer.upload_reliability:
+            return ScreenshotUpload(shows_cellular=True, operator_shown=operator)
+        # Most failures: Wi-Fi left on.
+        return ScreenshotUpload(shows_cellular=False, operator_shown=operator)
+
+    def _measure(
+        self,
+        volunteer: WebVolunteer,
+        device: UserEquipment,
+        session,
+        day: int,
+        rng: random.Random,
+    ) -> WebMeasurementRecord:
+        conditions = self.fabric.radio.sample_conditions(device.preferred_rat(rng), rng)
+        # Step 1: DNS configuration retrieval (NextDNS-style).
+        dns = self.dns_services[session.dns_operator]
+        answer = dns.resolve(session, self.fabric, rng)
+        # Step 2: fast.com iframe speedtest.
+        policy = self._policy_for(session)
+        result = self.fastcom.run(session, self.fabric, policy, conditions, rng)
+        context = MeasurementContext.from_session(
+            session, volunteer.esim, conditions, day=day
+        )
+        return WebMeasurementRecord(
+            context=context,
+            volunteer=volunteer.name,
+            download_mbps=result.download_mbps,
+            latency_ms=result.latency_ms,
+            resolver_service=answer.service_name,
+            resolver_country=answer.resolver_country,
+        )
+
+    def _policy_for(self, session):
+        operator = self.operators.get(session.v_mno_name)
+        if operator.bandwidth is not None:
+            return operator.bandwidth
+        return self.operators.parent_of(operator).bandwidth

@@ -1,0 +1,15 @@
+"""Mobile Network Aggregator models.
+
+The taxonomy of Figure 2 (light / thick / full MNAs) and the generic
+aggregator operator: a sales front-end plus, for thick MNAs, the gateway
+slice of the core network realised through IPX hub breakout.
+"""
+
+from repro.mna.aggregator import (
+    MNAKind,
+    CountryOffering,
+    MobileNetworkAggregator,
+    OfferingError,
+)
+
+__all__ = ["MNAKind", "CountryOffering", "MobileNetworkAggregator", "OfferingError"]

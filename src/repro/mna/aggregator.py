@@ -1,0 +1,115 @@
+"""Mobile Network Aggregators.
+
+An MNA sells country-specific connectivity without owning radio assets.
+The *kind* determines how much of the core it runs (Figure 2):
+
+* light — sales only; the b-MNO's core carries everything (native
+  profiles, like Airalo's Korea/Maldives/Thailand eSIMs).
+* thick — sales plus the internet-gateway function, realised as PGWs in
+  third-party (IPX/hosting) infrastructure: Airalo's main mode.
+* full — sales plus a complete core of its own (e.g. Truphone).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.cellular.esim import RSPServer, SIMProfile
+from repro.cellular.mno import MobileOperator, OperatorRegistry
+from repro.cellular.roaming import RoamingArchitecture
+
+
+class MNAKind(enum.Enum):
+    LIGHT = "light"
+    THICK = "thick"
+    FULL = "full"
+
+
+class OfferingError(Exception):
+    """Raised when an MNA has no offering for a requested country."""
+
+
+@dataclass(frozen=True)
+class CountryOffering:
+    """How an MNA serves one country.
+
+    ``b_mno_name`` issues the profile; ``v_mno_name`` is the visited
+    network customers will camp on; ``expected_architecture`` is what the
+    roaming fabric should produce (NATIVE when b == v). This is the
+    ground-truth row behind Table 2.
+    """
+
+    country_iso3: str
+    b_mno_name: str
+    v_mno_name: str
+    expected_architecture: RoamingArchitecture
+
+    def __post_init__(self) -> None:
+        native = self.b_mno_name == self.v_mno_name
+        if native != (self.expected_architecture is RoamingArchitecture.NATIVE):
+            raise ValueError(
+                f"offering for {self.country_iso3}: architecture "
+                f"{self.expected_architecture} inconsistent with b/v operators"
+            )
+
+
+class MobileNetworkAggregator:
+    """An eSIM marketplace operator (Airalo, and comparables)."""
+
+    def __init__(self, name: str, kind: MNAKind) -> None:
+        self.name = name
+        self.kind = kind
+        self.rsp = RSPServer(name)
+        self._offerings: Dict[str, CountryOffering] = {}
+
+    # -- catalogue -------------------------------------------------------------
+
+    def add_offering(self, offering: CountryOffering) -> None:
+        if offering.country_iso3 in self._offerings:
+            raise ValueError(f"duplicate offering for {offering.country_iso3}")
+        self._offerings[offering.country_iso3] = offering
+
+    def offering_for(self, country_iso3: str) -> CountryOffering:
+        iso3 = country_iso3.upper()
+        if iso3 not in self._offerings:
+            raise OfferingError(f"{self.name} does not serve {iso3}")
+        return self._offerings[iso3]
+
+    def served_countries(self) -> List[str]:
+        return sorted(self._offerings)
+
+    def offerings_by_b_mno(self) -> Dict[str, List[CountryOffering]]:
+        """Offerings grouped by issuing operator (the rows of Table 2)."""
+        grouped: Dict[str, List[CountryOffering]] = {}
+        for offering in self._offerings.values():
+            grouped.setdefault(offering.b_mno_name, []).append(offering)
+        for group in grouped.values():
+            group.sort(key=lambda o: o.country_iso3)
+        return grouped
+
+    # -- provisioning ------------------------------------------------------------
+
+    def sell_esim(
+        self,
+        country_iso3: str,
+        operators: OperatorRegistry,
+        rng: random.Random,
+    ) -> SIMProfile:
+        """Provision an eSIM for a destination country via RSP."""
+        offering = self.offering_for(country_iso3)
+        b_mno = operators.get(offering.b_mno_name)
+        return self.rsp.issue(b_mno, offering.country_iso3, rng)
+
+    def roaming_share(self) -> float:
+        """Fraction of offerings that rely on roaming (21/24 for Airalo)."""
+        if not self._offerings:
+            return 0.0
+        roaming = sum(
+            1
+            for o in self._offerings.values()
+            if o.expected_architecture is not RoamingArchitecture.NATIVE
+        )
+        return roaming / len(self._offerings)

@@ -1,0 +1,33 @@
+"""Internet substrate.
+
+IPv4 address allocation, autonomous-system registry, geoIP database,
+AS-level topology with valley-free routing, the fiber latency model and
+carrier-grade NAT. These are the pieces the paper's methodology observes
+from the outside (public IPs, ASNs, WHOIS, RTTs); here they are modelled
+explicitly so that the same observations can be regenerated.
+"""
+
+from repro.net.ipv4 import PrefixPool, AddressAllocator, is_private_ip, parse_ip
+from repro.net.asn import AutonomousSystem, ASKind, ASRegistry
+from repro.net.geoip import GeoIPDatabase, GeoIPRecord
+from repro.net.topology import ASTopology, LinkKind, NoRouteError
+from repro.net.latency import LatencyModel, LatencyParams
+from repro.net.cgnat import CarrierGradeNAT
+
+__all__ = [
+    "PrefixPool",
+    "AddressAllocator",
+    "is_private_ip",
+    "parse_ip",
+    "AutonomousSystem",
+    "ASKind",
+    "ASRegistry",
+    "GeoIPDatabase",
+    "GeoIPRecord",
+    "ASTopology",
+    "LinkKind",
+    "NoRouteError",
+    "LatencyModel",
+    "LatencyParams",
+    "CarrierGradeNAT",
+]

@@ -1,0 +1,56 @@
+"""Per-AS address books.
+
+Traceroute hops inside an AS need concrete public IPs that the analysis
+layer can map back to the AS via the GeoIP database — the same WHOIS/
+ipinfo workflow the paper uses. An :class:`ASAddressBook` owns one
+registered prefix per AS and mints stable router addresses from it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Union
+
+from repro.geo.coords import GeoPoint
+from repro.net.geoip import GeoIPDatabase
+from repro.net.ipv4 import AddressAllocator, IPAddress, IPNetwork
+
+
+class ASAddressBook:
+    """Mints router IPs per AS, keeping the GeoIP database consistent."""
+
+    def __init__(self, geoip: GeoIPDatabase) -> None:
+        self.geoip = geoip
+        self._allocators: Dict[int, AddressAllocator] = {}
+        self._minted: Dict[tuple, IPAddress] = {}
+
+    def register(
+        self,
+        asn: int,
+        network: Union[str, IPNetwork],
+        country_iso3: str,
+        city: str,
+        location: GeoPoint,
+    ) -> None:
+        """Assign ``network`` to ``asn`` and publish it in GeoIP."""
+        if asn in self._allocators:
+            raise ValueError(f"AS{asn} already has a registered prefix")
+        self.geoip.register(network, asn, country_iso3, city, location)
+        self._allocators[asn] = AddressAllocator(network)
+
+    def has(self, asn: int) -> bool:
+        return asn in self._allocators
+
+    def router_ip(self, asn: int, router_id: str) -> IPAddress:
+        """Stable address for router ``router_id`` inside ``asn``.
+
+        The same (asn, router_id) pair always returns the same address,
+        so repeated traceroutes through one router agree — matching how
+        real paths look across the campaign.
+        """
+        key = (asn, router_id)
+        if key not in self._minted:
+            if asn not in self._allocators:
+                raise KeyError(f"AS{asn} has no registered prefix")
+            self._minted[key] = self._allocators[asn].allocate(label=router_id)
+        return self._minted[key]

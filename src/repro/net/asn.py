@@ -1,0 +1,87 @@
+"""Autonomous-system registry.
+
+Models the WHOIS view the paper relies on: every public IP maps to an
+ASN, and the ASN maps to an organisation (an MNO, an IPX provider, a
+cloud/hosting company or a content provider). The roaming-architecture
+classifier compares these organisations to decide HR vs LBO vs IHBO.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class ASKind(enum.Enum):
+    """Coarse organisation type behind an AS number."""
+
+    MNO = "mno"                  # mobile network operator
+    MVNO = "mvno"                # virtual operator riding on an MNO
+    IPX = "ipx"                  # IPX provider / roaming hub
+    HOSTING = "hosting"          # cloud/hosting company operating PGWs
+    CONTENT = "content"          # service provider (Google, Facebook, ...)
+    TRANSIT = "transit"          # wholesale IP transit carrier
+    DNS = "dns"                  # public DNS operator
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """One AS: a number, an organisation name and its role."""
+
+    asn: int
+    org: str
+    kind: ASKind
+    country_iso3: str
+
+    def __post_init__(self) -> None:
+        if not 0 < self.asn < 2**32:
+            raise ValueError(f"ASN out of range: {self.asn}")
+
+    def __str__(self) -> str:  # e.g. "AS54825 (Packet Host)"
+        return f"AS{self.asn} ({self.org})"
+
+
+class ASRegistry:
+    """WHOIS-like lookup of autonomous systems by number or organisation."""
+
+    def __init__(self, systems: Iterable[AutonomousSystem] = ()) -> None:
+        self._by_asn: Dict[int, AutonomousSystem] = {}
+        self._by_org: Dict[str, AutonomousSystem] = {}
+        for asys in systems:
+            self.add(asys)
+
+    def add(self, asys: AutonomousSystem) -> None:
+        if asys.asn in self._by_asn:
+            raise ValueError(f"duplicate ASN: {asys.asn}")
+        if asys.org in self._by_org:
+            raise ValueError(f"duplicate AS organisation: {asys.org}")
+        self._by_asn[asys.asn] = asys
+        self._by_org[asys.org] = asys
+
+    def get(self, asn: int) -> AutonomousSystem:
+        if asn not in self._by_asn:
+            raise KeyError(f"unknown ASN: {asn}")
+        return self._by_asn[asn]
+
+    def by_org(self, org: str) -> AutonomousSystem:
+        if org not in self._by_org:
+            raise KeyError(f"unknown AS organisation: {org}")
+        return self._by_org[org]
+
+    def by_kind(self, kind: ASKind) -> List[AutonomousSystem]:
+        """All systems of one kind, sorted by ASN."""
+        return sorted(
+            (a for a in self._by_asn.values() if a.kind == kind),
+            key=lambda a: a.asn,
+        )
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def __iter__(self) -> Iterator[AutonomousSystem]:
+        return iter(self._by_asn.values())
+
+    def __len__(self) -> int:
+        return len(self._by_asn)

@@ -1,0 +1,87 @@
+"""Carrier-grade NAT.
+
+Roaming packets exit the PGW, hit a CG-NAT in the PGW provider's core and
+receive one of a small pool of globally routable addresses — the "PGW IP
+addresses" the paper observes (4 for Packet Host, 6 for OVH SAS, 4 for
+Singtel, ...). The pool assignment policy is what creates the per-b-MNO
+IP patterns discussed in Section 4.3.2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.ipv4 import IPAddress, parse_ip
+
+
+class CarrierGradeNAT:
+    """Maps attach sessions onto a fixed pool of public addresses.
+
+    Two assignment policies mirror the paper's observations:
+
+    * ``sticky_key`` bindings — OVH SAS style: the pool is partitioned by
+      a key (the b-MNO), so sessions from one b-MNO always reuse the same
+      subset of addresses.
+    * uniform bindings — Packet Host style: any session may land on any
+      pool address, evenly spread.
+
+    A session's binding is stable for its lifetime; rebinding the same
+    session id returns the same public IP.
+    """
+
+    def __init__(self, public_pool: Sequence[str], name: str = "cgnat") -> None:
+        if not public_pool:
+            raise ValueError("CG-NAT needs at least one public address")
+        self.name = name
+        self._pool: List[IPAddress] = [parse_ip(ip) for ip in public_pool]
+        if len(set(self._pool)) != len(self._pool):
+            raise ValueError("CG-NAT pool contains duplicate addresses")
+        self._bindings: Dict[str, IPAddress] = {}
+        self._partitions: Dict[str, List[IPAddress]] = {}
+
+    @property
+    def pool(self) -> List[IPAddress]:
+        return list(self._pool)
+
+    def partition(self, key: str, addresses: Sequence[str]) -> None:
+        """Restrict sessions carrying ``key`` to a subset of the pool."""
+        subset = [parse_ip(ip) for ip in addresses]
+        unknown = [ip for ip in subset if ip not in self._pool]
+        if unknown:
+            raise ValueError(f"addresses not in pool: {unknown}")
+        if not subset:
+            raise ValueError("partition cannot be empty")
+        self._partitions[key] = subset
+
+    def bind(
+        self,
+        session_id: str,
+        rng: random.Random,
+        sticky_key: Optional[str] = None,
+    ) -> IPAddress:
+        """Public IP for a session, allocating on first use.
+
+        ``sticky_key`` selects a configured partition when one exists;
+        otherwise the full pool is used. Selection is uniform over the
+        candidate set via the caller's seeded ``rng``.
+        """
+        if session_id in self._bindings:
+            return self._bindings[session_id]
+        candidates = self._pool
+        if sticky_key is not None and sticky_key in self._partitions:
+            candidates = self._partitions[sticky_key]
+        ip = rng.choice(candidates)
+        self._bindings[session_id] = ip
+        return ip
+
+    def binding_of(self, session_id: str) -> IPAddress:
+        """Existing binding for a session (KeyError when unbound)."""
+        return self._bindings[session_id]
+
+    def release(self, session_id: str) -> None:
+        """Drop a session binding (idempotent)."""
+        self._bindings.pop(session_id, None)
+
+    def active_sessions(self) -> int:
+        return len(self._bindings)

@@ -1,0 +1,92 @@
+"""GeoIP database (ipinfo-like).
+
+The paper geolocates PGWs by looking up the public IP a device was
+assigned: IP -> (ASN, country, city, coordinates). This module provides
+the same longest-prefix-match lookup over the prefixes the simulated
+registries allocate.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.geo.coords import GeoPoint
+from repro.net.ipv4 import IPAddress, IPNetwork, parse_ip
+
+
+@dataclass(frozen=True)
+class GeoIPRecord:
+    """What an ipinfo-style lookup returns for one prefix."""
+
+    network: IPNetwork
+    asn: int
+    country_iso3: str
+    city: str
+    location: GeoPoint
+
+
+class GeoIPDatabase:
+    """Longest-prefix-match IP metadata lookup.
+
+    Prefixes are registered as the world is built; lookups return the most
+    specific covering record. Unknown addresses raise ``KeyError`` —
+    mirroring how an unregistered IP would break the paper's methodology —
+    while ``lookup_opt`` offers the forgiving variant used by analysis
+    code that tolerates unmapped hops.
+    """
+
+    def __init__(self) -> None:
+        # Buckets keyed by prefix length, checked from most to least specific.
+        self._by_prefixlen: Dict[int, Dict[IPNetwork, GeoIPRecord]] = {}
+
+    def register(
+        self,
+        network: Union[str, IPNetwork],
+        asn: int,
+        country_iso3: str,
+        city: str,
+        location: GeoPoint,
+    ) -> GeoIPRecord:
+        """Register a prefix; re-registering the same prefix raises."""
+        net = ipaddress.IPv4Network(str(network))
+        bucket = self._by_prefixlen.setdefault(net.prefixlen, {})
+        if net in bucket:
+            raise ValueError(f"prefix already registered: {net}")
+        record = GeoIPRecord(
+            network=net,
+            asn=asn,
+            country_iso3=country_iso3.upper(),
+            city=city,
+            location=location,
+        )
+        bucket[net] = record
+        return record
+
+    def lookup(self, ip: Union[str, IPAddress]) -> GeoIPRecord:
+        """Most specific record covering ``ip`` (KeyError when unmapped)."""
+        record = self.lookup_opt(ip)
+        if record is None:
+            raise KeyError(f"address not in GeoIP database: {ip}")
+        return record
+
+    def lookup_opt(self, ip: Union[str, IPAddress]) -> Optional[GeoIPRecord]:
+        """Like ``lookup`` but returns None for unmapped addresses."""
+        addr = parse_ip(ip)
+        for prefixlen in sorted(self._by_prefixlen, reverse=True):
+            for net, record in self._by_prefixlen[prefixlen].items():
+                if addr in net:
+                    return record
+        return None
+
+    def asn_of(self, ip: Union[str, IPAddress]) -> int:
+        """ASN owning ``ip`` — the core primitive of the classifier."""
+        return self.lookup(ip).asn
+
+    def prefixes(self) -> List[GeoIPRecord]:
+        """All registered records, most specific first."""
+        records: List[GeoIPRecord] = []
+        for prefixlen in sorted(self._by_prefixlen, reverse=True):
+            records.extend(self._by_prefixlen[prefixlen].values())
+        return records

@@ -1,0 +1,122 @@
+"""Latency model.
+
+Converts great-circle distances into round-trip times the way wide-area
+measurements behave: speed of light in fiber, a path-stretch factor for
+route indirection, a per-router processing cost and multiplicative
+lognormal jitter. Calibration constants for specific corridors (e.g. the
+badly-peered Pakistan-Singapore HR path) live in the world builders, not
+here — this module is the physics, not the policy.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.geo.coords import GeoPoint, haversine_km
+
+
+@dataclass(frozen=True)
+class LatencyParams:
+    """Tunable constants of the delay model.
+
+    ``fiber_rtt_ms_per_km``: RTT cost of one great-circle kilometre
+    (light in fiber covers ~200 km per ms one way, hence 0.01 ms/km RTT).
+    ``default_stretch``: how much longer real fiber routes are than the
+    great circle. ``per_hop_ms``: router forwarding/queueing cost added
+    per hop and direction. ``jitter_sigma``: sigma of the lognormal
+    multiplicative noise applied by :meth:`LatencyModel.sample_rtt_ms`.
+    ``min_rtt_ms``: floor so that co-located endpoints still show a
+    realistic sub-millisecond-to-millisecond RTT.
+    """
+
+    fiber_rtt_ms_per_km: float = 0.01
+    default_stretch: float = 1.5
+    per_hop_ms: float = 0.15
+    jitter_sigma: float = 0.08
+    min_rtt_ms: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.fiber_rtt_ms_per_km <= 0:
+            raise ValueError("fiber_rtt_ms_per_km must be positive")
+        if self.default_stretch < 1.0:
+            raise ValueError("default_stretch must be >= 1 (routes cannot beat geodesics)")
+        if self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
+
+
+class LatencyModel:
+    """Deterministic base RTTs plus seeded stochastic sampling."""
+
+    def __init__(self, params: Optional[LatencyParams] = None) -> None:
+        self.params = params or LatencyParams()
+
+    # -- deterministic -------------------------------------------------
+
+    def propagation_rtt_ms(
+        self,
+        distance_km: float,
+        stretch: Optional[float] = None,
+        hops: int = 0,
+    ) -> float:
+        """Base RTT for a link of ``distance_km`` with ``hops`` routers."""
+        if distance_km < 0:
+            raise ValueError("distance cannot be negative")
+        if hops < 0:
+            raise ValueError("hop count cannot be negative")
+        stretch = self.params.default_stretch if stretch is None else stretch
+        if stretch < 1.0:
+            raise ValueError("stretch must be >= 1")
+        rtt = distance_km * self.params.fiber_rtt_ms_per_km * stretch
+        rtt += 2.0 * hops * self.params.per_hop_ms
+        return max(rtt, self.params.min_rtt_ms)
+
+    def rtt_between(
+        self,
+        a: GeoPoint,
+        b: GeoPoint,
+        stretch: Optional[float] = None,
+        hops: int = 0,
+    ) -> float:
+        """Base RTT between two geographic points."""
+        return self.propagation_rtt_ms(haversine_km(a, b), stretch=stretch, hops=hops)
+
+    def path_rtt_ms(
+        self,
+        waypoints: Sequence[GeoPoint],
+        stretch: Optional[float] = None,
+        hops_per_segment: int = 1,
+    ) -> float:
+        """Base RTT along a multi-segment path through ``waypoints``."""
+        if len(waypoints) < 2:
+            raise ValueError("a path needs at least two waypoints")
+        total = 0.0
+        for start, end in zip(waypoints, waypoints[1:]):
+            total += self.rtt_between(start, end, stretch=stretch, hops=hops_per_segment)
+        return total
+
+    # -- stochastic ------------------------------------------------------
+
+    def sample_rtt_ms(self, base_rtt_ms: float, rng: random.Random) -> float:
+        """One noisy RTT observation around a deterministic base.
+
+        Multiplicative lognormal noise keeps samples positive and produces
+        the right-skewed RTT distributions wide-area measurements show.
+        """
+        if base_rtt_ms < 0:
+            raise ValueError("base RTT cannot be negative")
+        sigma = self.params.jitter_sigma
+        if sigma == 0:
+            return max(base_rtt_ms, self.params.min_rtt_ms)
+        factor = math.exp(rng.gauss(0.0, sigma))
+        return max(base_rtt_ms * factor, self.params.min_rtt_ms)
+
+    def sample_many(
+        self, base_rtt_ms: float, count: int, rng: random.Random
+    ) -> list:
+        """``count`` independent RTT observations (list of floats)."""
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        return [self.sample_rtt_ms(base_rtt_ms, rng) for _ in range(count)]

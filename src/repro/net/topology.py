@@ -1,0 +1,173 @@
+"""AS-level topology with valley-free (Gao-Rexford) routing.
+
+The paper's Figure 6 observes the sequence of unique ASNs that traceroutes
+traverse and finds that PGW providers mostly peer directly with the big
+content providers. This module models the inter-domain graph explicitly:
+transit (customer-provider) and peering edges, with route selection that
+follows the classic export rules — paths go up through providers, across
+at most one peering edge, then down through customers, and routes learned
+from customers are preferred over peers over providers.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+
+class LinkKind(enum.Enum):
+    """Business relationship of an inter-AS link."""
+
+    TRANSIT = "transit"   # directed: customer pays provider
+    PEERING = "peering"   # settlement-free, bidirectional
+
+
+class NoRouteError(Exception):
+    """Raised when no valley-free path exists between two ASes."""
+
+
+# Route-class ranks mirroring BGP local-pref conventions.
+_RANK_CUSTOMER = 0
+_RANK_PEER = 1
+_RANK_PROVIDER = 2
+
+# Valley-free walk states.
+_ASCENDING = 0    # still climbing customer->provider edges
+_CROSSED = 1      # just crossed the single allowed peering edge
+_DESCENDING = 2   # now only provider->customer edges are allowed
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """One directed traversal option out of an AS."""
+
+    neighbor: int
+    # How this hop moves through the hierarchy, from the traveller's view.
+    up: bool       # customer -> provider
+    peer: bool     # peering
+
+
+class ASTopology:
+    """Inter-domain graph over AS numbers.
+
+    Links are added with their business relationship; ``as_path`` then
+    returns the route BGP-style policy routing would pick. The graph is
+    held both as adjacency maps (for routing) and as a ``networkx``
+    multigraph (exposed via :attr:`graph` for analysis code).
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Set[int] = set()
+        self._out: Dict[int, List[_Edge]] = {}
+        self.graph = nx.MultiDiGraph()
+
+    # -- construction ------------------------------------------------------
+
+    def add_as(self, asn: int) -> None:
+        """Register an AS (idempotent)."""
+        if asn not in self._nodes:
+            self._nodes.add(asn)
+            self._out[asn] = []
+            self.graph.add_node(asn)
+
+    def add_transit(self, customer: int, provider: int) -> None:
+        """Customer buys transit from provider."""
+        self._require(customer)
+        self._require(provider)
+        self._out[customer].append(_Edge(provider, up=True, peer=False))
+        self._out[provider].append(_Edge(customer, up=False, peer=False))
+        self.graph.add_edge(customer, provider, kind=LinkKind.TRANSIT)
+
+    def add_peering(self, a: int, b: int) -> None:
+        """Settlement-free peering between two ASes."""
+        self._require(a)
+        self._require(b)
+        self._out[a].append(_Edge(b, up=False, peer=True))
+        self._out[b].append(_Edge(a, up=False, peer=True))
+        self.graph.add_edge(a, b, kind=LinkKind.PEERING)
+        self.graph.add_edge(b, a, kind=LinkKind.PEERING)
+
+    def _require(self, asn: int) -> None:
+        if asn not in self._nodes:
+            raise KeyError(f"AS{asn} not in topology (call add_as first)")
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._nodes
+
+    def neighbors(self, asn: int) -> List[int]:
+        """Distinct neighbor ASNs, sorted."""
+        self._require(asn)
+        return sorted({e.neighbor for e in self._out[asn]})
+
+    def has_direct_peering(self, a: int, b: int) -> bool:
+        """True when a and b share a peering (not transit) edge."""
+        self._require(a)
+        self._require(b)
+        return any(e.neighbor == b and e.peer for e in self._out[a])
+
+    def as_path(self, src: int, dst: int) -> List[int]:
+        """Best valley-free AS path from ``src`` to ``dst`` (inclusive).
+
+        Selection order matches BGP practice: prefer routes whose first
+        hop goes to a customer, then to a peer, then to a provider; break
+        ties by AS-path length, then by lowest neighbor ASN so results
+        are deterministic. Raises :class:`NoRouteError` when the policy
+        graph offers no valid path.
+        """
+        self._require(src)
+        self._require(dst)
+        if src == dst:
+            return [src]
+
+        # Dijkstra over (asn, valley-state) with lexicographic cost
+        # (first-hop rank, path length, path-as-tiebreak).
+        best: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        heap: List[Tuple[int, int, Tuple[int, ...], int]] = []
+        for edge in self._out[src]:
+            rank = self._first_hop_rank(edge)
+            state = self._next_state(_ASCENDING, edge)
+            if state is None:
+                continue
+            path = (src, edge.neighbor)
+            heapq.heappush(heap, (rank, len(path), path, state))
+
+        while heap:
+            rank, length, path, state = heapq.heappop(heap)
+            node = path[-1]
+            if node == dst:
+                return list(path)
+            key = (node, state)
+            if key in best and best[key] <= (rank, length):
+                continue
+            best[key] = (rank, length)
+            for edge in self._out[node]:
+                if edge.neighbor in path:  # no AS loops
+                    continue
+                next_state = self._next_state(state, edge)
+                if next_state is None:
+                    continue
+                new_path = path + (edge.neighbor,)
+                heapq.heappush(heap, (rank, len(new_path), new_path, next_state))
+
+        raise NoRouteError(f"no valley-free path from AS{src} to AS{dst}")
+
+    @staticmethod
+    def _first_hop_rank(edge: _Edge) -> int:
+        if edge.peer:
+            return _RANK_PEER
+        return _RANK_PROVIDER if edge.up else _RANK_CUSTOMER
+
+    @staticmethod
+    def _next_state(state: int, edge: _Edge) -> Optional[int]:
+        """Valley-free transition; None when the edge is not exportable."""
+        if edge.peer:
+            return _CROSSED if state == _ASCENDING else None
+        if edge.up:
+            return _ASCENDING if state == _ASCENDING else None
+        return _DESCENDING  # provider->customer allowed from any state

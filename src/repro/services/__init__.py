@@ -1,0 +1,35 @@
+"""Service-provider substrate.
+
+The public-internet endpoints the measurement campaigns talk to: content
+providers (Google, Facebook) with global edges, CDNs serving the jQuery
+asset, Ookla-like and fast.com-like speedtest fleets, DNS services
+(operator resolvers and public anycast with DoH), and the ABR video
+backend behind the YouTube probe.
+"""
+
+from repro.services.fabric import ServiceFabric
+from repro.services.providers import ServerSite, ServiceProvider
+from repro.services.dns import DNSService, DNSAnswer, DoHOverheadModel
+from repro.services.cdn import Asset, CDNProvider, CDNFetchResult, JQUERY_ASSET
+from repro.services.speedtest import SpeedtestFleet, SpeedtestServer, SpeedtestResult
+from repro.services.video import AdaptiveBitratePlayer, VideoLadderRung, PlaybackReport, YOUTUBE_LADDER
+
+__all__ = [
+    "ServiceFabric",
+    "ServerSite",
+    "ServiceProvider",
+    "DNSService",
+    "DNSAnswer",
+    "DoHOverheadModel",
+    "Asset",
+    "CDNProvider",
+    "CDNFetchResult",
+    "JQUERY_ASSET",
+    "SpeedtestFleet",
+    "SpeedtestServer",
+    "SpeedtestResult",
+    "AdaptiveBitratePlayer",
+    "VideoLadderRung",
+    "PlaybackReport",
+    "YOUTUBE_LADDER",
+]

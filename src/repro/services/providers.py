@@ -1,0 +1,68 @@
+"""Global service providers (the traceroute / latency targets).
+
+Google and Facebook in the paper: content networks with their own AS and
+edge presence near the major interconnection hubs. Edge selection is by
+proximity to the *breakout point* — the paper's observation that SP edges
+sit close to PGWs in Western Europe is what makes the public path short
+for IHBO traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geo.cities import City
+from repro.geo.coords import GeoPoint, haversine_km
+from repro.net.ipv4 import IPAddress, parse_ip
+
+
+@dataclass(frozen=True)
+class ServerSite:
+    """One deployment location of a service, with its public address."""
+
+    city: City
+    ip: IPAddress
+
+    @property
+    def location(self) -> GeoPoint:
+        return self.city.location
+
+
+@dataclass
+class ServiceProvider:
+    """A content/service network with a global edge footprint.
+
+    ``internal_hop_range`` bounds how many hops a traceroute records
+    inside the provider's network after entering it (SPs' internal
+    routing is what drives public-path-length variance in Figure 10).
+    ``icmp_response_rate`` models hops that silently drop traceroute
+    probes.
+    """
+
+    name: str
+    asn: int
+    edges: List[ServerSite]
+    internal_hop_range: Tuple[int, int] = (2, 7)
+    icmp_response_rate: float = 0.97
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ValueError(f"{self.name} needs at least one edge site")
+        low, high = self.internal_hop_range
+        if not 1 <= low <= high:
+            raise ValueError("invalid internal hop range")
+        if not 0.0 <= self.icmp_response_rate <= 1.0:
+            raise ValueError("icmp_response_rate must be a probability")
+
+    def nearest_edge(self, location: GeoPoint) -> ServerSite:
+        """The edge a client breaking out at ``location`` is steered to."""
+        return min(
+            self.edges,
+            key=lambda site: (haversine_km(location, site.location), str(site.ip)),
+        )
+
+    def sample_internal_hops(self, rng: random.Random) -> int:
+        low, high = self.internal_hop_range
+        return rng.randint(low, high)

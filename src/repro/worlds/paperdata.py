@@ -1,0 +1,495 @@
+"""Ground-truth constants transcribed from the paper.
+
+Everything the world builder needs to reproduce the study's shape:
+
+* the Table 2 topology (visited country -> b-MNO -> PGW providers,
+  locations, roaming architecture);
+* the campaign inventories (Table 3 web, Table 4 device);
+* calibration numbers quoted in the text (per-country download means,
+  the Pakistan HR latency penalty, YouTube throttling, ...).
+
+Where the paper anonymises or omits a name (most v-MNOs, exact IMSI
+ranges) a plausible synthetic stands in; DESIGN.md lists these
+substitutions. AS numbers for named organisations are the real ones the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# --------------------------------------------------------------------------
+# Autonomous systems (Section 4, the named ones are real).
+# --------------------------------------------------------------------------
+
+ASN_SINGTEL = 45143
+ASN_PACKET_HOST = 54825
+ASN_OVH = 16276
+ASN_WIRELESS_LOGIC = 51320
+ASN_WEBBING = 393559
+ASN_GOOGLE = 15169
+ASN_FACEBOOK = 32934
+ASN_YOUTUBE = 36040          # Google's YouTube AS
+ASN_JAZZ = 45669             # PMCL, Pakistan (DNS section)
+ASN_LINKDOTNET = 23966       # Jazz upstream (Section 4.3.3)
+ASN_TRANSWORLD = 38193       # LINKdotNET's upstream
+ASN_TELEFONICA = 3352        # TELEFONICA DE ESPANA
+ASN_TELEFONICA_GLOBAL = 12956
+ASN_DTAC = 9587
+ASN_LEVEL3 = 3356            # transit backbone
+ASN_ARELION = 1299           # second transit backbone
+ASN_AMAZON = 16509           # emnify's PGW host (Section 4.3.1)
+
+# Synthetic-but-plausible ASNs for operators the paper does not number.
+OPERATOR_ASNS: Dict[str, int] = {
+    "Singtel": ASN_SINGTEL,
+    "Play": 12912,
+    "Telna Mobile": 27005,
+    "Telecom Italia": 6762,
+    "Orange": 5511,
+    "Polkomtel": 8374,
+    "LG U+": 17858,
+    "U+ UMobile": 17859,
+    "Ooredoo Maldives": 36992,
+    "dtac": ASN_DTAC,
+    # visited operators (device campaign)
+    "Magti": 16010,
+    "O2 Germany": 6805,
+    "Jazz": ASN_JAZZ,
+    "Ooredoo Qatar": 8781,
+    "STC": 25019,
+    "Movistar": ASN_TELEFONICA,
+    "Etisalat": 5384,
+    "O2 UK": 5089,
+    # visited operators (web campaign)
+    "Vodafone Italia": 30722,
+    "China Unicom": 4837,
+    "Orange Moldova": 25454,
+    "SFR": 15557,
+    "Azercell": 28787,
+    "Maxis": 9534,
+    "Safaricom": 33771,
+    "T-Mobile US": 21928,
+    "Elisa": 719,
+    "Vodafone Egypt": 36935,
+    "Turkcell": 16135,
+    "Ucell": 41202,
+    "NTT Docomo": 9605,
+}
+
+# --------------------------------------------------------------------------
+# Visited operators: home country and PLMN codes (synthetic but shaped
+# like the real numbering plans).
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VMNOSpec:
+    name: str
+    country_iso3: str
+    mcc: str
+    mnc: str
+    home_city: str
+
+
+V_MNO_SPECS: List["VMNOSpec"] = [
+    VMNOSpec("Magti", "GEO", "282", "02", "Tbilisi"),
+    VMNOSpec("O2 Germany", "DEU", "262", "07", "Berlin"),
+    VMNOSpec("Jazz", "PAK", "410", "01", "Karachi"),
+    VMNOSpec("Ooredoo Qatar", "QAT", "427", "01", "Doha"),
+    VMNOSpec("STC", "SAU", "420", "01", "Riyadh"),
+    VMNOSpec("Movistar", "ESP", "214", "07", "Madrid"),
+    VMNOSpec("Etisalat", "ARE", "424", "02", "Abu Dhabi"),
+    VMNOSpec("O2 UK", "GBR", "234", "10", "London"),
+    VMNOSpec("Vodafone Italia", "ITA", "222", "10", "Rome"),
+    VMNOSpec("China Unicom", "CHN", "460", "01", "Beijing"),
+    VMNOSpec("Orange Moldova", "MDA", "259", "01", "Chisinau"),
+    VMNOSpec("SFR", "FRA", "208", "10", "Paris"),
+    VMNOSpec("Azercell", "AZE", "400", "01", "Baku"),
+    VMNOSpec("Maxis", "MYS", "502", "12", "Kuala Lumpur"),
+    VMNOSpec("Safaricom", "KEN", "639", "02", "Nairobi"),
+    VMNOSpec("T-Mobile US", "USA", "310", "26", "New York"),
+    VMNOSpec("Elisa", "FIN", "244", "05", "Helsinki"),
+    VMNOSpec("Vodafone Egypt", "EGY", "602", "02", "Cairo"),
+    VMNOSpec("Turkcell", "TUR", "286", "01", "Istanbul"),
+    VMNOSpec("Ucell", "UZB", "434", "05", "Tashkent"),
+    VMNOSpec("NTT Docomo", "JPN", "440", "10", "Tokyo"),
+]
+
+# --------------------------------------------------------------------------
+# PGW sites (Table 2 column 3-4, Section 4.3.2 details).
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PGWSiteSpec:
+    """One PGW deployment: who fronts it, where, and its path depth."""
+
+    site_id: str
+    provider_org: str
+    provider_asn: int
+    city: str
+    country_iso3: str
+    pool_size: int
+    private_hop_depths: Tuple[int, ...]
+
+
+PGW_SITE_SPECS: List[PGWSiteSpec] = [
+    # Packet Host: 4 PGW IPs total, reached at hop 6-7, Amsterdam + Ashburn.
+    PGWSiteSpec("packet-host-ams", "Packet Host", ASN_PACKET_HOST,
+                "Amsterdam", "NLD", 4, (6, 7)),
+    PGWSiteSpec("packet-host-ash", "Packet Host", ASN_PACKET_HOST,
+                "Ashburn", "USA", 4, (6, 7)),
+    # OVH: 6 PGW IPs, 3 hops, Lille (5) + Wattrelos (1).
+    PGWSiteSpec("ovh-lille", "OVH SAS", ASN_OVH, "Lille", "FRA", 5, (3,)),
+    PGWSiteSpec("ovh-wattrelos", "OVH SAS", ASN_OVH, "Wattrelos", "FRA", 1, (3,)),
+    # Wireless Logic: London.
+    PGWSiteSpec("wlogic-lon", "Wireless Logic", ASN_WIRELESS_LOGIC,
+                "London", "GBR", 4, (5, 6)),
+    # Webbing: Amsterdam (Italy eSIM) and Dallas (US eSIM).
+    PGWSiteSpec("webbing-ams", "Webbing USA", ASN_WEBBING, "Amsterdam", "NLD", 2, (5, 6)),
+    PGWSiteSpec("webbing-dal", "Webbing USA", ASN_WEBBING, "Dallas", "USA", 2, (5, 6)),
+    # Singtel home PGWs: 4 IPs in 202.166.126.0/24, Singapore, depth 8
+    # for inbound roamers (4 hops of the v-MNO are invisible in the GTP
+    # tunnel; the paper sees 8 private hops for the HR eSIMs).
+    PGWSiteSpec("singtel-sgp", "Singtel", ASN_SINGTEL, "Singapore", "SGP", 4, (8,)),
+    # Native operators' own cores.
+    PGWSiteSpec("lgu-seoul", "LG U+", OPERATOR_ASNS["LG U+"], "Seoul", "KOR", 16, (7,)),
+    PGWSiteSpec("umobile-seoul", "U+ UMobile", OPERATOR_ASNS["U+ UMobile"],
+                "Seoul", "KOR", 33, (7, 8, 9)),
+    PGWSiteSpec("dtac-bkk", "dtac", ASN_DTAC, "Bangkok", "THA", 15,
+                (4, 5, 6, 7, 8, 9, 10)),
+    PGWSiteSpec("ooredoo-mdv", "Ooredoo Maldives", OPERATOR_ASNS["Ooredoo Maldives"],
+                "Male", "MDV", 4, (4, 5)),
+]
+
+# v-MNO home PGWs for their own (physical-SIM) subscribers.
+VMNO_PGW_DEPTHS: Dict[str, Tuple[int, ...]] = {
+    "Magti": (4, 5),
+    "O2 Germany": (5, 6),
+    "Jazz": (4,),
+    "Ooredoo Qatar": (4, 5),
+    "STC": (4, 5),
+    "Movistar": (5, 6),
+    "Etisalat": (4,),
+    "O2 UK": (5, 6),
+    "Vodafone Italia": (5, 6),
+    "China Unicom": (6, 7),
+    "Orange Moldova": (4, 5),
+    "SFR": (5, 6),
+    "Azercell": (4, 5),
+    "Maxis": (5, 6),
+    "Safaricom": (4, 5),
+    "T-Mobile US": (6, 7),
+    "Elisa": (4, 5),
+    "Vodafone Egypt": (5, 6),
+    "Turkcell": (5, 6),
+    "Ucell": (5, 6),
+    "NTT Docomo": (5, 6),
+}
+
+# --------------------------------------------------------------------------
+# b-MNOs and their home setup.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BMNOSpec:
+    name: str
+    country_iso3: str
+    mcc: str
+    mnc: str
+    home_city: str
+    airalo_imsi_prefix: str   # the rented block (synthetic sub-allocation)
+
+
+B_MNO_SPECS: List[BMNOSpec] = [
+    BMNOSpec("Singtel", "SGP", "525", "01", "Singapore", "52501770"),
+    BMNOSpec("Play", "POL", "260", "06", "Warsaw", "26006770"),
+    BMNOSpec("Telna Mobile", "USA", "310", "50", "New York", "31050440"),
+    BMNOSpec("Telecom Italia", "ITA", "222", "01", "Milan", "22201660"),
+    BMNOSpec("Orange", "FRA", "208", "01", "Paris", "20801550"),
+    BMNOSpec("Polkomtel", "POL", "260", "01", "Warsaw", "26001440"),
+    # Native issuers.
+    BMNOSpec("LG U+", "KOR", "450", "06", "Seoul", "45006330"),
+    BMNOSpec("Ooredoo Maldives", "MDV", "472", "02", "Male", "47202220"),
+    BMNOSpec("dtac", "THA", "520", "05", "Bangkok", "52005330"),
+]
+
+# --------------------------------------------------------------------------
+# Table 2: eSIM offerings. One entry per visited country.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ESIMOfferingSpec:
+    """Visited country -> issuer and breakout arrangement."""
+
+    country_iso3: str
+    b_mno: str
+    v_mno: str
+    user_city: str                  # where volunteers used it (SGW approx)
+    architecture: str               # "HR" | "IHBO" | "NATIVE"
+    pgw_site_ids: Tuple[str, ...]   # candidate sites, first = static pick
+    selection: str = "uniform"      # "uniform" | "static"
+    tunnel_stretch: float = 2.2
+    extra_rtt_ms: float = 0.0
+
+
+# Corridor penalties: the Pakistan HR path is notoriously bad (389 ms
+# median on 4G vs ~70 ms of pure geography); UAE's Etisalat peers better
+# with Singtel (Figure 8).
+ESIM_OFFERINGS: List[ESIMOfferingSpec] = [
+    # --- Singtel HR group -------------------------------------------------
+    ESIMOfferingSpec("ARE", "Singtel", "Etisalat", "Abu Dhabi", "HR",
+                     ("singtel-sgp",), "static", 2.5, 30.0),
+    ESIMOfferingSpec("JPN", "Singtel", "NTT Docomo", "Tokyo", "HR",
+                     ("singtel-sgp",), "static", 2.4, 20.0),
+    ESIMOfferingSpec("PAK", "Singtel", "Jazz", "Karachi", "HR",
+                     ("singtel-sgp",), "static", 2.9, 180.0),
+    ESIMOfferingSpec("MYS", "Singtel", "Maxis", "Kuala Lumpur", "HR",
+                     ("singtel-sgp",), "static", 2.4, 15.0),
+    ESIMOfferingSpec("CHN", "Singtel", "China Unicom", "Beijing", "HR",
+                     ("singtel-sgp",), "static", 2.7, 30.0),
+    # --- Play (Poland) IHBO group ------------------------------------------
+    ESIMOfferingSpec("GBR", "Play", "O2 UK", "London", "IHBO",
+                     ("packet-host-ams", "ovh-lille"), "uniform", 2.0),
+    ESIMOfferingSpec("DEU", "Play", "O2 Germany", "Berlin", "IHBO",
+                     ("packet-host-ams", "ovh-lille"), "uniform", 2.0),
+    ESIMOfferingSpec("GEO", "Play", "Magti", "Tbilisi", "IHBO",
+                     ("packet-host-ams", "ovh-lille"), "uniform", 2.1, 12.0),
+    ESIMOfferingSpec("ESP", "Play", "Movistar", "Madrid", "IHBO",
+                     ("packet-host-ams", "ovh-lille"), "uniform", 2.0),
+    # --- Telna Mobile IHBO group --------------------------------------------
+    ESIMOfferingSpec("QAT", "Telna Mobile", "Ooredoo Qatar", "Doha", "IHBO",
+                     ("packet-host-ams", "ovh-lille"), "uniform", 2.0),
+    ESIMOfferingSpec("SAU", "Telna Mobile", "STC", "Riyadh", "IHBO",
+                     ("packet-host-ams",), "static", 2.0),
+    ESIMOfferingSpec("TUR", "Telna Mobile", "Turkcell", "Istanbul", "IHBO",
+                     ("packet-host-ams", "ovh-lille"), "uniform", 2.0),
+    ESIMOfferingSpec("EGY", "Telna Mobile", "Vodafone Egypt", "Cairo", "IHBO",
+                     ("packet-host-ams", "ovh-lille"), "uniform", 2.1),
+    # --- Telecom Italia IHBO group (Wireless Logic, London) ------------------
+    ESIMOfferingSpec("MDA", "Telecom Italia", "Orange Moldova", "Chisinau", "IHBO",
+                     ("wlogic-lon",), "static", 2.1),
+    ESIMOfferingSpec("KEN", "Telecom Italia", "Safaricom", "Nairobi", "IHBO",
+                     ("wlogic-lon",), "static", 2.2, 20.0),
+    ESIMOfferingSpec("FIN", "Telecom Italia", "Elisa", "Helsinki", "IHBO",
+                     ("wlogic-lon",), "static", 2.0),
+    ESIMOfferingSpec("AZE", "Telecom Italia", "Azercell", "Baku", "IHBO",
+                     ("wlogic-lon",), "static", 2.1, 10.0),
+    # --- Orange IHBO group (Webbing) ----------------------------------------
+    ESIMOfferingSpec("ITA", "Orange", "Vodafone Italia", "Rome", "IHBO",
+                     ("webbing-ams",), "static", 2.0),
+    ESIMOfferingSpec("USA", "Orange", "T-Mobile US", "New York", "IHBO",
+                     ("webbing-dal",), "static", 2.0),
+    # --- Polkomtel IHBO group (Packet Host Virginia — the suboptimal pick) ---
+    ESIMOfferingSpec("FRA", "Polkomtel", "SFR", "Paris", "IHBO",
+                     ("packet-host-ash",), "static", 2.0),
+    ESIMOfferingSpec("UZB", "Polkomtel", "Ucell", "Tashkent", "IHBO",
+                     ("packet-host-ash",), "static", 2.1, 15.0),
+    # --- Native eSIMs --------------------------------------------------------
+    ESIMOfferingSpec("KOR", "LG U+", "LG U+", "Seoul", "NATIVE", ("lgu-seoul",)),
+    ESIMOfferingSpec("MDV", "Ooredoo Maldives", "Ooredoo Maldives", "Male",
+                     "NATIVE", ("ooredoo-mdv",)),
+    ESIMOfferingSpec("THA", "dtac", "dtac", "Bangkok", "NATIVE", ("dtac-bkk",)),
+]
+
+# --------------------------------------------------------------------------
+# v-MNO bandwidth policies (Mbps), calibrated to Section 5.1 numbers.
+# (native_down, native_up, roaming_down, roaming_up, youtube_cap)
+# --------------------------------------------------------------------------
+
+# Values are the *target measured means in Mbps*: the world builder
+# compensates for radio-efficiency losses (see POLICY_RADIO_COMPENSATION)
+# so campaign means land near these numbers, which are the ones the paper
+# quotes where available.
+BANDWIDTH_POLICIES: Dict[str, Tuple[float, float, float, float, Optional[float]]] = {
+    # Device-campaign countries.
+    "Magti": (48.0, 17.0, 31.7, 12.0, 11.0),        # Georgia: eSIM 31.7 mean
+    "O2 Germany": (13.6, 7.0, 22.7, 9.0, None),     # DEU: SIM 13.6 < eSIM 22.7
+    "Jazz": (7.9, 4.5, 7.2, 3.8, None),             # PAK: SIM 7.9; YT throttle
+    "Ooredoo Qatar": (40.0, 15.0, 9.5, 5.5, 12.0),
+    "STC": (137.2, 35.0, 9.8, 5.5, None),          # KSA SIM mean 137.2
+    "Movistar": (45.0, 16.0, 11.2, 6.0, None),      # ESP eSIM 11.2 mean
+    "Etisalat": (8.3, 5.0, 7.2, 4.0, None),          # UAE SIM 8.3; YT throttle
+    "O2 UK": (60.0, 20.0, 14.0, 7.0, None),
+    "LG U+": (55.0, 22.0, 40.0, 18.0, None),        # Korea eSIM (native)
+    "U+ UMobile": (30.0, 14.0, 25.0, 12.0, None),   # MVNO differentiation
+    "dtac": (26.0, 11.0, 25.0, 10.5, 10.0),         # THA: SIM ~ eSIM
+    # Web-campaign countries.
+    "Vodafone Italia": (45.0, 16.0, 24.0, 9.0, None),
+    "China Unicom": (38.0, 14.0, 17.0, 7.0, None),
+    "Orange Moldova": (32.0, 13.0, 14.0, 6.0, None),
+    "SFR": (55.0, 20.0, 29.0, 11.0, None),          # FRA median 29 web
+    "Azercell": (36.0, 14.0, 23.0, 9.0, None),      # AZE > MDA
+    "Maxis": (42.0, 15.0, 20.0, 8.0, None),
+    "Safaricom": (28.0, 11.0, 15.0, 6.0, None),
+    "T-Mobile US": (80.0, 28.0, 26.0, 10.0, None),
+    "Elisa": (65.0, 23.0, 28.0, 11.0, None),
+    "Vodafone Egypt": (26.0, 9.0, 13.0, 5.5, None),
+    "Turkcell": (40.0, 15.0, 18.0, 7.5, None),
+    "Ucell": (20.0, 8.0, 15.0, 6.0, None),          # UZB median 15 web
+    # Issuers that also need policies when acting as v-MNO/native carrier.
+    "Singtel": (110.0, 38.0, 11.0, 6.0, None),       # YT cap for HR roamers
+    "Ooredoo Maldives": (24.0, 10.0, 21.0, 9.0, None),
+    "NTT Docomo": (80.0, 28.0, 22.0, 9.0, None),
+    "Play": (48.0, 17.0, 15.0, 7.0, None),
+    "Telna Mobile": (38.0, 14.0, 15.0, 7.0, None),
+    "Telecom Italia": (52.0, 19.0, 16.0, 7.0, None),
+    "Orange": (58.0, 21.0, 18.0, 8.0, None),
+    "Polkomtel": (42.0, 16.0, 15.0, 7.0, None),
+}
+
+#: The radio model delivers ~64% of the shaper rate on average (CQI
+#: efficiency x sampling noise); world builders scale policies up by
+#: this factor so that campaign means match the table's target values.
+POLICY_RADIO_COMPENSATION = 1.55
+
+# Corridors where the v-MNO throttles roamers' uplink specifically
+# (Section 5.1: upload significantly slower only in Pakistan and Georgia).
+ESIM_UPLINK_ASYMMETRY: Dict[str, float] = {
+    "PAK": 0.45,
+    "GEO": 0.5,
+}
+
+# --------------------------------------------------------------------------
+# Campaign inventories.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WebCampaignEntry:
+    """One Table 3 row."""
+
+    country_iso3: str
+    volunteers: int
+    duration_days: int
+    measurements: int
+
+
+WEB_CAMPAIGN: List[WebCampaignEntry] = [
+    WebCampaignEntry("ITA", 1, 11, 9),
+    WebCampaignEntry("CHN", 1, 5, 6),
+    WebCampaignEntry("MDA", 1, 10, 11),
+    WebCampaignEntry("FRA", 2, 9, 15),
+    WebCampaignEntry("AZE", 1, 4, 5),
+    WebCampaignEntry("MDV", 1, 3, 5),
+    WebCampaignEntry("MYS", 1, 3, 5),
+    WebCampaignEntry("KEN", 1, 4, 9),
+    WebCampaignEntry("USA", 1, 4, 9),
+    WebCampaignEntry("FIN", 1, 1, 3),
+    WebCampaignEntry("PAK", 1, 11, 16),
+    WebCampaignEntry("EGY", 1, 6, 8),
+    WebCampaignEntry("TUR", 1, 7, 9),
+    WebCampaignEntry("UZB", 1, 3, 6),
+]
+
+
+@dataclass(frozen=True)
+class DeviceCampaignEntry:
+    """One Table 4 row: per-test counts as (physical SIM, eSIM)."""
+
+    country_iso3: str
+    duration_days: int
+    ookla: Tuple[int, int]
+    mtr_facebook: Tuple[int, int]
+    mtr_google: Tuple[int, int]
+    mtr_youtube: Tuple[int, int]
+    cdn_cloudflare: Tuple[int, int]
+    cdn_google: Tuple[int, int]
+    cdn_jquery: Tuple[int, int]
+    cdn_jsdelivr: Tuple[int, int]
+    cdn_msajax: Tuple[int, int]
+    video: Tuple[int, int]
+
+    def as_test_plan(self) -> Dict[str, Tuple[int, int]]:
+        """The AmiGo test plan for this deployment."""
+        plan = {
+            "speedtest": self.ookla,
+            "mtr:Facebook": self.mtr_facebook,
+            "mtr:Google": self.mtr_google,
+            "mtr:YouTube": self.mtr_youtube,
+            "cdn:Cloudflare": self.cdn_cloudflare,
+            "cdn:Google CDN": self.cdn_google,
+            "cdn:jQuery": self.cdn_jquery,
+            "cdn:jsDelivr": self.cdn_jsdelivr,
+            "cdn:Microsoft Ajax": self.cdn_msajax,
+            "dns": (max(1, self.ookla[0]), max(1, self.ookla[1])),
+        }
+        if self.video != (0, 0):
+            plan["video"] = self.video
+        return plan
+
+
+DEVICE_CAMPAIGN: List[DeviceCampaignEntry] = [
+    DeviceCampaignEntry("GEO", 2, (11, 8), (12, 12), (12, 12), (12, 12),
+                        (12, 10), (12, 10), (12, 10), (12, 10), (12, 10), (7, 7)),
+    DeviceCampaignEntry("DEU", 25, (154, 136), (331, 319), (332, 319), (329, 318),
+                        (322, 305), (324, 313), (323, 284), (324, 283), (324, 278), (5, 10)),
+    DeviceCampaignEntry("KOR", 2, (18, 10), (32, 18), (32, 18), (26, 13),
+                        (32, 16), (32, 17), (32, 17), (32, 17), (31, 15), (10, 9)),
+    DeviceCampaignEntry("PAK", 9, (49, 121), (213, 205), (214, 205), (213, 202),
+                        (210, 200), (211, 200), (210, 197), (211, 198), (206, 195), (98, 101)),
+    DeviceCampaignEntry("QAT", 1, (3, 7), (14, 10), (14, 10), (13, 10),
+                        (14, 12), (15, 11), (15, 12), (15, 12), (15, 11), (7, 4)),
+    DeviceCampaignEntry("SAU", 3, (10, 17), (49, 44), (49, 45), (49, 42),
+                        (170, 165), (170, 165), (170, 164), (170, 165), (164, 164), (79, 74)),
+    DeviceCampaignEntry("ESP", 4, (15, 31), (171, 164), (171, 165), (166, 163),
+                        (166, 158), (168, 159), (168, 158), (166, 157), (165, 157), (0, 0)),
+    DeviceCampaignEntry("THA", 8, (34, 42), (100, 80), (99, 80), (99, 79),
+                        (96, 96), (95, 96), (97, 96), (95, 96), (96, 96), (36, 29)),
+    DeviceCampaignEntry("ARE", 4, (19, 47), (100, 97), (100, 97), (99, 96),
+                        (99, 165), (99, 164), (99, 165), (99, 165), (99, 165), (45, 46)),
+    DeviceCampaignEntry("GBR", 4, (10, 6), (11, 9), (11, 9), (11, 9),
+                        (15, 12), (15, 12), (15, 13), (15, 13), (15, 13), (0, 0)),
+]
+
+#: Physical-SIM operator per device-campaign country ("same v-MNO as the
+#: eSIM", except Korea where the local SIM was the U+ UMobile MVNO).
+PHYSICAL_SIM_OPERATORS: Dict[str, str] = {
+    "GEO": "Magti",
+    "DEU": "O2 Germany",
+    "KOR": "U+ UMobile",
+    "PAK": "Jazz",
+    "QAT": "Ooredoo Qatar",
+    "SAU": "STC",
+    "ESP": "Movistar",
+    "THA": "dtac",
+    "ARE": "Etisalat",
+    "GBR": "O2 UK",
+}
+
+#: CDN providers measured (Table 1) with synthetic edge density tiers.
+CDN_PROVIDERS: Tuple[str, ...] = (
+    "Cloudflare", "Google CDN", "jQuery", "jsDelivr", "Microsoft Ajax",
+)
+
+#: Thailand's physical-SIM path saw a 7.7% Cloudflare MISS rate vs none
+#: on the eSIM (Section 5.1).
+CLOUDFLARE_THAI_SIM_MISS_RATE = 0.077
+
+#: Paths whose CG-NAT rarely answers traceroute probes, so runs often
+#: reveal only the SP's ASN (Section 4.3.3: Facebook via the German eSIM
+#: and both Qatari configurations).
+CGNAT_RESPONSE_OVERRIDES: Dict[Tuple[str, str], float] = {
+    ("DEU", "Facebook"): 0.35,
+    ("QAT", "Facebook"): 0.35,
+}
+
+# --------------------------------------------------------------------------
+# Headline expectations (used by tests and EXPERIMENTS.md).
+# --------------------------------------------------------------------------
+
+EXPECTED_HR_INFLATION = 6.21          # +621% vs native
+EXPECTED_IHBO_INFLATION = 0.64       # +64% vs native
+EXPECTED_ESIM_HIGH_LATENCY_SHARE = 0.145
+EXPECTED_SIM_HIGH_LATENCY_SHARE = 0.03
+EXPECTED_ROAMING_SLOW_SHARE = 0.788  # <= 15 Mbps
+EXPECTED_ROAMING_FAST_SHARE = 0.045  # >= 30 Mbps
+EXPECTED_SIM_SLOW_SHARE = 0.319
+EXPECTED_SIM_FAST_SHARE = 0.48
+EXPECTED_IHBO_FARTHER_THAN_BMNO = 8  # out of 16 IHBO eSIMs
+EXPECTED_DNS_SAME_COUNTRY_SHARE = 0.74
+EXPECTED_PRIVATE_AVG_CROSSING_MS = 8.06

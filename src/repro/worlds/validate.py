@@ -1,0 +1,146 @@
+"""World integrity validation.
+
+A calibrated world has many cross-references (offerings -> operators ->
+agreements -> PGW sites -> CG-NAT pools -> GeoIP prefixes -> DNS
+services). This validator walks all of them and returns a list of
+human-readable problems, so a mis-edited ``paperdata`` table fails fast
+instead of producing quietly wrong figures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.cellular.roaming import RoamingArchitecture
+from repro.worlds.airalo import AiraloWorld
+
+
+def validate_world(world: AiraloWorld) -> List[str]:
+    """All integrity problems found (empty list = healthy world)."""
+    problems: List[str] = []
+    problems += _check_offerings(world)
+    problems += _check_agreements(world)
+    problems += _check_pgw_sites(world)
+    problems += _check_dns(world)
+    problems += _check_ipx(world)
+    problems += _check_policies(world)
+    return problems
+
+
+def _check_offerings(world: AiraloWorld) -> List[str]:
+    problems = []
+    for country in world.airalo.served_countries():
+        offering = world.airalo.offering_for(country)
+        for name in (offering.b_mno_name, offering.v_mno_name):
+            if name not in world.operators:
+                problems.append(f"offering {country}: unknown operator {name!r}")
+        try:
+            spec = world.offering(country)
+        except KeyError:
+            problems.append(f"offering {country}: no paperdata spec")
+            continue
+        try:
+            world.cities.get(spec.user_city, country)
+        except KeyError:
+            problems.append(
+                f"offering {country}: user city {spec.user_city!r} not registered"
+            )
+    return problems
+
+
+def _check_agreements(world: AiraloWorld) -> List[str]:
+    problems = []
+    for agreement in world.agreements:
+        for site_id in agreement.pgw_site_ids:
+            if site_id not in world.pgw_sites:
+                problems.append(
+                    f"agreement {agreement.key}: unknown PGW site {site_id!r}"
+                )
+        for name in agreement.key:
+            if name not in world.operators:
+                problems.append(f"agreement {agreement.key}: unknown operator {name!r}")
+    # Every roaming offering needs its agreement.
+    for country in world.airalo.served_countries():
+        offering = world.airalo.offering_for(country)
+        if offering.expected_architecture is RoamingArchitecture.NATIVE:
+            continue
+        if not world.agreements.has(offering.b_mno_name, offering.v_mno_name):
+            problems.append(
+                f"offering {country}: missing agreement "
+                f"{offering.b_mno_name} -> {offering.v_mno_name}"
+            )
+    return problems
+
+
+def _check_pgw_sites(world: AiraloWorld) -> List[str]:
+    problems = []
+    for site_id, site in world.pgw_sites.items():
+        for ip in site.cgnat.pool:
+            record = world.geoip.lookup_opt(ip)
+            if record is None:
+                problems.append(f"site {site_id}: pool IP {ip} not in GeoIP")
+            elif record.asn != site.provider_asn:
+                problems.append(
+                    f"site {site_id}: pool IP {ip} maps to AS{record.asn}, "
+                    f"expected AS{site.provider_asn}"
+                )
+    return problems
+
+
+def _check_dns(world: AiraloWorld) -> List[str]:
+    """Every resolver a session can be handed must be a known service."""
+    problems = []
+    rng = random.Random("validate-dns")
+    for country in world.airalo.served_countries():
+        spec = world.offering(country)
+        try:
+            esim = world.sell_esim(country, rng)
+            from repro.cellular import UserEquipment
+
+            ue = UserEquipment.provision(
+                "validator", world.cities.get(spec.user_city, country), rng
+            )
+            ue.install_sim(esim)
+            session = ue.switch_to(0, spec.v_mno, world.factory, rng)
+        except Exception as error:  # attach itself must work
+            problems.append(f"offering {country}: attach failed ({error})")
+            continue
+        if session.dns_operator not in world.resources.dns_services:
+            problems.append(
+                f"offering {country}: session resolver "
+                f"{session.dns_operator!r} has no DNS service"
+            )
+        ue.detach()
+    return problems
+
+
+def _check_ipx(world: AiraloWorld) -> List[str]:
+    problems = []
+    for agreement in world.agreements:
+        if agreement.architecture is not RoamingArchitecture.IHBO:
+            continue
+        for site_id in agreement.pgw_site_ids:
+            if not world.ipx.can_reach(agreement.b_mno_name, site_id):
+                problems.append(
+                    f"agreement {agreement.key}: IPX cannot carry traffic "
+                    f"to {site_id}"
+                )
+    return problems
+
+
+def _check_policies(world: AiraloWorld) -> List[str]:
+    """Every operator a campaign attaches through needs a shaper policy."""
+    problems = []
+    needed = set()
+    for country in world.airalo.served_countries():
+        needed.add(world.offering(country).v_mno)
+    from repro.worlds import paperdata as pd
+
+    needed.update(pd.PHYSICAL_SIM_OPERATORS.values())
+    for name in sorted(needed):
+        operator = world.operators.get(name)
+        host = world.operators.parent_of(operator)
+        if operator.bandwidth is None and host.bandwidth is None:
+            problems.append(f"operator {name}: no bandwidth policy")
+    return problems

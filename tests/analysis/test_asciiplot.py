@@ -1,0 +1,73 @@
+"""Tests for the terminal figure renderers."""
+
+import pytest
+
+from repro.analysis import boxplot_summary
+from repro.analysis.asciiplot import ascii_bars, ascii_boxplot, ascii_cdf
+
+
+def test_boxplot_renders_all_rows_aligned():
+    rows = {
+        "native": boxplot_summary([30, 35, 40, 45, 50]),
+        "HR": boxplot_summary([300, 320, 340, 360, 400]),
+    }
+    text = ascii_boxplot(rows, width=40)
+    lines = text.splitlines()
+    assert len(lines) == 3  # two rows + axis
+    assert lines[0].startswith("native")
+    assert "+" in lines[0] and "+" in lines[1]
+    # HR sits to the right of native on the shared axis.
+    assert lines[1].index("+") > lines[0].index("+")
+
+
+def test_boxplot_marks_box_and_whiskers():
+    rows = {"x": boxplot_summary([0, 25, 50, 75, 100])}
+    text = ascii_boxplot(rows, width=50).splitlines()[0]
+    for glyph in ("[", "]", "+", "|"):
+        assert glyph in text
+
+
+def test_boxplot_validation():
+    with pytest.raises(ValueError):
+        ascii_boxplot({})
+    with pytest.raises(ValueError):
+        ascii_boxplot({"x": boxplot_summary([1, 2, 3])}, width=5)
+
+
+def test_cdf_grid_shape_and_legend():
+    series = {
+        "fast": ([10, 20, 30], [0.33, 0.66, 1.0]),
+        "slow": ([100, 200, 300], [0.33, 0.66, 1.0]),
+    }
+    text = ascii_cdf(series, width=40, height=8)
+    lines = text.splitlines()
+    assert lines[0].startswith("1.0 |")
+    assert any(line.startswith("0.0 |") for line in lines)
+    assert "*=fast" in lines[-1]
+    assert "o=slow" in lines[-1]
+    # The slow curve occupies the right side.
+    assert any("o" in line[30:] for line in lines)
+
+
+def test_cdf_validation():
+    with pytest.raises(ValueError):
+        ascii_cdf({})
+    with pytest.raises(ValueError):
+        ascii_cdf({"x": ([], [])})
+    with pytest.raises(ValueError):
+        ascii_cdf({"x": ([1], [1.0])}, width=4)
+
+
+def test_bars_scaled_to_peak():
+    text = ascii_bars({"a": 10.0, "b": 5.0, "c": 0.0}, width=20)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 20
+    assert lines[1].count("#") == 10
+    assert lines[2].count("#") == 0
+
+
+def test_bars_validation():
+    with pytest.raises(ValueError):
+        ascii_bars({})
+    with pytest.raises(ValueError):
+        ascii_bars({"x": -1.0})

@@ -1,0 +1,94 @@
+"""Tests for the generic thick-MNA auditor (extension X3)."""
+
+import random
+
+import pytest
+
+from repro.analysis import AuditPlan, ThickMnaAuditor, render_findings
+from repro.cellular.roaming import RoamingArchitecture
+from repro.worlds import build_emnify_world, paperdata as pd
+
+
+@pytest.fixture(scope="module")
+def emnify_world():
+    return build_emnify_world()
+
+
+@pytest.fixture(scope="module")
+def auditor(emnify_world):
+    return ThickMnaAuditor(
+        operators=emnify_world.operators,
+        factory=emnify_world.factory,
+        geoip=emnify_world.geoip,
+        engine=emnify_world.engine,
+        sp_targets=list(emnify_world.sp_targets.values()),
+    )
+
+
+def test_auditor_validation(emnify_world):
+    with pytest.raises(ValueError):
+        ThickMnaAuditor(
+            operators=emnify_world.operators,
+            factory=emnify_world.factory,
+            geoip=emnify_world.geoip,
+            engine=emnify_world.engine,
+            sp_targets=[],
+        )
+    with pytest.raises(ValueError):
+        ThickMnaAuditor(
+            operators=emnify_world.operators,
+            factory=emnify_world.factory,
+            geoip=emnify_world.geoip,
+            engine=emnify_world.engine,
+            sp_targets=list(emnify_world.sp_targets.values()),
+            traceroutes_per_offering=0,
+        )
+
+
+def test_audit_emnify_recovers_ground_truth(emnify_world, auditor):
+    plan = AuditPlan("GBR", emnify_world.cities.get("London", "GBR"), "O2 UK")
+    finding = auditor.audit_offering(emnify_world.emnify, plan, random.Random(3))
+    assert finding.inferred_architecture is RoamingArchitecture.IHBO
+    assert finding.pgw_asn == pd.ASN_AMAZON
+    assert finding.pgw_city == "Dublin"
+    assert finding.pgw_country == "IRL"
+    assert finding.verification_rate > 0.5
+    assert finding.traceroutes == 12
+
+
+def test_render_findings_tabulates(emnify_world, auditor):
+    plan = AuditPlan("GBR", emnify_world.cities.get("London", "GBR"), "O2 UK")
+    findings = auditor.audit(emnify_world.emnify, [plan], random.Random(5))
+    text = render_findings(findings)
+    assert "AS16509 Dublin, IRL" in text
+    assert "IHBO" in text
+
+
+def test_audit_sorted_by_bmno_country(emnify_world, auditor):
+    plan = AuditPlan("GBR", emnify_world.cities.get("London", "GBR"), "O2 UK")
+    findings = auditor.audit(emnify_world.emnify, [plan, plan], random.Random(7))
+    assert len(findings) == 2
+    assert findings[0].b_mno <= findings[1].b_mno
+
+
+def test_geo_experience_usa_edge_case():
+    """The US eSIM breaks out in Dallas: apparent country == user country,
+    so content localizes correctly even though the path is IHBO."""
+    import random
+
+    from repro.analysis import assess_geo_experience
+    from repro.cellular import UserEquipment
+    from repro.experiments import common
+
+    world = common.get_world()
+    rng = random.Random("usa-geo")
+    esim = world.sell_esim("USA", rng)
+    ue = UserEquipment.provision(
+        "test", world.cities.get("New York", "USA"), rng
+    )
+    ue.install_sim(esim)
+    session = ue.switch_to(0, "T-Mobile US", world.factory, rng)
+    experience = assess_geo_experience(session, world.operators)
+    assert experience.localized_correctly
+    assert experience.architecture.label == "IHBO"
+    assert experience.third_party_operator == "Webbing USA"

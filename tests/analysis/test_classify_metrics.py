@@ -1,0 +1,89 @@
+"""Tests for the architecture classifier, path analytics, and metrics."""
+
+import pytest
+
+from repro.analysis import (
+    LATENCY_BAD_MS,
+    classify_architecture,
+    high_latency_share,
+    latency_inflation_by_architecture,
+    speed_categories,
+)
+from repro.cellular.roaming import RoamingArchitecture
+
+
+def test_classifier_hr():
+    # Public IP in the b-MNO's AS.
+    arch = classify_architecture(public_ip_asn=45143, b_mno_asn=45143, v_mno_asn=5384)
+    assert arch is RoamingArchitecture.HR
+
+
+def test_classifier_lbo():
+    arch = classify_architecture(public_ip_asn=5384, b_mno_asn=45143, v_mno_asn=5384)
+    assert arch is RoamingArchitecture.LBO
+
+
+def test_classifier_ihbo():
+    arch = classify_architecture(public_ip_asn=54825, b_mno_asn=12912, v_mno_asn=3352)
+    assert arch is RoamingArchitecture.IHBO
+
+
+def test_classifier_native_overrides():
+    arch = classify_architecture(
+        public_ip_asn=9587, b_mno_asn=9587, v_mno_asn=9587, b_equals_v=True
+    )
+    assert arch is RoamingArchitecture.NATIVE
+
+
+def test_inflation_factors():
+    latencies = {
+        RoamingArchitecture.NATIVE: [50.0, 50.0],
+        RoamingArchitecture.HR: [360.0, 361.0],
+        RoamingArchitecture.IHBO: [82.0, 82.0],
+    }
+    inflation = latency_inflation_by_architecture(latencies)
+    assert inflation[RoamingArchitecture.HR] == pytest.approx(6.21, abs=0.01)
+    assert inflation[RoamingArchitecture.IHBO] == pytest.approx(0.64, abs=0.01)
+
+
+def test_inflation_requires_native():
+    with pytest.raises(ValueError):
+        latency_inflation_by_architecture({RoamingArchitecture.HR: [100.0]})
+    with pytest.raises(ValueError):
+        latency_inflation_by_architecture({RoamingArchitecture.NATIVE: []})
+
+
+def test_high_latency_share():
+    values = [100.0, 160.0, 200.0, 120.0]
+    assert high_latency_share(values) == 0.5
+    assert high_latency_share(values, threshold=250.0) == 0.0
+    assert LATENCY_BAD_MS == 150.0
+    with pytest.raises(ValueError):
+        high_latency_share([])
+
+
+def _speedtest_record(download):
+    from repro.cellular.esim import SIMKind
+    from repro.cellular.roaming import RoamingArchitecture
+    from repro.measure.records import MeasurementContext, SpeedtestRecord
+
+    ctx = MeasurementContext(
+        country_iso3="ESP", sim_kind=SIMKind.ESIM,
+        architecture=RoamingArchitecture.IHBO, b_mno="Play", v_mno="Movistar",
+        pgw_provider="Packet Host", pgw_asn=54825, pgw_country="NLD",
+        public_ip="198.18.0.1", rat="5G", cqi=10, session_id="s",
+    )
+    return SpeedtestRecord(
+        context=ctx, server_city="Amsterdam", latency_ms=60.0,
+        download_mbps=download, upload_mbps=5.0,
+    )
+
+
+def test_speed_categories():
+    records = [_speedtest_record(d) for d in (5, 10, 20, 35, 50)]
+    cats = speed_categories(records)
+    assert cats["slow"] == pytest.approx(0.4)
+    assert cats["fast"] == pytest.approx(0.4)
+    assert cats["medium"] == pytest.approx(0.2)
+    with pytest.raises(ValueError):
+        speed_categories([])

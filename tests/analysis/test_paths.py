@@ -1,0 +1,123 @@
+"""Direct tests for traceroute path analytics."""
+
+import pytest
+
+from repro.analysis import (
+    path_length_series,
+    pgw_rtt_values,
+    private_share_values,
+    unique_asn_medians,
+)
+from repro.cellular.esim import SIMKind
+from repro.cellular.roaming import RoamingArchitecture
+from repro.measure.records import MeasurementContext, TracerouteRecord
+
+
+def _record(
+    country="ESP",
+    sim_kind=SIMKind.ESIM,
+    architecture=RoamingArchitecture.IHBO,
+    provider="Packet Host",
+    private_hops=6,
+    public_hops=5,
+    pgw_rtt=60.0,
+    final_rtt=70.0,
+    asns=(54825, 15169),
+    target="Google",
+):
+    context = MeasurementContext(
+        country_iso3=country,
+        sim_kind=sim_kind,
+        architecture=architecture,
+        b_mno="Play",
+        v_mno="Movistar",
+        pgw_provider=provider,
+        pgw_asn=54825,
+        pgw_country="NLD",
+        public_ip="198.18.0.1",
+        rat="5G",
+        cqi=10,
+        session_id="s-1",
+    )
+    return TracerouteRecord(
+        context=context,
+        target=target,
+        hop_ips=["10.0.0.1"] * private_hops + ["198.18.0.1"] * public_hops,
+        hop_rtts_ms=[10.0] * (private_hops + public_hops),
+        private_hops=private_hops,
+        public_hops=public_hops,
+        pgw_ip="198.18.0.1",
+        pgw_rtt_ms=pgw_rtt,
+        final_rtt_ms=final_rtt,
+        unique_asns=list(asns),
+    )
+
+
+def test_path_length_series_keys_and_values():
+    records = [
+        _record(private_hops=6),
+        _record(private_hops=7),
+        _record(country="PAK", sim_kind=SIMKind.PHYSICAL,
+                architecture=RoamingArchitecture.NATIVE, private_hops=4),
+    ]
+    series = path_length_series(records, segment="private")
+    assert series[("ESP", "eSIM/IHBO")] == [6, 7]
+    assert series[("PAK", "SIM")] == [4]
+    public = path_length_series(records, segment="public")
+    assert public[("ESP", "eSIM/IHBO")] == [5, 5]
+    with pytest.raises(ValueError):
+        path_length_series(records, segment="bogus")
+
+
+def test_unique_asn_medians_grouping():
+    records = [
+        _record(asns=(54825, 15169)),
+        _record(asns=(54825, 15169, 3356)),
+        _record(sim_kind=SIMKind.PHYSICAL, asns=(3352,)),
+    ]
+    medians = unique_asn_medians(records)
+    assert medians[("ESP", "eSIM")] == 2.5
+    assert medians[("ESP", "SIM")] == 1
+
+
+def test_pgw_rtt_values_filters():
+    records = [
+        _record(pgw_rtt=60.0),
+        _record(pgw_rtt=None),
+        _record(country="PAK", provider="Singtel", pgw_rtt=320.0),
+    ]
+    assert pgw_rtt_values(records) == [60.0, 320.0]
+    assert pgw_rtt_values(records, country="pak") == [320.0]
+    assert pgw_rtt_values(records, pgw_provider="Singtel") == [320.0]
+    assert pgw_rtt_values(records, sim_kind=SIMKind.PHYSICAL) == []
+
+
+def test_private_share_values_and_clamping():
+    records = [
+        _record(pgw_rtt=60.0, final_rtt=80.0),     # 0.75
+        _record(pgw_rtt=90.0, final_rtt=80.0),     # clamped to 1.0
+        _record(pgw_rtt=None, final_rtt=80.0),     # skipped
+        _record(pgw_rtt=60.0, final_rtt=None),     # skipped
+    ]
+    shares = private_share_values(records)
+    assert shares == [0.75, 1.0]
+    assert private_share_values(records, country="PAK") == []
+    assert private_share_values(records, sim_kind=SIMKind.ESIM) == [0.75, 1.0]
+
+
+def test_record_verification_flag():
+    good = _record()
+    assert good.pgw_verified
+    bad = TracerouteRecord(
+        context=good.context,
+        target="Google",
+        hop_ips=[],
+        hop_rtts_ms=[],
+        private_hops=0,
+        public_hops=0,
+        pgw_ip="198.18.0.99",   # not the session's public IP
+        pgw_rtt_ms=5.0,
+        final_rtt_ms=10.0,
+        unique_asns=[],
+    )
+    assert not bad.pgw_verified

@@ -1,0 +1,23 @@
+"""Shared mini-world fixtures for cellular-layer tests."""
+
+import random
+
+import pytest
+
+from repro.geo import default_city_registry
+from tests.worldkit import build_mini_world
+
+
+@pytest.fixture()
+def cities():
+    return default_city_registry()
+
+
+@pytest.fixture()
+def mini_world():
+    return build_mini_world()
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1234)

@@ -1,0 +1,185 @@
+"""Tests for session establishment across roaming architectures."""
+
+import random
+
+import pytest
+
+from repro.cellular import (
+    RSPServer,
+    RoamingArchitecture,
+    SIMProfile,
+    SIMKind,
+    UserEquipment,
+    AttachError,
+    issue_physical_sim,
+)
+from repro.cellular.attach import GOOGLE_DNS_NAME
+from repro.net.ipv4 import is_private_ip
+
+
+def _airalo_esim(world, b_mno_name, plan_country, rng):
+    rsp = RSPServer("Airalo")
+    return rsp.issue(world["operators"].get(b_mno_name), plan_country, rng)
+
+
+def _device(world, city_name, iso3, rng):
+    city = world["cities"].get(city_name, iso3)
+    return UserEquipment.provision("Samsung S21+ 5G", city, rng)
+
+
+def test_ihbo_attach_breaks_out_at_third_party(mini_world, rng):
+    sim = _airalo_esim(mini_world, "Play", "ESP", rng)
+    ue = _device(mini_world, "Madrid", "ESP", rng)
+    ue.install_sim(sim)
+    session = ue.switch_to(0, "Movistar", mini_world["factory"], rng)
+    assert session.architecture is RoamingArchitecture.IHBO
+    assert session.pgw_site.provider_org == "Packet Host"
+    assert session.breakout_country == "NLD"
+    assert session.is_roaming
+    # IHBO sessions use the public anycast resolver with Android DoH.
+    assert session.dns_operator == GOOGLE_DNS_NAME
+    assert session.dns_uses_doh
+    assert session.dns_anycast
+
+
+def test_hr_attach_breaks_out_at_home(mini_world, rng):
+    sim = _airalo_esim(mini_world, "Singtel", "ARE", rng)
+    ue = _device(mini_world, "Abu Dhabi", "ARE", rng)
+    ue.install_sim(sim)
+    session = ue.switch_to(0, "Etisalat", mini_world["factory"], rng)
+    assert session.architecture is RoamingArchitecture.HR
+    assert session.pgw_site.provider_org == "Singtel"
+    assert session.breakout_country == "SGP"
+    # HR resolves at the b-MNO, not a public resolver.
+    assert session.dns_operator == "Singtel"
+    assert not session.dns_uses_doh
+
+
+def test_native_attach(mini_world, rng):
+    sim = _airalo_esim(mini_world, "dtac", "THA", rng)
+    ue = _device(mini_world, "Bangkok", "THA", rng)
+    ue.install_sim(sim)
+    session = ue.switch_to(0, "dtac", mini_world["factory"], rng)
+    assert session.architecture is RoamingArchitecture.NATIVE
+    assert not session.is_roaming
+    assert session.breakout_country == "THA"
+    assert session.dns_operator == "dtac"
+
+
+def test_physical_sim_is_native(mini_world, rng):
+    movistar = mini_world["operators"].get("Movistar")
+    sim = issue_physical_sim(movistar, rng)
+    ue = _device(mini_world, "Madrid", "ESP", rng)
+    ue.install_sim(sim)
+    session = ue.switch_to(0, "Movistar", mini_world["factory"], rng)
+    assert session.architecture is RoamingArchitecture.NATIVE
+    assert session.pgw_site.provider_org == "Movistar"
+
+
+def test_roaming_requires_data_roaming_enabled(mini_world, rng):
+    sim = _airalo_esim(mini_world, "Play", "ESP", rng)
+    ue = _device(mini_world, "Madrid", "ESP", rng)
+    ue.data_roaming_enabled = False
+    ue.install_sim(sim)
+    with pytest.raises(AttachError):
+        ue.switch_to(0, "Movistar", mini_world["factory"], rng)
+    assert not ue.attached
+
+
+def test_no_agreement_raises(mini_world, rng):
+    # Play has no agreement with Etisalat in the mini world.
+    sim = _airalo_esim(mini_world, "Play", "ARE", rng)
+    ue = _device(mini_world, "Abu Dhabi", "ARE", rng)
+    ue.install_sim(sim)
+    with pytest.raises(AttachError):
+        ue.switch_to(0, "Etisalat", mini_world["factory"], rng)
+
+
+def test_private_path_structure(mini_world, rng):
+    sim = _airalo_esim(mini_world, "Play", "ESP", rng)
+    ue = _device(mini_world, "Madrid", "ESP", rng)
+    ue.install_sim(sim)
+    session = ue.switch_to(0, "Movistar", mini_world["factory"], rng)
+    # All private hops are private IPs; hop count matches site depths.
+    assert all(is_private_ip(hop) for hop in session.private_path)
+    assert session.private_hop_count in (6, 7)
+    # The public IP is not private and comes from the site's CG-NAT pool.
+    assert not is_private_ip(session.public_ip)
+    assert session.public_ip in session.pgw_site.cgnat.pool
+
+
+def test_tunnel_costs_reflect_geography(mini_world, rng):
+    # HR from Abu Dhabi to Singapore must beat IHBO Madrid->Amsterdam in cost.
+    hr_sim = _airalo_esim(mini_world, "Singtel", "ARE", rng)
+    hr_ue = _device(mini_world, "Abu Dhabi", "ARE", rng)
+    hr_ue.install_sim(hr_sim)
+    hr = hr_ue.switch_to(0, "Etisalat", mini_world["factory"], rng)
+
+    ihbo_sim = _airalo_esim(mini_world, "Play", "ESP", rng)
+    ihbo_ue = _device(mini_world, "Madrid", "ESP", rng)
+    ihbo_ue.install_sim(ihbo_sim)
+    ihbo = ihbo_ue.switch_to(0, "Movistar", mini_world["factory"], rng)
+
+    assert hr.tunnel.distance_km > ihbo.tunnel.distance_km
+    assert hr.base_private_rtt_ms > ihbo.base_private_rtt_ms
+    # HR Abu Dhabi -> Singapore: thousands of km, > 100 ms with IPX stretch.
+    assert hr.tunnel.distance_km == pytest.approx(5870, rel=0.05)
+    assert hr.base_private_rtt_ms > 150.0
+    # IHBO Madrid -> Amsterdam: modest tunnel.
+    assert 10.0 < ihbo.base_private_rtt_ms < 60.0
+
+
+def test_detach_releases_cgnat_binding(mini_world, rng):
+    sim = _airalo_esim(mini_world, "Play", "ESP", rng)
+    ue = _device(mini_world, "Madrid", "ESP", rng)
+    ue.install_sim(sim)
+    session = ue.switch_to(0, "Movistar", mini_world["factory"], rng)
+    nat = session.pgw_site.cgnat
+    assert nat.active_sessions() == 1
+    ue.detach()
+    assert nat.active_sessions() == 0
+    assert not ue.attached
+
+
+def test_switching_sims_reattaches(mini_world, rng):
+    movistar = mini_world["operators"].get("Movistar")
+    physical = issue_physical_sim(movistar, rng)
+    esim = _airalo_esim(mini_world, "Play", "ESP", rng)
+    ue = _device(mini_world, "Madrid", "ESP", rng)
+    ue.install_sim(physical)
+    ue.install_sim(esim)
+    native = ue.switch_to(0, "Movistar", mini_world["factory"], rng)
+    assert native.architecture is RoamingArchitecture.NATIVE
+    roaming = ue.switch_to(1, "Movistar", mini_world["factory"], rng)
+    assert roaming.architecture is RoamingArchitecture.IHBO
+    assert ue.active_slot == 1
+    assert ue.active_sim is esim
+
+
+def test_second_physical_sim_rejected(mini_world, rng):
+    movistar = mini_world["operators"].get("Movistar")
+    ue = _device(mini_world, "Madrid", "ESP", rng)
+    ue.install_sim(issue_physical_sim(movistar, rng))
+    with pytest.raises(ValueError):
+        ue.install_sim(issue_physical_sim(movistar, rng))
+    # eSIMs are fine alongside.
+    ue.install_sim(_airalo_esim(mini_world, "Play", "ESP", rng))
+
+
+def test_sessions_get_distinct_ids(mini_world, rng):
+    sim = _airalo_esim(mini_world, "Play", "ESP", rng)
+    ue = _device(mini_world, "Madrid", "ESP", rng)
+    ue.install_sim(sim)
+    first = ue.switch_to(0, "Movistar", mini_world["factory"], rng)
+    second = ue.switch_to(0, "Movistar", mini_world["factory"], rng)
+    assert first.session_id != second.session_id
+
+
+def test_doh_disabled_device(mini_world, rng):
+    sim = _airalo_esim(mini_world, "Play", "ESP", rng)
+    ue = _device(mini_world, "Madrid", "ESP", rng)
+    ue.doh_enabled = False  # the setting the paper forgot to change
+    ue.install_sim(sim)
+    session = ue.switch_to(0, "Movistar", mini_world["factory"], rng)
+    assert session.dns_operator == GOOGLE_DNS_NAME
+    assert not session.dns_uses_doh

@@ -1,0 +1,167 @@
+"""Tests for subscriber/equipment identifiers and IMSI prefix mining."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cellular import (
+    IMSI,
+    IMSIRange,
+    PLMN,
+    generate_iccid,
+    generate_imei,
+    infer_imsi_prefixes,
+    luhn_check_digit,
+    luhn_is_valid,
+)
+
+
+def test_luhn_known_value():
+    # Classic example: 7992739871 -> check digit 3.
+    assert luhn_check_digit("7992739871") == 3
+    assert luhn_is_valid("79927398713")
+    assert not luhn_is_valid("79927398710")
+
+
+def test_luhn_rejects_non_digits():
+    with pytest.raises(ValueError):
+        luhn_check_digit("12a4")
+    assert not luhn_is_valid("abc")
+    assert not luhn_is_valid("7")
+
+
+@given(st.text(alphabet="0123456789", min_size=1, max_size=30))
+def test_luhn_appended_digit_always_validates(payload):
+    digit = luhn_check_digit(payload)
+    assert luhn_is_valid(payload + str(digit))
+
+
+def test_plmn_formatting():
+    plmn = PLMN("260", "06")  # Play Poland
+    assert str(plmn) == "260-06"
+    assert plmn.code == "26006"
+
+
+def test_plmn_validation():
+    with pytest.raises(ValueError):
+        PLMN("26", "06")
+    with pytest.raises(ValueError):
+        PLMN("260", "6")
+    with pytest.raises(ValueError):
+        PLMN("260", "0606")
+    with pytest.raises(ValueError):
+        PLMN("2a0", "06")
+
+
+def test_imsi_structure():
+    imsi = IMSI("260061234567890")
+    assert imsi.plmn_of() == PLMN("260", "06")
+    assert imsi.msin == "1234567890"
+    assert str(imsi) == "260061234567890"
+
+
+def test_imsi_validation():
+    with pytest.raises(ValueError):
+        IMSI("12345")
+    with pytest.raises(ValueError):
+        IMSI("26006123456789x")
+    with pytest.raises(ValueError):
+        IMSI("260061234567890").plmn_of(mnc_length=4)
+
+
+def test_imsi_range_issue_and_contains():
+    rng = IMSIRange(prefix="2600677", label="airalo block")
+    assert rng.capacity == 10**8
+    first = rng.issue(0)
+    assert first.value == "260067700000000"
+    assert rng.contains(first)
+    assert not rng.contains(IMSI("260069900000000"))
+
+
+def test_imsi_range_bounds():
+    rng = IMSIRange(prefix="26006771234567")  # 14-digit prefix -> 10 IMSIs
+    assert rng.capacity == 10
+    rng.issue(9)
+    with pytest.raises(ValueError):
+        rng.issue(10)
+    with pytest.raises(ValueError):
+        rng.issue(-1)
+
+
+def test_imsi_range_prefix_validation():
+    with pytest.raises(ValueError):
+        IMSIRange(prefix="1234")            # too short
+    with pytest.raises(ValueError):
+        IMSIRange(prefix="123456789012345")  # too long
+    with pytest.raises(ValueError):
+        IMSIRange(prefix="26006x")
+
+
+def test_imsi_range_sampling_deterministic():
+    block = IMSIRange(prefix="2600677")
+    a = block.sample(random.Random(42))
+    b = block.sample(random.Random(42))
+    assert a == b
+    assert block.contains(a)
+
+
+def test_generate_imei_valid():
+    imei = generate_imei(random.Random(1))
+    assert len(imei) == 15
+    assert luhn_is_valid(imei)
+    with pytest.raises(ValueError):
+        generate_imei(random.Random(1), tac="123")
+
+
+def test_generate_iccid_valid():
+    iccid = generate_iccid(random.Random(2))
+    assert len(iccid) == 19
+    assert iccid.startswith("8901")
+    assert luhn_is_valid(iccid)
+    with pytest.raises(ValueError):
+        generate_iccid(random.Random(2), issuer="x")
+
+
+def test_imeis_unique_across_seeds():
+    imeis = {generate_imei(random.Random(seed)) for seed in range(50)}
+    assert len(imeis) == 50
+
+
+def test_infer_prefixes_finds_rented_block():
+    plmn = PLMN("260", "06")
+    block = IMSIRange(prefix="26006771", label="airalo")
+    rng = random.Random(3)
+    airalo = [block.sample(rng) for _ in range(10)]
+    prefixes = infer_imsi_prefixes(airalo, plmn, min_support=3)
+    assert prefixes, "should mine at least one prefix"
+    top_prefix, support = prefixes[0]
+    assert top_prefix.startswith("26006771")
+    assert support >= 3
+
+
+def test_infer_prefixes_ignores_other_plmn():
+    plmn = PLMN("260", "06")
+    foreign = [IMSI("310150123456789")] * 5
+    assert infer_imsi_prefixes(foreign, plmn) == []
+
+
+def test_infer_prefixes_min_support_enforced():
+    plmn = PLMN("260", "06")
+    # Two far-apart IMSIs: with min_support=3 nothing survives past the PLMN.
+    imsis = [IMSI("260060000000001"), IMSI("260069999999999")]
+    result = infer_imsi_prefixes(imsis, plmn, min_support=3)
+    assert result == []
+    with pytest.raises(ValueError):
+        infer_imsi_prefixes(imsis, plmn, min_support=0)
+
+
+def test_infer_prefixes_splits_two_blocks():
+    plmn = PLMN("260", "06")
+    block_a = IMSIRange(prefix="260067711")
+    block_b = IMSIRange(prefix="260067755")
+    rng = random.Random(9)
+    imsis = [block_a.sample(rng) for _ in range(6)] + [block_b.sample(rng) for _ in range(6)]
+    prefixes = [p for p, _ in infer_imsi_prefixes(imsis, plmn, min_support=4)]
+    assert any(p.startswith("260067711") for p in prefixes)
+    assert any(p.startswith("260067755") for p in prefixes)

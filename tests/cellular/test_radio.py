@@ -1,0 +1,145 @@
+"""Tests for the radio access model."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cellular import (
+    RadioAccessTechnology,
+    RadioConditions,
+    RadioModel,
+    modulation_for_cqi,
+)
+
+
+def test_modulation_mapping_follows_3gpp_bands():
+    assert modulation_for_cqi(1) == "QPSK"
+    assert modulation_for_cqi(6) == "QPSK"
+    assert modulation_for_cqi(7) == "16QAM"
+    assert modulation_for_cqi(9) == "16QAM"
+    assert modulation_for_cqi(10) == "64QAM"
+    assert modulation_for_cqi(15) == "64QAM"
+
+
+def test_modulation_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        modulation_for_cqi(0)
+    with pytest.raises(ValueError):
+        modulation_for_cqi(16)
+
+
+def test_speedtest_filter_threshold():
+    # The paper excludes CQI < 7 from bandwidth analysis.
+    good = RadioConditions(RadioAccessTechnology.NR, cqi=7, rsrp_dbm=-90, snr_db=10)
+    bad = RadioConditions(RadioAccessTechnology.NR, cqi=6, rsrp_dbm=-110, snr_db=2)
+    assert good.usable_for_speedtest
+    assert not bad.usable_for_speedtest
+
+
+def test_conditions_validation():
+    with pytest.raises(ValueError):
+        RadioConditions(RadioAccessTechnology.LTE, cqi=0, rsrp_dbm=-90, snr_db=5)
+    with pytest.raises(ValueError):
+        RadioConditions(RadioAccessTechnology.LTE, cqi=8, rsrp_dbm=-30, snr_db=5)
+
+
+def test_efficiency_monotone_in_cqi():
+    effs = [
+        RadioConditions(RadioAccessTechnology.LTE, cqi=c, rsrp_dbm=-100, snr_db=5).efficiency
+        for c in range(1, 16)
+    ]
+    assert effs == sorted(effs)
+    assert effs[0] == pytest.approx(0.15)
+    assert effs[-1] == pytest.approx(1.0)
+
+
+def test_rat_constants_ordered():
+    assert (
+        RadioAccessTechnology.NR.base_latency_ms
+        < RadioAccessTechnology.LTE.base_latency_ms
+    )
+    assert (
+        RadioAccessTechnology.NR.peak_downlink_mbps
+        > RadioAccessTechnology.LTE.peak_downlink_mbps
+    )
+
+
+def test_sample_conditions_deterministic_and_bounded():
+    model = RadioModel()
+    a = model.sample_conditions(RadioAccessTechnology.NR, random.Random(5))
+    b = model.sample_conditions(RadioAccessTechnology.NR, random.Random(5))
+    assert a == b
+    assert 1 <= a.cqi <= 15
+    assert -140 <= a.rsrp_dbm <= -60
+
+
+def test_most_samples_pass_cqi_filter():
+    # Default model targets ~80%+ retention, matching the paper's filter.
+    model = RadioModel()
+    rng = random.Random(11)
+    samples = [model.sample_conditions(RadioAccessTechnology.LTE, rng) for _ in range(1000)]
+    usable = sum(1 for s in samples if s.usable_for_speedtest)
+    assert 0.7 <= usable / len(samples) <= 0.95
+
+
+def test_access_rtt_worsens_with_bad_channel():
+    model = RadioModel()
+    good = RadioConditions(RadioAccessTechnology.LTE, cqi=15, rsrp_dbm=-70, snr_db=20)
+    bad = RadioConditions(RadioAccessTechnology.LTE, cqi=2, rsrp_dbm=-120, snr_db=-2)
+    assert model.access_rtt_ms(bad) > model.access_rtt_ms(good)
+
+
+def test_access_rtt_jitter_only_with_rng():
+    model = RadioModel()
+    cond = RadioConditions(RadioAccessTechnology.NR, cqi=10, rsrp_dbm=-85, snr_db=12)
+    deterministic = model.access_rtt_ms(cond)
+    assert model.access_rtt_ms(cond) == deterministic
+    jittered = model.access_rtt_ms(cond, random.Random(3))
+    assert jittered >= deterministic
+
+
+def test_throughput_capped_by_policy_and_rat():
+    model = RadioModel()
+    excellent_nr = RadioConditions(RadioAccessTechnology.NR, cqi=15, rsrp_dbm=-70, snr_db=20)
+    assert model.throughput_mbps(20.0, excellent_nr) == pytest.approx(20.0)
+    # Policy above RAT peak: the RAT peak binds.
+    assert model.throughput_mbps(10_000.0, excellent_nr) == pytest.approx(600.0)
+
+
+def test_lte_derate_applied():
+    from repro.cellular.radio import LTE_THROUGHPUT_DERATE
+
+    model = RadioModel()
+    lte = RadioConditions(RadioAccessTechnology.LTE, cqi=15, rsrp_dbm=-70, snr_db=20)
+    nr = RadioConditions(RadioAccessTechnology.NR, cqi=15, rsrp_dbm=-70, snr_db=20)
+    assert model.throughput_mbps(20.0, lte) == pytest.approx(
+        model.throughput_mbps(20.0, nr) * LTE_THROUGHPUT_DERATE
+    )
+
+
+def test_throughput_degrades_with_cqi():
+    model = RadioModel()
+    hi = RadioConditions(RadioAccessTechnology.NR, cqi=14, rsrp_dbm=-75, snr_db=18)
+    lo = RadioConditions(RadioAccessTechnology.NR, cqi=7, rsrp_dbm=-105, snr_db=6)
+    assert model.throughput_mbps(50.0, hi) > model.throughput_mbps(50.0, lo)
+
+
+def test_throughput_rejects_negative_policy():
+    model = RadioModel()
+    cond = RadioConditions(RadioAccessTechnology.NR, cqi=10, rsrp_dbm=-85, snr_db=12)
+    with pytest.raises(ValueError):
+        model.throughput_mbps(-1.0, cond)
+
+
+def test_model_parameter_validation():
+    with pytest.raises(ValueError):
+        RadioModel(mean_cqi=0.5)
+    with pytest.raises(ValueError):
+        RadioModel(cqi_sigma=0.0)
+
+
+@given(st.integers(min_value=1, max_value=15))
+def test_efficiency_within_unit_interval(cqi):
+    cond = RadioConditions(RadioAccessTechnology.LTE, cqi=cqi, rsrp_dbm=-100, snr_db=0)
+    assert 0.0 < cond.efficiency <= 1.0

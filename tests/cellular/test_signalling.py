@@ -1,0 +1,92 @@
+"""Tests for the control-plane signalling model."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.cellular.signalling import (
+    AIRALO_PROFILE,
+    EVENT_SIZE_KB,
+    NATIVE_PROFILE,
+    ROAMER_PROFILE,
+    SignallingEvent,
+    SignallingProfile,
+    _poisson,
+)
+from repro.cellular import CoreTelemetryGenerator, IMSIRange, SubscriberPopulation
+
+
+def test_every_event_has_a_size():
+    assert set(EVENT_SIZE_KB) == set(SignallingEvent)
+    assert all(size > 0 for size in EVENT_SIZE_KB.values())
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        SignallingProfile("empty", {})
+    with pytest.raises(ValueError):
+        SignallingProfile("neg", {SignallingEvent.ATTACH: -1.0})
+
+
+def test_expected_daily_kb_matches_rates():
+    profile = SignallingProfile(
+        "tiny", {SignallingEvent.ATTACH: 2.0, SignallingEvent.PAGING: 10.0}
+    )
+    expected = 2.0 * EVENT_SIZE_KB[SignallingEvent.ATTACH] + 10.0 * EVENT_SIZE_KB[
+        SignallingEvent.PAGING
+    ]
+    assert profile.expected_daily_kb() == pytest.approx(expected)
+
+
+def test_sampling_converges_to_expectation():
+    rng = random.Random(3)
+    samples = [NATIVE_PROFILE.sample_daily_kb(rng) for _ in range(3000)]
+    assert statistics.fmean(samples) == pytest.approx(
+        NATIVE_PROFILE.expected_daily_kb(), rel=0.05
+    )
+
+
+def test_airalo_signals_more_than_native_more_than_roamer():
+    # The Figure 5b ordering, now mechanistic.
+    assert (
+        AIRALO_PROFILE.expected_daily_kb()
+        > NATIVE_PROFILE.expected_daily_kb()
+        > ROAMER_PROFILE.expected_daily_kb()
+    )
+    # The gap is mostly mobility + IPX authentication.
+    tau = SignallingEvent.TRACKING_AREA_UPDATE
+    auth = SignallingEvent.AUTHENTICATION
+    assert AIRALO_PROFILE.daily_rates[tau] > NATIVE_PROFILE.daily_rates[tau]
+    assert AIRALO_PROFILE.daily_rates[auth] > NATIVE_PROFILE.daily_rates[auth]
+
+
+def test_event_counts_sampling():
+    rng = random.Random(9)
+    counts = AIRALO_PROFILE.sample_event_counts(rng)
+    assert set(counts) == set(AIRALO_PROFILE.daily_rates)
+    assert all(count >= 0 for count in counts.values())
+
+
+def test_poisson_sampler_properties():
+    rng = random.Random(11)
+    assert _poisson(0.0, rng) == 0
+    samples = [_poisson(4.0, rng) for _ in range(5000)]
+    assert statistics.fmean(samples) == pytest.approx(4.0, rel=0.05)
+    assert statistics.pvariance(samples) == pytest.approx(4.0, rel=0.15)
+
+
+def test_telemetry_generator_uses_profile():
+    gen = CoreTelemetryGenerator(random.Random(5))
+    gen.add_population(
+        SubscriberPopulation(
+            "ev", 40, data_mu=5.0, data_sigma=0.5,
+            signalling_mu=0.0, signalling_sigma=0.0,
+            signalling_profile=NATIVE_PROFILE,
+        ),
+        [IMSIRange(prefix="23410999")],
+    )
+    records = gen.generate(days=20)
+    mean_kb = statistics.fmean(r.signalling_kb for r in records)
+    # Near the profile expectation (user bias widens it slightly).
+    assert mean_kb == pytest.approx(NATIVE_PROFILE.expected_daily_kb(), rel=0.25)

@@ -1,0 +1,43 @@
+"""Tests for the API-reference generator."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+TOOL = pathlib.Path(__file__).parents[2] / "tools" / "gen_api_docs.py"
+
+
+@pytest.fixture(scope="module")
+def gen_module():
+    spec = importlib.util.spec_from_file_location("gen_api_docs", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_package_renders(gen_module):
+    for package in gen_module.PACKAGES:
+        text = gen_module.render_module(package)
+        assert text.startswith(f"## `{package}`")
+        assert len(text.splitlines()) >= 3, f"{package} rendered empty"
+
+
+def test_key_api_items_present(gen_module):
+    text = gen_module.render_module("repro.cellular")
+    for name in ("SessionFactory", "UserEquipment", "RoamingArchitecture"):
+        assert name in text
+    text = gen_module.render_module("repro.analysis")
+    assert "classify_architecture" in text
+    assert "ThickMnaAuditor" in text
+
+
+def test_generated_file_up_to_date(gen_module, tmp_path, monkeypatch):
+    target = tmp_path / "API.md"
+    monkeypatch.setattr(gen_module, "OUTPUT", target)
+    assert gen_module.main() == 0
+    fresh = target.read_text()
+    committed = (TOOL.parent.parent / "docs" / "API.md").read_text()
+    assert fresh == committed, (
+        "docs/API.md is stale — run `python tools/gen_api_docs.py`"
+    )

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_shows_all_artefacts(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for artefact in ("T2", "F11", "HX1", "X2"):
+        assert artefact in out
+
+
+def test_run_renders_table2(capsys):
+    assert main(["run", "T2"]) == 0
+    out = capsys.readouterr().out
+    assert "Packet Host" in out
+    assert "IHBO" in out
+
+
+def test_run_unknown_artefact_errors(capsys):
+    assert main(["run", "F99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_campaign_device_summary(capsys):
+    assert main(["campaign", "device", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "device campaign:" in out
+    assert "traceroutes" in out
+
+
+def test_campaign_web_summary(capsys):
+    assert main(["campaign", "web"]) == 0
+    out = capsys.readouterr().out
+    assert "web campaign:" in out
+    assert "web records : 116" in out
+
+
+def test_probe_known_country(capsys):
+    assert main(["probe", "esp"]) == 0
+    out = capsys.readouterr().out
+    assert "architecture    : IHBO" in out
+    assert "VoIP" in out
+
+
+def test_probe_unknown_country(capsys):
+    assert main(["probe", "ZZZ"]) == 2
+    assert "does not serve" in capsys.readouterr().err
+
+
+def test_market_overview(capsys):
+    assert main(["market"]) == 0
+    out = capsys.readouterr().out
+    assert "Airalo" in out
+    assert "Keepgo" in out
+
+
+def test_market_country_query(capsys):
+    assert main(["market", "--country", "esp", "--gb", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "cheapest plans" in out
+
+
+def test_market_impossible_query(capsys):
+    assert main(["market", "--country", "ESP", "--gb", "500"]) == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_campaign_save_roundtrip(tmp_path, capsys):
+    target = tmp_path / "campaign.jsonl"
+    assert main(["campaign", "device", "--scale", "0.03", "--save", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "saved" in out
+    from repro.measure.io import load_dataset
+
+    assert load_dataset(target).total_records() > 0
+
+
+def test_run_json_export(tmp_path, capsys):
+    import json
+
+    target = tmp_path / "f7.json"
+    assert main(["run", "F7", "--json", str(target)]) == 0
+    data = json.loads(target.read_text())
+    assert any("|" in key for key in data)
+
+
+def test_trip_command(capsys):
+    assert main(["trip", "ESP:2", "FRA:1.5"]) == 0
+    out = capsys.readouterr().out
+    assert "recommended" in out
+
+
+def test_trip_bad_leg(capsys):
+    assert main(["trip", "ESP:notanumber"]) == 2
+
+
+def test_tools_catalogue(capsys):
+    assert main(["tools"]) == 0
+    out = capsys.readouterr().out
+    for tool in ("Speedtest", "Traceroute", "CDN", "DNS", "YouTube", "VoIP"):
+        assert tool in out

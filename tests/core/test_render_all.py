@@ -1,0 +1,23 @@
+"""Smoke test: every registered artefact runs and renders.
+
+Catches format/run drift across the whole experiment registry in one
+place (the per-artefact shape assertions live in tests/experiments/).
+"""
+
+import pytest
+
+from repro.core import EXPERIMENT_REGISTRY, ThickMnaStudy
+
+
+@pytest.fixture(scope="module")
+def study():
+    return ThickMnaStudy(seed=2024)
+
+
+@pytest.mark.parametrize("artefact", sorted(EXPERIMENT_REGISTRY))
+def test_artefact_runs_and_renders(study, artefact):
+    text = study.render(artefact, scale=0.08)
+    assert isinstance(text, str)
+    assert len(text.splitlines()) >= 2, f"{artefact} rendered almost nothing"
+    # Rendered output never leaks Python reprs of dataclasses.
+    assert "object at 0x" not in text

@@ -1,0 +1,64 @@
+"""Tests for the ThickMnaStudy facade."""
+
+import pytest
+
+from repro.core import EXPERIMENT_REGISTRY, ThickMnaStudy
+
+
+@pytest.fixture(scope="module")
+def study():
+    return ThickMnaStudy(seed=2024)
+
+
+def test_registry_covers_all_paper_artefacts():
+    tables = {"T2", "T3", "T4"}
+    figures = {f"F{i}" for i in range(3, 21)}
+    headline = {"HX1", "HX2"}
+    extensions = {"X1", "X2", "X3", "X4", "X5", "X6", "XA"}
+    assert set(EXPERIMENT_REGISTRY) == tables | figures | headline | extensions
+
+
+def test_available_experiments_sorted(study):
+    experiments = study.available_experiments()
+    assert experiments == sorted(EXPERIMENT_REGISTRY)
+
+
+def test_unknown_experiment_raises(study):
+    with pytest.raises(KeyError):
+        study.run("F99")
+
+
+def test_world_cached(study):
+    assert study.world is study.world
+
+
+def test_run_and_render_table2(study):
+    result = study.run("T2")
+    assert "rows" in result
+    rendered = study.render("T2")
+    assert "Packet Host" in rendered
+    assert "IHBO" in rendered
+
+
+def test_run_scaled_experiment(study):
+    result = study.run("F7", scale=0.05)
+    assert result  # per-(country, config) summaries present
+
+
+def test_case_insensitive_ids(study):
+    result = study.run("t3")
+    assert result["total_measurements"] > 0
+
+
+def test_datasets_accessible(study):
+    device = study.device_dataset(scale=0.05)
+    assert device.total_records() > 0
+    web = study.web_dataset()
+    assert len(web.web_measurements) > 0
+
+
+def test_top_level_import():
+    import repro
+
+    assert repro.ThickMnaStudy is ThickMnaStudy
+    assert repro.__version__

@@ -1,0 +1,43 @@
+"""Tests for the ablation experiments."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_nearest_selection_saves_latency_for_transatlantic_esims():
+    result = ablations.run_pgw_selection(samples=8)
+    # France: Ashburn today, a European hub under nearest selection.
+    fra = result["FRA"]
+    assert fra["nearest_median_ms"] < fra["static_median_ms"]
+    assert fra["saving"] > 0.3
+    assert all("ash" not in site for site in fra["nearest_sites"])
+
+
+def test_lbo_beats_ihbo_everywhere():
+    result = ablations.run_lbo(samples=8)
+    for country, data in result.items():
+        assert data["lbo_median_ms"] < data["ihbo_median_ms"], country
+        assert data["saving"] > 0
+
+
+def test_doh_overhead_positive():
+    result = ablations.run_doh(samples=150)
+    assert result["doh_median_ms"] > result["plain_median_ms"]
+    assert result["overhead"] > 0.1
+
+
+def test_cqi_filter_reduces_variance():
+    result = ablations.run_cqi_filter()
+    assert 0.6 < result["retention"] < 0.95
+    assert result["mean_filtered"] > result["mean_all"]
+    assert result["stdev_filtered"] <= result["stdev_all"] * 1.05
+
+
+def test_run_all_and_format():
+    result = ablations.run()
+    text = ablations.format_result(result)
+    assert "nearest PGW selection" in text
+    assert "LBO" in text
+    assert "DoH" in text
+    assert "CQI" in text

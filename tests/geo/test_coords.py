@@ -1,0 +1,105 @@
+"""Unit and property tests for great-circle geometry."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import GeoPoint, haversine_km, initial_bearing_deg, midpoint
+from repro.geo.coords import EARTH_RADIUS_KM
+
+
+def test_zero_distance_between_identical_points():
+    p = GeoPoint(48.86, 2.35)
+    assert haversine_km(p, p) == 0.0
+
+
+def test_known_distance_paris_to_new_york():
+    paris = GeoPoint(48.8566, 2.3522)
+    nyc = GeoPoint(40.7128, -74.0060)
+    # Actual great-circle distance is ~5837 km.
+    assert haversine_km(paris, nyc) == pytest.approx(5837, rel=0.01)
+
+
+def test_known_distance_singapore_to_karachi():
+    # The HR corridor of the paper's Pakistan eSIM.
+    singapore = GeoPoint(1.35, 103.82)
+    karachi = GeoPoint(24.86, 67.01)
+    assert haversine_km(singapore, karachi) == pytest.approx(4770, rel=0.02)
+
+
+def test_antipodal_distance_is_half_circumference():
+    a = GeoPoint(0.0, 0.0)
+    b = GeoPoint(0.0, 180.0)
+    assert haversine_km(a, b) == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-9)
+
+
+def test_latitude_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        GeoPoint(91.0, 0.0)
+    with pytest.raises(ValueError):
+        GeoPoint(-90.5, 0.0)
+
+
+def test_longitude_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        GeoPoint(0.0, 181.0)
+    with pytest.raises(ValueError):
+        GeoPoint(0.0, -180.01)
+
+
+def test_distance_method_matches_function():
+    a = GeoPoint(10.0, 20.0)
+    b = GeoPoint(-5.0, 100.0)
+    assert a.distance_km(b) == haversine_km(a, b)
+
+
+def test_bearing_due_north():
+    a = GeoPoint(0.0, 0.0)
+    b = GeoPoint(10.0, 0.0)
+    assert initial_bearing_deg(a, b) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_bearing_due_east_at_equator():
+    a = GeoPoint(0.0, 0.0)
+    b = GeoPoint(0.0, 10.0)
+    assert initial_bearing_deg(a, b) == pytest.approx(90.0, abs=1e-9)
+
+
+def test_midpoint_on_equator():
+    a = GeoPoint(0.0, 0.0)
+    b = GeoPoint(0.0, 90.0)
+    mid = midpoint(a, b)
+    assert mid.lat == pytest.approx(0.0, abs=1e-9)
+    assert mid.lon == pytest.approx(45.0, abs=1e-9)
+
+
+_points = st.builds(
+    GeoPoint,
+    st.floats(min_value=-90, max_value=90, allow_nan=False),
+    st.floats(min_value=-180, max_value=180, allow_nan=False),
+)
+
+
+@given(_points, _points)
+def test_distance_is_symmetric(a, b):
+    assert haversine_km(a, b) == pytest.approx(haversine_km(b, a), abs=1e-9)
+
+
+@given(_points, _points)
+def test_distance_is_nonnegative_and_bounded(a, b):
+    d = haversine_km(a, b)
+    assert 0.0 <= d <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+
+@given(_points, _points, _points)
+def test_triangle_inequality(a, b, c):
+    assert haversine_km(a, c) <= haversine_km(a, b) + haversine_km(b, c) + 1e-6
+
+
+@given(_points, _points)
+def test_midpoint_is_equidistant(a, b):
+    mid = midpoint(a, b)
+    da = haversine_km(a, mid)
+    db = haversine_km(b, mid)
+    assert da == pytest.approx(db, abs=1e-3)

@@ -1,0 +1,129 @@
+"""Tests for the country and city registries."""
+
+import pytest
+
+from repro.geo import (
+    City,
+    CityRegistry,
+    Country,
+    CountryRegistry,
+    GeoPoint,
+    default_city_registry,
+    default_country_registry,
+)
+
+# The 24 countries measured across the two campaigns (Sections 3.1-3.2).
+PAPER_COUNTRIES = [
+    "ARE", "JPN", "PAK", "MYS", "CHN",           # Singtel HR group
+    "GBR", "DEU", "GEO", "ESP",                  # Play Poland group
+    "QAT", "SAU", "TUR", "EGY",                  # Telna Mobile group
+    "MDA", "KEN", "FIN", "AZE",                  # Telecom Italia group
+    "ITA", "USA",                                # Orange group
+    "FRA", "UZB",                                # Polkomtel group
+    "KOR", "MDV", "THA",                         # native eSIMs
+]
+
+
+@pytest.fixture(scope="module")
+def countries():
+    return default_country_registry()
+
+
+@pytest.fixture(scope="module")
+def cities():
+    return default_city_registry()
+
+
+def test_all_paper_countries_present(countries):
+    for iso3 in PAPER_COUNTRIES:
+        assert iso3 in countries, f"missing paper country {iso3}"
+
+
+def test_iso2_lookup(countries):
+    assert countries.get("DE").iso3 == "DEU"
+    assert countries.get("de").iso3 == "DEU"
+
+
+def test_iso3_lookup_case_insensitive(countries):
+    assert countries.get("pak").name == "Pakistan"
+
+
+def test_unknown_code_raises(countries):
+    with pytest.raises(KeyError):
+        countries.get("XXX")
+    with pytest.raises(KeyError):
+        countries.get("XQ")
+
+
+def test_continent_grouping_contains_expected(countries):
+    europe = {c.iso3 for c in countries.by_continent("Europe")}
+    assert {"DEU", "ESP", "FRA", "GBR", "ITA", "POL"} <= europe
+
+
+def test_central_america_subregion_nonempty(countries):
+    # Figure 18 highlights Central America as consistently expensive.
+    central = countries.by_subregion("Central America")
+    assert len(central) >= 5
+    assert all(c.continent == "North America" for c in central)
+
+
+def test_continents_cover_the_big_six(countries):
+    expected = {"Africa", "Asia", "Europe", "North America", "Oceania", "South America"}
+    assert expected <= set(countries.continents())
+
+
+def test_duplicate_country_rejected(countries):
+    registry = CountryRegistry()
+    c = Country("ABC", "AB", "Testland", "Europe", "Testville", GeoPoint(0, 0))
+    registry.add(c)
+    with pytest.raises(ValueError):
+        registry.add(c)
+
+
+def test_invalid_iso_codes_rejected():
+    with pytest.raises(ValueError):
+        Country("ab", "AB", "x", "Europe", "y", GeoPoint(0, 0))
+    with pytest.raises(ValueError):
+        Country("ABC", "abc", "x", "Europe", "y", GeoPoint(0, 0))
+
+
+def test_pgw_cities_present(cities):
+    # All PGW sites named in Table 2 / Section 4.3.2 must exist.
+    for name, iso3 in [
+        ("Amsterdam", "NLD"),
+        ("Ashburn", "USA"),
+        ("Lille", "FRA"),
+        ("Wattrelos", "FRA"),
+        ("London", "GBR"),
+        ("Singapore", "SGP"),
+        ("Dallas", "USA"),
+        ("Seoul", "KOR"),
+        ("Dublin", "IRL"),
+    ]:
+        city = cities.get(name, iso3)
+        assert city.country_iso3 == iso3
+
+
+def test_city_country_codes_resolve(countries, cities):
+    for city in cities:
+        assert city.country_iso3 in countries, f"{city.key} has unknown country"
+
+
+def test_in_country_sorted(cities):
+    usa = cities.in_country("usa")
+    names = [c.name for c in usa]
+    assert names == sorted(names)
+    assert "Ashburn" in names
+
+
+def test_duplicate_city_rejected():
+    registry = CityRegistry()
+    c = City("X", "USA", GeoPoint(1, 1))
+    registry.add(c)
+    with pytest.raises(ValueError):
+        registry.add(c)
+
+
+def test_unknown_city_raises(cities):
+    with pytest.raises(KeyError):
+        cities.get("Atlantis", "GRC")

@@ -1,0 +1,87 @@
+"""Tests for the IPX provider mesh."""
+
+import pytest
+
+from repro.ipx import IPXNetwork, IPXProvider, IPXReachabilityError
+
+
+def _mesh():
+    net = IPXNetwork()
+    net.add_provider(IPXProvider("HubOne", asn=65001, hub_pgw_site_ids=("ph-ams", "ph-ashburn")))
+    net.add_provider(IPXProvider("HubTwo", asn=65002, hub_pgw_site_ids=("ovh-lille",)))
+    net.add_provider(IPXProvider("HubThree", asn=65003))
+    net.peer("HubOne", "HubTwo")
+    net.peer("HubTwo", "HubThree")
+    net.contract("Play", "HubOne")
+    net.contract("Telna Mobile", "HubThree")
+    return net
+
+
+def test_direct_reachability():
+    net = _mesh()
+    assert net.transit_path("Play", "ph-ams") == ["HubOne"]
+    assert net.can_reach("Play", "ph-ams")
+
+
+def test_transit_through_mesh():
+    net = _mesh()
+    # Telna enters at HubThree; OVH site fronted by HubTwo: one peering hop.
+    assert net.transit_path("Telna Mobile", "ovh-lille") == ["HubThree", "HubTwo"]
+    # Packet Host sites are two peering hops away.
+    assert net.transit_path("Telna Mobile", "ph-ams") == ["HubThree", "HubTwo", "HubOne"]
+
+
+def test_no_contract_raises():
+    net = _mesh()
+    with pytest.raises(IPXReachabilityError):
+        net.transit_path("Vodafone", "ph-ams")
+    assert not net.can_reach("Vodafone", "ph-ams")
+
+
+def test_partitioned_mesh_raises():
+    net = IPXNetwork()
+    net.add_provider(IPXProvider("A", asn=65001))
+    net.add_provider(IPXProvider("B", asn=65002, hub_pgw_site_ids=("site",)))
+    net.contract("Op", "A")
+    with pytest.raises(IPXReachabilityError):
+        net.transit_path("Op", "site")
+
+
+def test_unknown_site_raises():
+    net = _mesh()
+    with pytest.raises(KeyError):
+        net.provider_of_site("nope")
+    assert not net.can_reach("Play", "nope")
+
+
+def test_duplicate_provider_and_site_rejected():
+    net = IPXNetwork()
+    net.add_provider(IPXProvider("A", asn=65001, hub_pgw_site_ids=("s1",)))
+    with pytest.raises(ValueError):
+        net.add_provider(IPXProvider("A", asn=65009))
+    with pytest.raises(ValueError):
+        net.add_provider(IPXProvider("B", asn=65002, hub_pgw_site_ids=("s1",)))
+
+
+def test_self_peering_rejected():
+    net = IPXNetwork()
+    net.add_provider(IPXProvider("A", asn=65001))
+    with pytest.raises(ValueError):
+        net.peer("A", "A")
+    with pytest.raises(KeyError):
+        net.peer("A", "Z")
+
+
+def test_multiple_contracts_pick_shortest_entry():
+    net = _mesh()
+    net.contract("Play", "HubThree")  # Play now enters at both ends
+    assert net.transit_path("Play", "ovh-lille") in (
+        ["HubOne", "HubTwo"],
+        ["HubThree", "HubTwo"],
+    )
+
+
+def test_providers_listing_sorted():
+    net = _mesh()
+    assert [p.name for p in net.providers()] == ["HubOne", "HubThree", "HubTwo"]
+    assert [p.name for p in net.providers_serving("Play")] == ["HubOne"]

@@ -1,0 +1,131 @@
+"""Tests for dynamic PGW placement (extension X2)."""
+
+import pytest
+
+from repro.geo import GeoPoint, default_city_registry
+from repro.ipx import (
+    DemandPoint,
+    assignment,
+    greedy_k_median,
+    mean_weighted_distance_km,
+)
+
+
+@pytest.fixture(scope="module")
+def cities():
+    return default_city_registry()
+
+
+def _demand(cities, name, iso3, weight, label=None):
+    city = cities.get(name, iso3)
+    return DemandPoint(location=city.location, weight=weight, label=label or name)
+
+
+def test_demand_validation():
+    with pytest.raises(ValueError):
+        DemandPoint(location=GeoPoint(0, 0), weight=0.0)
+
+
+def test_mean_weighted_distance(cities):
+    demands = [_demand(cities, "Madrid", "ESP", 1.0)]
+    madrid = cities.get("Madrid", "ESP").location
+    lille = cities.get("Lille", "FRA").location
+    assert mean_weighted_distance_km(demands, [madrid]) == 0.0
+    assert mean_weighted_distance_km(demands, [lille]) > 900
+    # Nearest of several sites is used.
+    assert mean_weighted_distance_km(demands, [lille, madrid]) == 0.0
+    with pytest.raises(ValueError):
+        mean_weighted_distance_km([], [madrid])
+    with pytest.raises(ValueError):
+        mean_weighted_distance_km(demands, [])
+
+
+def test_weights_steer_the_objective(cities):
+    heavy_madrid = [
+        _demand(cities, "Madrid", "ESP", 100.0),
+        _demand(cities, "Singapore", "SGP", 1.0),
+    ]
+    madrid = cities.get("Madrid", "ESP").location
+    singapore = cities.get("Singapore", "SGP").location
+    assert mean_weighted_distance_km(heavy_madrid, [madrid]) < mean_weighted_distance_km(
+        heavy_madrid, [singapore]
+    )
+
+
+def test_greedy_picks_demand_centres(cities):
+    demands = [
+        _demand(cities, "Madrid", "ESP", 10.0),
+        _demand(cities, "Berlin", "DEU", 10.0),
+        _demand(cities, "Singapore", "SGP", 10.0),
+    ]
+    candidates = [
+        cities.get("Madrid", "ESP"),
+        cities.get("Frankfurt", "DEU"),
+        cities.get("Singapore", "SGP"),
+        cities.get("Sao Paulo", "BRA"),
+    ]
+    chosen = greedy_k_median(demands, candidates, k=3)
+    names = {c.name for c in chosen}
+    assert "Sao Paulo" not in names
+    assert {"Madrid", "Singapore"} <= names
+
+
+def test_greedy_objective_improves_with_k(cities):
+    demands = [
+        _demand(cities, "Madrid", "ESP", 5.0),
+        _demand(cities, "Tokyo", "JPN", 5.0),
+        _demand(cities, "Nairobi", "KEN", 5.0),
+        _demand(cities, "New York", "USA", 5.0),
+    ]
+    candidates = [
+        cities.get(name, iso3)
+        for name, iso3 in [
+            ("Madrid", "ESP"), ("Tokyo", "JPN"), ("Nairobi", "KEN"),
+            ("Ashburn", "USA"), ("Frankfurt", "DEU"), ("Singapore", "SGP"),
+        ]
+    ]
+    costs = [
+        mean_weighted_distance_km(
+            demands, [c.location for c in greedy_k_median(demands, candidates, k)]
+        )
+        for k in (1, 2, 3, 4)
+    ]
+    assert costs == sorted(costs, reverse=True)
+    assert costs[-1] < costs[0]
+
+
+def test_greedy_validation(cities):
+    demands = [_demand(cities, "Madrid", "ESP", 1.0)]
+    candidates = [cities.get("Madrid", "ESP")]
+    with pytest.raises(ValueError):
+        greedy_k_median(demands, candidates, k=0)
+    with pytest.raises(ValueError):
+        greedy_k_median(demands, candidates, k=2)
+    with pytest.raises(ValueError):
+        greedy_k_median(demands, [], k=1)
+
+
+def test_greedy_deterministic(cities):
+    demands = [
+        _demand(cities, "Madrid", "ESP", 3.0),
+        _demand(cities, "Berlin", "DEU", 2.0),
+    ]
+    candidates = [cities.get(n, i) for n, i in
+                  [("Madrid", "ESP"), ("Frankfurt", "DEU"), ("Paris", "FRA")]]
+    a = greedy_k_median(demands, candidates, 2)
+    b = greedy_k_median(demands, candidates, 2)
+    assert [c.key for c in a] == [c.key for c in b]
+
+
+def test_assignment(cities):
+    demands = [
+        _demand(cities, "Madrid", "ESP", 1.0, label="ESP"),
+        _demand(cities, "Berlin", "DEU", 1.0, label="DEU"),
+    ]
+    sites = [cities.get("Madrid", "ESP"), cities.get("Frankfurt", "DEU")]
+    mapping = assignment(demands, sites)
+    assert mapping["ESP"][0] == "Madrid, ESP"
+    assert mapping["DEU"][0] == "Frankfurt, DEU"
+    assert mapping["ESP"][1] == pytest.approx(0.0, abs=1e-6)
+    with pytest.raises(ValueError):
+        assignment(demands, [])

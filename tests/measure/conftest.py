@@ -1,0 +1,229 @@
+"""Measurement-layer fixtures: mini world + GeoIP + traceroute engine."""
+
+import random
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.net import ASTopology, GeoIPDatabase, LatencyModel
+from repro.net.addressbook import ASAddressBook
+from repro.net.ipv4 import parse_ip
+from repro.measure.traceroute import TracerouteEngine
+from repro.measure.amigo import TestbedResources
+from repro.services import (
+    AdaptiveBitratePlayer,
+    CDNProvider,
+    DNSService,
+    ServerSite,
+    ServiceFabric,
+    ServiceProvider,
+    SpeedtestFleet,
+    SpeedtestServer,
+)
+from tests.worldkit import build_mini_world
+
+
+def _site(cities, name, iso3, ip):
+    return ServerSite(city=cities.get(name, iso3), ip=parse_ip(ip))
+
+
+@pytest.fixture()
+def world():
+    return build_mini_world()
+
+
+@pytest.fixture()
+def cities(world):
+    return world["cities"]
+
+
+@pytest.fixture()
+def geoip(world, cities):
+    db = GeoIPDatabase()
+    # CG-NAT pools of the mini world's PGW sites.
+    pools = {
+        "198.18.0.0/24": (54825, "NLD", "Amsterdam"),
+        "198.18.1.0/24": (45143, "SGP", "Singapore"),
+        "198.18.2.0/24": (9587, "THA", "Bangkok"),
+        "198.18.3.0/24": (3352, "ESP", "Madrid"),
+        "198.18.4.0/24": (5384, "ARE", "Abu Dhabi"),
+    }
+    for prefix, (asn, iso3, city) in pools.items():
+        location = cities.get(city, iso3).location
+        db.register(prefix, asn, iso3, city, location)
+    # Server sites used by fixtures below.
+    db.register("192.0.2.0/28", 15169, "USA", "Mountain View", GeoPoint(37.39, -122.08))
+    return db
+
+
+@pytest.fixture()
+def addressbook(geoip, cities):
+    book = ASAddressBook(geoip)
+    book.register(3356, "198.19.0.0/24", "USA", "Denver", GeoPoint(39.74, -104.99))
+    book.register(15169, "198.19.1.0/24", "USA", "Mountain View", GeoPoint(37.39, -122.08))
+    book.register(32934, "198.19.2.0/24", "USA", "Menlo Park", GeoPoint(37.45, -122.18))
+    return book
+
+
+@pytest.fixture()
+def topology():
+    topo = ASTopology()
+    for asn in (54825, 45143, 9587, 3352, 5384, 15169, 32934, 3356):
+        topo.add_as(asn)
+    for customer in (54825, 45143, 9587, 3352, 5384, 15169, 32934):
+        topo.add_transit(customer=customer, provider=3356)
+    topo.add_peering(54825, 15169)
+    topo.add_peering(54825, 32934)
+    topo.add_peering(45143, 15169)
+    topo.add_peering(9587, 15169)
+    return topo
+
+
+@pytest.fixture()
+def fabric(topology):
+    return ServiceFabric(latency=LatencyModel(), topology=topology)
+
+
+@pytest.fixture()
+def engine(fabric, addressbook):
+    return TracerouteEngine(fabric=fabric, addressbook=addressbook)
+
+
+@pytest.fixture()
+def google(cities):
+    return ServiceProvider(
+        name="Google",
+        asn=15169,
+        edges=[
+            _site(cities, "Amsterdam", "NLD", "192.0.2.1"),
+            _site(cities, "Singapore", "SGP", "192.0.2.2"),
+            _site(cities, "Madrid", "ESP", "192.0.2.3"),
+            _site(cities, "Bangkok", "THA", "192.0.2.4"),
+        ],
+    )
+
+
+@pytest.fixture()
+def facebook(cities):
+    return ServiceProvider(
+        name="Facebook",
+        asn=32934,
+        edges=[
+            _site(cities, "Amsterdam", "NLD", "192.0.2.5"),
+            _site(cities, "Singapore", "SGP", "192.0.2.6"),
+        ],
+        internal_hop_range=(2, 5),
+    )
+
+
+@pytest.fixture()
+def resources(world, fabric, geoip, engine, google, facebook, cities):
+    from repro.cellular import BandwidthPolicy
+
+    # Give every operator a bandwidth policy for testbed runs.
+    for name, (nd, nu, rd, ru) in {
+        "Movistar": (60.0, 20.0, 11.0, 6.0),
+        "Etisalat": (90.0, 30.0, 8.0, 5.0),
+        "dtac": (35.0, 15.0, 20.0, 10.0),
+        "Play": (50.0, 20.0, 12.0, 6.0),
+        "Singtel": (120.0, 40.0, 10.0, 6.0),
+    }.items():
+        world["operators"].get(name).bandwidth = BandwidthPolicy(nd, nu, rd, ru)
+
+    dns_services = {
+        "Google DNS": DNSService(
+            name="Google DNS", anycast=True, supports_doh=True,
+            anycast_miss_rate=0.0,  # deterministic nearest-site for unit tests
+            sites=[
+                _site(cities, "Amsterdam", "NLD", "192.0.2.10"),
+                _site(cities, "Singapore", "SGP", "192.0.2.11"),
+            ],
+        ),
+        "Singtel": DNSService(
+            name="Singtel", sites=[_site(cities, "Singapore", "SGP", "192.0.2.12")]
+        ),
+        "dtac": DNSService(
+            name="dtac", sites=[_site(cities, "Bangkok", "THA", "192.0.2.13")]
+        ),
+        "Movistar": DNSService(
+            name="Movistar", sites=[_site(cities, "Madrid", "ESP", "192.0.2.14")]
+        ),
+        "Etisalat": DNSService(
+            name="Etisalat", sites=[_site(cities, "Abu Dhabi", "ARE", "192.0.2.15")]
+        ),
+    }
+    cdns = {
+        "Cloudflare": CDNProvider(
+            name="Cloudflare",
+            edges=[
+                _site(cities, "Amsterdam", "NLD", "192.0.2.20"),
+                _site(cities, "Singapore", "SGP", "192.0.2.21"),
+                _site(cities, "Bangkok", "THA", "192.0.2.22"),
+                _site(cities, "Madrid", "ESP", "192.0.2.23"),
+            ],
+            origin=_site(cities, "San Jose", "USA", "192.0.2.24"),
+        ),
+    }
+    ookla = SpeedtestFleet(
+        name="Ookla",
+        servers=[
+            SpeedtestServer(_site(cities, "Amsterdam", "NLD", "192.0.2.30")),
+            SpeedtestServer(_site(cities, "Singapore", "SGP", "192.0.2.31")),
+            SpeedtestServer(_site(cities, "Bangkok", "THA", "192.0.2.32")),
+            SpeedtestServer(_site(cities, "Madrid", "ESP", "192.0.2.33")),
+            SpeedtestServer(_site(cities, "Abu Dhabi", "ARE", "192.0.2.34")),
+        ],
+    )
+    return TestbedResources(
+        fabric=fabric,
+        geoip=geoip,
+        traceroute_engine=engine,
+        operators=world["operators"],
+        ookla=ookla,
+        cdns=cdns,
+        dns_services=dns_services,
+        sp_targets={"Google": google, "Facebook": facebook},
+        player=AdaptiveBitratePlayer(),
+    )
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(77)
+
+
+def _esim(world, b_mno, plan, rng):
+    from repro.cellular import RSPServer
+
+    return RSPServer("Airalo").issue(world["operators"].get(b_mno), plan, rng)
+
+
+@pytest.fixture()
+def airalo_esim_esp(world, rng):
+    return _esim(world, "Play", "ESP", rng)
+
+
+@pytest.fixture()
+def airalo_esim_are(world, rng):
+    return _esim(world, "Singtel", "ARE", rng)
+
+
+@pytest.fixture()
+def airalo_esim_tha(world, rng):
+    return _esim(world, "dtac", "THA", rng)
+
+
+def make_session(world, sim, city_name, iso3, v_mno, rng):
+    from repro.cellular import UserEquipment
+
+    ue = UserEquipment.provision("Samsung S21+ 5G", world["cities"].get(city_name, iso3), rng)
+    ue.install_sim(sim)
+    session = ue.switch_to(0, v_mno, world["factory"], rng)
+    return ue, session
+
+
+@pytest.fixture()
+def conditions():
+    from repro.cellular import RadioAccessTechnology, RadioConditions
+
+    return RadioConditions(RadioAccessTechnology.NR, cqi=11, rsrp_dbm=-85, snr_db=14)

@@ -1,0 +1,138 @@
+"""Tests for the client wrappers (speedtest, DNS, CDN, video, ping)."""
+
+import random
+
+import pytest
+
+from repro.cellular import SIMKind
+from repro.measure import fetch_from_cdn, ping_provider, probe_dns, probe_video, run_speedtest
+from tests.measure.conftest import make_session
+
+
+@pytest.fixture()
+def ihbo(world, airalo_esim_esp, rng):
+    _, session = make_session(world, airalo_esim_esp, "Madrid", "ESP", "Movistar", rng)
+    return airalo_esim_esp, session
+
+
+@pytest.fixture()
+def hr(world, airalo_esim_are, rng):
+    _, session = make_session(world, airalo_esim_are, "Abu Dhabi", "ARE", "Etisalat", rng)
+    return airalo_esim_are, session
+
+
+def test_ping_returns_count_samples(resources, ihbo, conditions, rng):
+    sim, session = ihbo
+    samples = ping_provider(
+        session, resources.sp_targets["Google"], resources.fabric, conditions, rng, count=6
+    )
+    assert len(samples) == 6
+    assert all(s > 0 for s in samples)
+    with pytest.raises(ValueError):
+        ping_provider(
+            session, resources.sp_targets["Google"], resources.fabric, conditions, rng, count=0
+        )
+
+
+def test_speedtest_record_context(resources, ihbo, conditions, rng):
+    sim, session = ihbo
+    record = run_speedtest(
+        session, sim, resources.ookla, resources.fabric,
+        resources.policy_for(session), conditions, rng, day=3,
+    )
+    ctx = record.context
+    assert ctx.country_iso3 == "ESP"
+    assert ctx.sim_kind is SIMKind.ESIM
+    assert ctx.architecture.label == "IHBO"
+    assert ctx.b_mno == "Play"
+    assert ctx.pgw_provider == "Packet Host"
+    assert ctx.pgw_country == "NLD"
+    assert ctx.day == 3
+    assert ctx.is_esim
+    assert ctx.config_label == "eSIM/IHBO"
+    assert record.server_city == "Amsterdam"
+    assert record.passes_cqi_filter  # CQI 11 fixture
+
+
+def test_dns_probe_identifies_google_resolver(resources, ihbo, conditions, rng):
+    sim, session = ihbo
+    record = probe_dns(
+        session, sim, resources.dns_for(session), resources.fabric, conditions, rng
+    )
+    assert record.resolver_service == "Google DNS"
+    assert record.resolver_country == "NLD"
+    assert record.used_doh
+    assert record.lookup_ms > 0
+
+
+def test_dns_probe_hr_uses_b_mno(resources, hr, conditions, rng):
+    sim, session = hr
+    record = probe_dns(
+        session, sim, resources.dns_for(session), resources.fabric, conditions, rng
+    )
+    assert record.resolver_service == "Singtel"
+    assert record.resolver_country == "SGP"
+    assert not record.used_doh
+
+
+def test_cdn_fetch_steered_near_breakout(resources, ihbo, conditions, rng):
+    sim, session = ihbo
+    record = fetch_from_cdn(
+        session, sim, resources.cdns["Cloudflare"], resources.dns_for(session),
+        resources.fabric, resources.policy_for(session), conditions, rng,
+    )
+    assert record.provider == "Cloudflare"
+    assert record.edge_city == "Amsterdam"  # resolver near the PGW
+    assert record.total_ms > record.dns_ms
+
+
+def test_video_probe_reports_resolutions(resources, ihbo, conditions, rng):
+    sim, session = ihbo
+    record = probe_video(
+        session, sim, resources.player, resources.fabric,
+        resources.policy_for(session), conditions, rng,
+    )
+    assert sum(record.resolution_counts.values()) == 30
+    assert record.dominant_resolution.endswith("p")
+
+
+def test_video_probe_honours_youtube_cap(resources, ihbo, conditions):
+    sim, session = ihbo
+    uncapped = probe_video(
+        session, sim, resources.player, resources.fabric,
+        resources.policy_for(session), conditions, random.Random(5),
+    )
+    capped = probe_video(
+        session, sim, resources.player, resources.fabric,
+        resources.policy_for(session), conditions, random.Random(5),
+        youtube_cap_mbps=1.5,
+    )
+
+    def max_res(record):
+        return max(int(label.rstrip("p")) for label in record.resolution_counts)
+
+    assert max_res(capped) < max_res(uncapped)
+
+
+def test_policy_for_falls_back_to_parent(resources, world):
+    from repro.cellular import MobileOperator, OperatorKind, PLMN
+
+    mvno = MobileOperator(
+        name="Movistar MVNO", country_iso3="ESP", plmn=PLMN("214", "08"),
+        asn=3352, kind=OperatorKind.MVNO, parent_name="Movistar",
+    )
+    world["operators"].add(mvno)
+
+    class FakeSession:
+        v_mno_name = "Movistar MVNO"
+
+    policy = resources.policy_for(FakeSession())
+    assert policy is world["operators"].get("Movistar").bandwidth
+
+
+def test_dns_for_unknown_operator_raises(resources):
+    class FakeSession:
+        dns_operator = "Nobody"
+
+    with pytest.raises(KeyError):
+        resources.dns_for(FakeSession())

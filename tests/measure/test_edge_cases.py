@@ -1,0 +1,80 @@
+"""Edge-case tests: give-up paths, cache behaviour, status dynamics."""
+
+import random
+
+import pytest
+
+from repro.experiments import common
+from repro.measure.webcampaign import WebCampaignRunner, WebVolunteer
+
+
+def test_web_campaign_gives_up_after_max_attempts(world, resources):
+    """A volunteer whose uploads almost always fail stops at 3x budget."""
+    from repro.cellular import RSPServer
+
+    rng = random.Random(31)
+    esim = RSPServer("Airalo").issue(world["operators"].get("Play"), "ESP", rng)
+    volunteer = WebVolunteer(
+        name="unlucky", country_iso3="ESP",
+        city=world["cities"].get("Madrid", "ESP"),
+        esim=esim, v_mno_name="Movistar",
+        duration_days=2, planned_measurements=6,
+        upload_reliability=0.05,
+    )
+    runner = WebCampaignRunner(
+        fabric=resources.fabric,
+        fastcom=resources.ookla,
+        dns_services=resources.dns_services,
+        operators=world["operators"],
+        factory=world["factory"],
+    )
+    dataset = runner.run([volunteer], rng)
+    # Fewer than planned, and attempts were bounded.
+    assert len(dataset.web_measurements) < 6
+    assert runner.rejected_uploads <= 18
+
+
+def test_endpoint_battery_eventually_recharges(world, resources, rng):
+    from repro.measure.amigo import CountryDeployment, MeasurementEndpoint
+    from repro.cellular import RSPServer
+    from repro.cellular.esim import issue_physical_sim
+
+    operators = world["operators"]
+    deployment = CountryDeployment(
+        country_iso3="ESP",
+        city=world["cities"].get("Madrid", "ESP"),
+        physical_sim=issue_physical_sim(operators.get("Movistar"), rng),
+        esim=RSPServer("Airalo").issue(operators.get("Play"), "ESP", rng),
+        v_mno_physical="Movistar",
+        v_mno_esim="Movistar",
+        duration_days=60,
+    )
+    endpoint = MeasurementEndpoint(deployment, resources, world["factory"], rng)
+    levels = [endpoint.report_status(day).battery_pct for day in range(60)]
+    assert all(5.0 <= level <= 100.0 for level in levels)
+    # The volunteer recharged at least once over two months.
+    assert any(b > a for a, b in zip(levels, levels[1:]))
+
+
+def test_experiment_caches_are_shared_and_clearable():
+    world_a = common.get_world(4242)
+    world_b = common.get_world(4242)
+    assert world_a is world_b
+    dataset_a = common.get_device_dataset(0.02, 4242)
+    dataset_b = common.get_device_dataset(0.02, 4242)
+    assert dataset_a is dataset_b
+    common.clear_caches()
+    assert common.get_world(4242) is not world_a
+
+
+def test_mna_offerings_grouping_matches_table2_shape():
+    world = common.get_world()
+    grouped = world.airalo.offerings_by_b_mno()
+    # Six roaming issuers plus three native ones.
+    assert len(grouped) == 9
+    assert len(grouped["Singtel"]) == 5
+    assert len(grouped["Play"]) == 4
+    assert len(grouped["Telna Mobile"]) == 4
+    assert len(grouped["Telecom Italia"]) == 4
+    assert len(grouped["Orange"]) == 2
+    assert len(grouped["Polkomtel"]) == 2

@@ -1,0 +1,65 @@
+"""Tests for attach-procedure timing."""
+
+import random
+
+import pytest
+
+from repro.cellular import estimate_attach_time_ms
+from repro.cellular.radio import RadioAccessTechnology
+from repro.net import LatencyModel
+from tests.measure.conftest import make_session
+
+
+@pytest.fixture()
+def latency():
+    return LatencyModel()
+
+
+def _sessions(world, rng):
+    from repro.cellular import RSPServer
+
+    operators = world["operators"]
+    rsp = RSPServer("Airalo")
+    out = {}
+    for label, b_mno, plan, city, iso3, v_mno in (
+        ("hr", "Singtel", "ARE", "Abu Dhabi", "ARE", "Etisalat"),
+        ("ihbo", "Play", "ESP", "Madrid", "ESP", "Movistar"),
+        ("native", "dtac", "THA", "Bangkok", "THA", "dtac"),
+    ):
+        sim = rsp.issue(operators.get(b_mno), plan, rng)
+        _, session = make_session(world, sim, city, iso3, v_mno, rng)
+        out[label] = session
+    return out
+
+
+def test_roaming_attaches_slower_than_native(world, rng, latency):
+    sessions = _sessions(world, rng)
+    operators = world["operators"]
+    timings = {
+        label: estimate_attach_time_ms(session, operators, latency)
+        for label, session in sessions.items()
+    }
+    assert timings["hr"].total_ms > timings["ihbo"].total_ms > timings["native"].total_ms
+    # The HR gap is driven by authentication to the distant HSS.
+    assert timings["hr"].authentication_ms > 3 * timings["native"].authentication_ms
+
+
+def test_breakdown_positive_and_consistent(world, rng, latency):
+    sessions = _sessions(world, rng)
+    timing = estimate_attach_time_ms(sessions["ihbo"], world["operators"], latency)
+    assert timing.rrc_ms > 0
+    assert timing.authentication_ms > 0
+    assert timing.session_setup_ms > 0
+    assert timing.total_ms == pytest.approx(
+        timing.rrc_ms + timing.authentication_ms + timing.session_setup_ms
+    )
+
+
+def test_sampling_deterministic_per_seed(world, rng, latency):
+    sessions = _sessions(world, rng)
+    operators = world["operators"]
+    a = estimate_attach_time_ms(sessions["hr"], operators, latency, random.Random(5))
+    b = estimate_attach_time_ms(sessions["hr"], operators, latency, random.Random(5))
+    assert a == b
+    deterministic = estimate_attach_time_ms(sessions["hr"], operators, latency)
+    assert a.total_ms != deterministic.total_ms  # jitter applied

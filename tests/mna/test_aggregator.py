@@ -1,0 +1,82 @@
+"""Tests for the MNA model."""
+
+import random
+
+import pytest
+
+from repro.cellular import IMSIRange, MobileOperator, OperatorRegistry, PLMN
+from repro.cellular.roaming import RoamingArchitecture
+from repro.mna import CountryOffering, MNAKind, MobileNetworkAggregator, OfferingError
+
+
+def _mna_with_offerings():
+    mna = MobileNetworkAggregator("Airalo", MNAKind.THICK)
+    mna.add_offering(
+        CountryOffering("ESP", "Play", "Movistar", RoamingArchitecture.IHBO)
+    )
+    mna.add_offering(
+        CountryOffering("ARE", "Singtel", "Etisalat", RoamingArchitecture.HR)
+    )
+    mna.add_offering(
+        CountryOffering("THA", "dtac", "dtac", RoamingArchitecture.NATIVE)
+    )
+    return mna
+
+
+def test_offering_lookup_case_insensitive():
+    mna = _mna_with_offerings()
+    assert mna.offering_for("esp").b_mno_name == "Play"
+
+
+def test_unknown_country_raises():
+    mna = _mna_with_offerings()
+    with pytest.raises(OfferingError):
+        mna.offering_for("JPN")
+
+
+def test_duplicate_offering_rejected():
+    mna = _mna_with_offerings()
+    with pytest.raises(ValueError):
+        mna.add_offering(
+            CountryOffering("ESP", "Play", "Movistar", RoamingArchitecture.IHBO)
+        )
+
+
+def test_offering_consistency_validation():
+    with pytest.raises(ValueError):
+        CountryOffering("THA", "dtac", "dtac", RoamingArchitecture.HR)
+    with pytest.raises(ValueError):
+        CountryOffering("ESP", "Play", "Movistar", RoamingArchitecture.NATIVE)
+
+
+def test_roaming_share():
+    mna = _mna_with_offerings()
+    assert mna.roaming_share() == pytest.approx(2 / 3)
+    empty = MobileNetworkAggregator("Empty", MNAKind.LIGHT)
+    assert empty.roaming_share() == 0.0
+
+
+def test_grouping_by_b_mno():
+    mna = _mna_with_offerings()
+    grouped = mna.offerings_by_b_mno()
+    assert set(grouped) == {"Play", "Singtel", "dtac"}
+    assert [o.country_iso3 for o in grouped["Play"]] == ["ESP"]
+
+
+def test_served_countries_sorted():
+    mna = _mna_with_offerings()
+    assert mna.served_countries() == ["ARE", "ESP", "THA"]
+
+
+def test_sell_esim_uses_rented_range():
+    operators = OperatorRegistry()
+    play = MobileOperator("Play", "POL", PLMN("260", "06"), asn=12912)
+    play.rent_range("Airalo", IMSIRange(prefix="2600677"))
+    operators.add(play)
+
+    mna = _mna_with_offerings()
+    profile = mna.sell_esim("ESP", operators, random.Random(5))
+    assert profile.provider == "Airalo"
+    assert profile.issuer_mno_name == "Play"
+    assert profile.plan_country_iso3 == "ESP"
+    assert profile.imsi.value.startswith("2600677")

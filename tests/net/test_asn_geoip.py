@@ -1,0 +1,100 @@
+"""Tests for the AS registry and GeoIP database."""
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.net import ASKind, ASRegistry, AutonomousSystem, GeoIPDatabase
+
+
+def _mk_registry():
+    return ASRegistry(
+        [
+            AutonomousSystem(45143, "Singtel", ASKind.MNO, "SGP"),
+            AutonomousSystem(54825, "Packet Host", ASKind.HOSTING, "USA"),
+            AutonomousSystem(16276, "OVH SAS", ASKind.HOSTING, "FRA"),
+            AutonomousSystem(15169, "Google", ASKind.CONTENT, "USA"),
+        ]
+    )
+
+
+def test_lookup_by_asn_and_org():
+    reg = _mk_registry()
+    assert reg.get(45143).org == "Singtel"
+    assert reg.by_org("Packet Host").asn == 54825
+
+
+def test_str_formats_like_whois():
+    asys = AutonomousSystem(54825, "Packet Host", ASKind.HOSTING, "USA")
+    assert str(asys) == "AS54825 (Packet Host)"
+
+
+def test_by_kind_sorted():
+    reg = _mk_registry()
+    hosting = reg.by_kind(ASKind.HOSTING)
+    assert [a.asn for a in hosting] == [16276, 54825]
+
+
+def test_duplicate_asn_rejected():
+    reg = _mk_registry()
+    with pytest.raises(ValueError):
+        reg.add(AutonomousSystem(45143, "Other", ASKind.MNO, "SGP"))
+
+
+def test_unknown_asn_raises():
+    reg = _mk_registry()
+    with pytest.raises(KeyError):
+        reg.get(99999)
+
+
+def test_invalid_asn_rejected():
+    with pytest.raises(ValueError):
+        AutonomousSystem(0, "Zero", ASKind.OTHER, "USA")
+    with pytest.raises(ValueError):
+        AutonomousSystem(2**32, "TooBig", ASKind.OTHER, "USA")
+
+
+def test_contains_and_len():
+    reg = _mk_registry()
+    assert 45143 in reg
+    assert 99999 not in reg
+    assert len(reg) == 4
+
+
+def test_geoip_longest_prefix_match():
+    db = GeoIPDatabase()
+    db.register("203.0.0.0/16", asn=1, country_iso3="usa", city="Chicago", location=GeoPoint(41.88, -87.63))
+    db.register("203.0.113.0/24", asn=2, country_iso3="NLD", city="Amsterdam", location=GeoPoint(52.37, 4.90))
+    # The /24 wins for addresses inside it.
+    assert db.lookup("203.0.113.5").asn == 2
+    assert db.lookup("203.0.113.5").country_iso3 == "NLD"
+    # Elsewhere in the /16 falls back to the covering record.
+    assert db.lookup("203.0.5.1").asn == 1
+    assert db.lookup("203.0.5.1").country_iso3 == "USA"
+
+
+def test_geoip_unknown_address():
+    db = GeoIPDatabase()
+    with pytest.raises(KeyError):
+        db.lookup("8.8.8.8")
+    assert db.lookup_opt("8.8.8.8") is None
+
+
+def test_geoip_duplicate_prefix_rejected():
+    db = GeoIPDatabase()
+    db.register("198.51.100.0/24", 10, "FRA", "Lille", GeoPoint(50.63, 3.07))
+    with pytest.raises(ValueError):
+        db.register("198.51.100.0/24", 11, "FRA", "Lille", GeoPoint(50.63, 3.07))
+
+
+def test_geoip_asn_of():
+    db = GeoIPDatabase()
+    db.register("202.166.126.0/24", 45143, "SGP", "Singapore", GeoPoint(1.35, 103.82))
+    assert db.asn_of("202.166.126.10") == 45143
+
+
+def test_geoip_prefixes_most_specific_first():
+    db = GeoIPDatabase()
+    db.register("10.0.0.0/8", 1, "USA", "X", GeoPoint(0, 0))
+    db.register("10.1.0.0/16", 2, "USA", "Y", GeoPoint(0, 0))
+    lens = [r.network.prefixlen for r in db.prefixes()]
+    assert lens == sorted(lens, reverse=True)

@@ -1,0 +1,141 @@
+"""Tests for the latency model and carrier-grade NAT."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import GeoPoint
+from repro.net import CarrierGradeNAT, LatencyModel, LatencyParams
+
+
+def test_propagation_scales_with_distance():
+    model = LatencyModel()
+    assert model.propagation_rtt_ms(2000) == pytest.approx(
+        2 * model.propagation_rtt_ms(1000), rel=0.05
+    )
+
+
+def test_fiber_constant_sanity():
+    # 1000 km at stretch 1.0 should cost ~10 ms RTT.
+    model = LatencyModel(LatencyParams(default_stretch=1.0))
+    assert model.propagation_rtt_ms(1000) == pytest.approx(10.0, rel=0.01)
+
+
+def test_min_rtt_floor():
+    model = LatencyModel()
+    assert model.propagation_rtt_ms(0.0) == model.params.min_rtt_ms
+
+
+def test_hop_cost_added_both_directions():
+    params = LatencyParams(per_hop_ms=0.5, default_stretch=1.0)
+    model = LatencyModel(params)
+    no_hops = model.propagation_rtt_ms(1000, hops=0)
+    with_hops = model.propagation_rtt_ms(1000, hops=4)
+    assert with_hops - no_hops == pytest.approx(4.0, abs=1e-9)
+
+
+def test_rtt_between_points():
+    model = LatencyModel(LatencyParams(default_stretch=1.0))
+    madrid = GeoPoint(40.42, -3.70)
+    lille = GeoPoint(50.63, 3.07)
+    rtt = model.rtt_between(madrid, lille)
+    # ~1200 km -> ~12 ms RTT at stretch 1.
+    assert 10.0 < rtt < 14.0
+
+
+def test_path_rtt_sums_segments():
+    model = LatencyModel(LatencyParams(default_stretch=1.0, per_hop_ms=0.0))
+    a, b, c = GeoPoint(0, 0), GeoPoint(0, 10), GeoPoint(0, 20)
+    direct = model.rtt_between(a, c)
+    detour = model.path_rtt_ms([a, b, c])
+    assert detour == pytest.approx(direct, rel=0.01)
+
+
+def test_path_requires_two_waypoints():
+    model = LatencyModel()
+    with pytest.raises(ValueError):
+        model.path_rtt_ms([GeoPoint(0, 0)])
+
+
+def test_invalid_inputs_rejected():
+    model = LatencyModel()
+    with pytest.raises(ValueError):
+        model.propagation_rtt_ms(-1)
+    with pytest.raises(ValueError):
+        model.propagation_rtt_ms(10, stretch=0.5)
+    with pytest.raises(ValueError):
+        model.propagation_rtt_ms(10, hops=-1)
+    with pytest.raises(ValueError):
+        LatencyParams(default_stretch=0.9)
+    with pytest.raises(ValueError):
+        LatencyParams(jitter_sigma=-0.1)
+
+
+def test_sampling_is_seed_deterministic():
+    model = LatencyModel()
+    a = model.sample_many(50.0, 10, random.Random(7))
+    b = model.sample_many(50.0, 10, random.Random(7))
+    assert a == b
+
+
+def test_sampling_zero_sigma_is_exact():
+    model = LatencyModel(LatencyParams(jitter_sigma=0.0))
+    assert model.sample_rtt_ms(42.0, random.Random(1)) == 42.0
+
+
+@given(st.floats(min_value=0.5, max_value=500.0), st.integers(min_value=0, max_value=2**31))
+def test_samples_positive_and_near_base(base, seed):
+    model = LatencyModel()
+    sample = model.sample_rtt_ms(base, random.Random(seed))
+    assert sample > 0
+    # lognormal sigma=0.08: 6 sigma is a generous envelope
+    assert 0.5 * base <= sample <= 2.0 * base or sample == model.params.min_rtt_ms
+
+
+def test_cgnat_binding_is_stable():
+    nat = CarrierGradeNAT(["198.51.100.1", "198.51.100.2", "198.51.100.3"])
+    rng = random.Random(3)
+    first = nat.bind("session-a", rng)
+    again = nat.bind("session-a", rng)
+    assert first == again
+    assert nat.binding_of("session-a") == first
+
+
+def test_cgnat_partition_restricts_choice():
+    nat = CarrierGradeNAT(["198.51.100.1", "198.51.100.2", "198.51.100.3", "198.51.100.4"])
+    nat.partition("telna", ["198.51.100.4"])
+    rng = random.Random(11)
+    for i in range(20):
+        ip = nat.bind(f"s{i}", rng, sticky_key="telna")
+        assert str(ip) == "198.51.100.4"
+
+
+def test_cgnat_unpartitioned_key_uses_full_pool():
+    pool = [f"198.51.100.{i}" for i in range(1, 5)]
+    nat = CarrierGradeNAT(pool)
+    rng = random.Random(5)
+    seen = {str(nat.bind(f"s{i}", rng, sticky_key="play")) for i in range(200)}
+    assert seen == set(pool)
+
+
+def test_cgnat_release_then_rebind_may_differ():
+    nat = CarrierGradeNAT(["198.51.100.1", "198.51.100.2"])
+    rng = random.Random(9)
+    nat.bind("x", rng)
+    assert nat.active_sessions() == 1
+    nat.release("x")
+    assert nat.active_sessions() == 0
+    nat.release("x")  # idempotent
+
+
+def test_cgnat_rejects_bad_pools():
+    with pytest.raises(ValueError):
+        CarrierGradeNAT([])
+    with pytest.raises(ValueError):
+        CarrierGradeNAT(["1.1.1.1", "1.1.1.1"])
+    nat = CarrierGradeNAT(["1.1.1.1"])
+    with pytest.raises(ValueError):
+        nat.partition("k", ["2.2.2.2"])
+    with pytest.raises(ValueError):
+        nat.partition("k", [])

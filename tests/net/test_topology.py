@@ -1,0 +1,133 @@
+"""Tests for valley-free AS routing."""
+
+import pytest
+
+from repro.net import ASTopology, NoRouteError
+
+
+def _chain_topology():
+    """customer 1 -> provider 2 -> provider 3; 3 peers with 4; 4 -> customer 5."""
+    topo = ASTopology()
+    for asn in (1, 2, 3, 4, 5):
+        topo.add_as(asn)
+    topo.add_transit(customer=1, provider=2)
+    topo.add_transit(customer=2, provider=3)
+    topo.add_peering(3, 4)
+    topo.add_transit(customer=5, provider=4)
+    return topo
+
+
+def test_same_as_path():
+    topo = _chain_topology()
+    assert topo.as_path(1, 1) == [1]
+
+
+def test_up_peer_down_path():
+    topo = _chain_topology()
+    assert topo.as_path(1, 5) == [1, 2, 3, 4, 5]
+
+
+def test_pure_uphill_path():
+    topo = _chain_topology()
+    assert topo.as_path(1, 3) == [1, 2, 3]
+
+
+def test_pure_downhill_path():
+    topo = _chain_topology()
+    assert topo.as_path(3, 1) == [3, 2, 1]
+
+
+def test_no_valley_through_customer():
+    # 1 and 3 are both customers of 2; 1 -> 2 -> 3 is valley-free? No:
+    # traffic goes up to the shared provider then down — that IS allowed.
+    topo = ASTopology()
+    for asn in (1, 2, 3):
+        topo.add_as(asn)
+    topo.add_transit(customer=1, provider=2)
+    topo.add_transit(customer=3, provider=2)
+    assert topo.as_path(1, 3) == [1, 2, 3]
+
+
+def test_valley_rejected():
+    # 2 is a customer of both 1 and 3: 1 -> 2 -> 3 would be a valley.
+    topo = ASTopology()
+    for asn in (1, 2, 3):
+        topo.add_as(asn)
+    topo.add_transit(customer=2, provider=1)
+    topo.add_transit(customer=2, provider=3)
+    with pytest.raises(NoRouteError):
+        topo.as_path(1, 3)
+
+
+def test_two_peering_edges_rejected():
+    # 1 -peer- 2 -peer- 3: crossing two peering links is not exportable.
+    topo = ASTopology()
+    for asn in (1, 2, 3):
+        topo.add_as(asn)
+    topo.add_peering(1, 2)
+    topo.add_peering(2, 3)
+    with pytest.raises(NoRouteError):
+        topo.as_path(1, 3)
+
+
+def test_customer_route_preferred_over_peer():
+    # dst 9 reachable via customer 2 (longer) and via peer 3 (shorter):
+    # BGP prefers the customer route despite extra length.
+    topo = ASTopology()
+    for asn in (1, 2, 3, 8, 9):
+        topo.add_as(asn)
+    topo.add_transit(customer=2, provider=1)   # 2 is 1's customer
+    topo.add_transit(customer=8, provider=2)
+    topo.add_transit(customer=9, provider=8)   # customer path 1-2-8-9
+    topo.add_peering(1, 3)
+    topo.add_transit(customer=9, provider=3)   # peer path 1-3-9 (shorter)
+    assert topo.as_path(1, 9) == [1, 2, 8, 9]
+
+
+def test_direct_peering_used_when_available():
+    # A PGW provider peering directly with a content AS yields a 2-AS path
+    # (the typical traceroute observation in Figure 6).
+    topo = ASTopology()
+    for asn in (54825, 15169, 3356):
+        topo.add_as(asn)
+    topo.add_transit(customer=54825, provider=3356)
+    topo.add_transit(customer=15169, provider=3356)
+    topo.add_peering(54825, 15169)
+    assert topo.as_path(54825, 15169) == [54825, 15169]
+    assert topo.has_direct_peering(54825, 15169)
+
+
+def test_peer_preferred_over_provider():
+    topo = ASTopology()
+    for asn in (1, 2, 9):
+        topo.add_as(asn)
+    topo.add_transit(customer=1, provider=2)
+    topo.add_transit(customer=9, provider=2)   # provider route 1-2-9
+    topo.add_peering(1, 9)                     # peer route 1-9
+    assert topo.as_path(1, 9) == [1, 9]
+
+
+def test_unknown_as_raises_keyerror():
+    topo = ASTopology()
+    topo.add_as(1)
+    with pytest.raises(KeyError):
+        topo.as_path(1, 42)
+    with pytest.raises(KeyError):
+        topo.add_transit(customer=1, provider=42)
+
+
+def test_neighbors_sorted_unique():
+    topo = _chain_topology()
+    assert topo.neighbors(3) == [2, 4]
+
+
+def test_deterministic_tiebreak_lowest_asn():
+    # Two equal-rank equal-length provider routes: lowest ASN wins.
+    topo = ASTopology()
+    for asn in (1, 5, 7, 9):
+        topo.add_as(asn)
+    topo.add_transit(customer=1, provider=5)
+    topo.add_transit(customer=1, provider=7)
+    topo.add_transit(customer=9, provider=5)
+    topo.add_transit(customer=9, provider=7)
+    assert topo.as_path(1, 9) == [1, 5, 9]

@@ -1,0 +1,166 @@
+"""Service-layer fixtures: mini world + fabric + server fleets."""
+
+import ipaddress
+import random
+
+import pytest
+
+from repro.geo import default_city_registry
+from repro.net import ASTopology, LatencyModel
+from repro.net.ipv4 import parse_ip
+from repro.services import (
+    CDNProvider,
+    DNSService,
+    ServerSite,
+    ServiceFabric,
+    ServiceProvider,
+    SpeedtestFleet,
+    SpeedtestServer,
+)
+from tests.worldkit import build_mini_world
+
+
+def _site(cities, name, iso3, ip):
+    return ServerSite(city=cities.get(name, iso3), ip=parse_ip(ip))
+
+
+@pytest.fixture()
+def world():
+    return build_mini_world()
+
+
+@pytest.fixture()
+def cities(world):
+    return world["cities"]
+
+
+@pytest.fixture()
+def topology():
+    topo = ASTopology()
+    # PGW providers, SPs, and a transit backbone.
+    for asn in (54825, 45143, 9587, 3352, 5384, 15169, 32934, 3356):
+        topo.add_as(asn)
+    for customer in (54825, 45143, 9587, 3352, 5384, 15169, 32934):
+        topo.add_transit(customer=customer, provider=3356)
+    # Direct peering between PGW providers and SPs (the Figure 6 norm).
+    topo.add_peering(54825, 15169)
+    topo.add_peering(54825, 32934)
+    topo.add_peering(45143, 15169)
+    return topo
+
+
+@pytest.fixture()
+def fabric(topology):
+    return ServiceFabric(latency=LatencyModel(), topology=topology)
+
+
+@pytest.fixture()
+def google(cities):
+    return ServiceProvider(
+        name="Google",
+        asn=15169,
+        edges=[
+            _site(cities, "Amsterdam", "NLD", "192.0.2.1"),
+            _site(cities, "Singapore", "SGP", "192.0.2.2"),
+            _site(cities, "Madrid", "ESP", "192.0.2.3"),
+            _site(cities, "Bangkok", "THA", "192.0.2.4"),
+            _site(cities, "Dubai", "ARE", "192.0.2.5"),
+        ],
+    )
+
+
+@pytest.fixture()
+def google_dns(cities):
+    return DNSService(
+        name="Google DNS",
+        anycast=True,
+        supports_doh=True,
+        anycast_miss_rate=0.0,  # deterministic nearest-site for unit tests
+        sites=[
+            _site(cities, "Amsterdam", "NLD", "192.0.2.10"),
+            _site(cities, "Singapore", "SGP", "192.0.2.11"),
+            _site(cities, "Madrid", "ESP", "192.0.2.12"),
+        ],
+    )
+
+
+@pytest.fixture()
+def singtel_dns(cities):
+    return DNSService(
+        name="Singtel",
+        anycast=False,
+        supports_doh=False,
+        sites=[_site(cities, "Singapore", "SGP", "192.0.2.20")],
+    )
+
+
+@pytest.fixture()
+def cloudflare(cities):
+    return CDNProvider(
+        name="Cloudflare",
+        edges=[
+            _site(cities, "Amsterdam", "NLD", "192.0.2.30"),
+            _site(cities, "Singapore", "SGP", "192.0.2.31"),
+            _site(cities, "Madrid", "ESP", "192.0.2.32"),
+            _site(cities, "Bangkok", "THA", "192.0.2.33"),
+        ],
+        origin=_site(cities, "San Jose", "USA", "192.0.2.39"),
+    )
+
+
+@pytest.fixture()
+def ookla(cities):
+    return SpeedtestFleet(
+        name="Ookla",
+        servers=[
+            SpeedtestServer(_site(cities, "Amsterdam", "NLD", "192.0.2.40")),
+            SpeedtestServer(_site(cities, "Singapore", "SGP", "192.0.2.41")),
+            SpeedtestServer(_site(cities, "Madrid", "ESP", "192.0.2.42")),
+            SpeedtestServer(_site(cities, "Bangkok", "THA", "192.0.2.43")),
+            SpeedtestServer(_site(cities, "Abu Dhabi", "ARE", "192.0.2.44")),
+        ],
+    )
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(99)
+
+
+def _esim(world, b_mno, plan, rng):
+    from repro.cellular import RSPServer
+
+    return RSPServer("Airalo").issue(world["operators"].get(b_mno), plan, rng)
+
+
+@pytest.fixture()
+def ihbo_session(world, rng):
+    """Airalo eSIM in Madrid breaking out at Packet Host Amsterdam."""
+    from repro.cellular import UserEquipment
+
+    sim = _esim(world, "Play", "ESP", rng)
+    ue = UserEquipment.provision("Samsung S21+ 5G", world["cities"].get("Madrid", "ESP"), rng)
+    ue.install_sim(sim)
+    return ue.switch_to(0, "Movistar", world["factory"], rng)
+
+
+@pytest.fixture()
+def hr_session(world, rng):
+    """Airalo eSIM in Abu Dhabi home-routed to Singtel Singapore."""
+    from repro.cellular import UserEquipment
+
+    sim = _esim(world, "Singtel", "ARE", rng)
+    ue = UserEquipment.provision("Samsung S21+ 5G", world["cities"].get("Abu Dhabi", "ARE"), rng)
+    ue.install_sim(sim)
+    return ue.switch_to(0, "Etisalat", world["factory"], rng)
+
+
+@pytest.fixture()
+def native_session(world, rng):
+    """Native Airalo eSIM on dtac in Bangkok."""
+    from repro.cellular import UserEquipment
+
+    sim = _esim(world, "dtac", "THA", rng)
+    ue = UserEquipment.provision("Samsung S21+ 5G", world["cities"].get("Bangkok", "THA"), rng)
+    ue.install_sim(sim)
+    return ue.switch_to(0, "dtac", world["factory"], rng)

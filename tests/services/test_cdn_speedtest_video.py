@@ -1,0 +1,231 @@
+"""Tests for CDN fetch timing, speedtest fleets, and the ABR player."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.cellular import BandwidthPolicy, RadioAccessTechnology, RadioConditions
+from repro.services import (
+    AdaptiveBitratePlayer,
+    Asset,
+    CDNProvider,
+    JQUERY_ASSET,
+    SpeedtestFleet,
+    VideoLadderRung,
+    YOUTUBE_LADDER,
+)
+from repro.services.cdn import slow_start_rounds
+
+
+GOOD = RadioConditions(RadioAccessTechnology.NR, cqi=12, rsrp_dbm=-80, snr_db=15)
+
+POLICY = BandwidthPolicy(
+    native_downlink_mbps=80.0,
+    native_uplink_mbps=25.0,
+    roaming_downlink_mbps=12.0,
+    roaming_uplink_mbps=6.0,
+)
+
+
+def test_slow_start_rounds():
+    assert slow_start_rounds(1) == 1
+    assert slow_start_rounds(14_600) == 1          # fits the initial window
+    assert slow_start_rounds(14_601) == 2
+    assert slow_start_rounds(JQUERY_ASSET.size_bytes) == 2
+    assert slow_start_rounds(1_000_000) > 4
+    with pytest.raises(ValueError):
+        slow_start_rounds(0)
+    with pytest.raises(ValueError):
+        slow_start_rounds(10, initcwnd_bytes=0)
+
+
+def test_asset_validation():
+    with pytest.raises(ValueError):
+        Asset("bad", 0)
+    assert JQUERY_ASSET.size_bytes == 30_288
+
+
+def test_edge_steering_by_resolver_location(cloudflare, cities):
+    # Resolver near the Amsterdam PGW steers to the Amsterdam edge.
+    assert cloudflare.edge_for(cities.get("Amsterdam", "NLD").location).city.name == "Amsterdam"
+    assert cloudflare.edge_for(cities.get("Bangkok", "THA").location).city.name == "Bangkok"
+
+
+def test_fetch_phases_positive_and_total(cloudflare, fabric, ihbo_session, cities, rng):
+    result = cloudflare.fetch(
+        session=ihbo_session,
+        fabric=fabric,
+        asset=JQUERY_ASSET,
+        dns_ms=25.0,
+        resolver_location=cities.get("Amsterdam", "NLD").location,
+        bandwidth_mbps=12.0,
+        rng=rng,
+    )
+    assert result.dns_ms == 25.0
+    for phase in (result.connect_ms, result.tls_ms, result.ttfb_ms):
+        assert phase > 0
+    assert result.total_ms == pytest.approx(
+        result.dns_ms + result.connect_ms + result.tls_ms + result.ttfb_ms + result.transfer_ms
+    )
+    assert result.provider == "Cloudflare"
+
+
+def test_hr_fetch_much_slower_than_native(cloudflare, fabric, hr_session, native_session, cities):
+    rng = random.Random(3)
+
+    def fetch_many(session, resolver_city, n=60):
+        loc = cities.get(*resolver_city).location
+        return [
+            cloudflare.fetch(session, fabric, JQUERY_ASSET, 30.0, loc, 10.0, rng).total_ms
+            for _ in range(n)
+        ]
+
+    hr = fetch_many(hr_session, ("Singapore", "SGP"))
+    native = fetch_many(native_session, ("Bangkok", "THA"))
+    # Paper: HR CDN downloads are several times slower than native.
+    assert statistics.median(hr) > 3 * statistics.median(native)
+
+
+def test_cache_miss_inflates_ttfb(cloudflare, fabric, native_session, cities):
+    rng = random.Random(5)
+    cold = CDNProvider(
+        name="Cold",
+        edges=cloudflare.edges,
+        origin=cloudflare.origin,
+        cache_hit_rate=0.0,
+    )
+    loc = cities.get("Bangkok", "THA").location
+    hit = cloudflare.fetch(native_session, fabric, JQUERY_ASSET, 10.0, loc, 10.0, rng)
+    miss = cold.fetch(native_session, fabric, JQUERY_ASSET, 10.0, loc, 10.0, rng)
+    assert not miss.cache_hit
+    assert miss.ttfb_ms > hit.ttfb_ms
+
+
+def test_country_cache_override(cloudflare, native_session, fabric, cities):
+    rng = random.Random(7)
+    tuned = CDNProvider(
+        name="Tuned",
+        edges=cloudflare.edges,
+        origin=cloudflare.origin,
+        cache_hit_rate=1.0,
+        country_cache_hit_rate={"THA": 0.0},
+    )
+    assert tuned.hit_rate_for("tha") == 0.0
+    assert tuned.hit_rate_for("ESP") == 1.0
+    loc = cities.get("Bangkok", "THA").location
+    result = tuned.fetch(native_session, fabric, JQUERY_ASSET, 10.0, loc, 10.0, rng)
+    assert not result.cache_hit
+
+
+def test_cdn_validation(cloudflare):
+    with pytest.raises(ValueError):
+        CDNProvider(name="bad", edges=[], origin=cloudflare.origin)
+    with pytest.raises(ValueError):
+        CDNProvider(
+            name="bad", edges=cloudflare.edges, origin=cloudflare.origin, cache_hit_rate=1.1
+        )
+
+
+def test_fetch_rejects_nonpositive_bandwidth(cloudflare, fabric, native_session, cities, rng):
+    with pytest.raises(ValueError):
+        cloudflare.fetch(
+            native_session, fabric, JQUERY_ASSET, 10.0,
+            cities.get("Bangkok", "THA").location, 0.0, rng,
+        )
+
+
+def test_speedtest_server_selection_follows_pgw(ookla, ihbo_session, hr_session):
+    # IHBO in Madrid breaks out in Amsterdam -> Amsterdam Ookla server.
+    assert ookla.nearest_server(ihbo_session.pgw_site.location).site.city.name == "Amsterdam"
+    assert ookla.nearest_server(hr_session.pgw_site.location).site.city.name == "Singapore"
+
+
+def test_speedtest_run_roaming_policy(ookla, fabric, ihbo_session, rng):
+    result = ookla.run(ihbo_session, fabric, POLICY, GOOD, rng)
+    assert result.latency_ms > 0
+    # Roaming policy caps downlink well below the native rate.
+    assert result.download_mbps < POLICY.native_downlink_mbps
+    assert result.upload_mbps < result.download_mbps
+
+
+def test_speedtest_native_faster_than_roaming(ookla, fabric, native_session, ihbo_session):
+    rng = random.Random(17)
+    native = [ookla.run(native_session, fabric, POLICY, GOOD, rng).download_mbps for _ in range(40)]
+    roaming = [ookla.run(ihbo_session, fabric, POLICY, GOOD, rng).download_mbps for _ in range(40)]
+    assert statistics.median(native) > 2 * statistics.median(roaming)
+
+
+def test_speedtest_uplink_asymmetry(ookla, fabric, ihbo_session):
+    rng_a = random.Random(23)
+    rng_b = random.Random(23)
+    normal = ookla.run(ihbo_session, fabric, POLICY, GOOD, rng_a)
+    throttled = ookla.run(ihbo_session, fabric, POLICY, GOOD, rng_b, uplink_asymmetry=0.4)
+    assert throttled.upload_mbps == pytest.approx(0.4 * normal.upload_mbps)
+    with pytest.raises(ValueError):
+        ookla.run(ihbo_session, fabric, POLICY, GOOD, rng_a, uplink_asymmetry=0.0)
+
+
+def test_speedtest_fleet_validation():
+    with pytest.raises(ValueError):
+        SpeedtestFleet(name="empty", servers=[])
+
+
+def test_ladder_and_player_validation():
+    with pytest.raises(ValueError):
+        VideoLadderRung(0, 5.0)
+    with pytest.raises(ValueError):
+        AdaptiveBitratePlayer(ladder=[])
+    with pytest.raises(ValueError):
+        AdaptiveBitratePlayer(safety=0.0)
+    with pytest.raises(ValueError):
+        AdaptiveBitratePlayer(max_rung_p=100)
+
+
+def test_player_caps_at_1440p():
+    player = AdaptiveBitratePlayer()
+    assert max(r.resolution_p for r in player.ladder) == 1440
+
+
+def test_fast_link_reaches_1080p_or_better():
+    player = AdaptiveBitratePlayer()
+    report = player.play(40.0, random.Random(3), duration_s=240)
+    assert report.share_at_or_above(1080) > 0.7
+    assert report.rebuffer_events <= 2
+
+
+def test_moderate_link_sits_at_720p():
+    # ~8 Mbps: 720p (5 Mbps) fits with safety margin, 1080p (8) does not.
+    player = AdaptiveBitratePlayer()
+    report = player.play(8.0, random.Random(5), duration_s=240)
+    assert report.dominant_resolution == "720p"
+
+
+def test_slow_link_degrades_and_rebuffers():
+    player = AdaptiveBitratePlayer()
+    report = player.play(1.0, random.Random(7), duration_s=240)
+    assert report.share_at_or_above(720) < 0.3
+    assert report.mean_buffer_s < 40.0
+
+
+def test_playback_deterministic_per_seed():
+    player = AdaptiveBitratePlayer()
+    a = player.play(10.0, random.Random(11), duration_s=120)
+    b = player.play(10.0, random.Random(11), duration_s=120)
+    assert a == b
+
+
+def test_playback_input_validation():
+    player = AdaptiveBitratePlayer()
+    with pytest.raises(ValueError):
+        player.play(0.0, random.Random(1))
+    with pytest.raises(ValueError):
+        player.play(5.0, random.Random(1), duration_s=0)
+
+
+def test_report_share_and_counts():
+    player = AdaptiveBitratePlayer()
+    report = player.play(6.0, random.Random(13), duration_s=120)
+    counts = report.resolution_counts
+    assert sum(counts.values()) == len(report.segment_resolutions) == 30
+    assert 0.0 <= report.share_at_or_above(480) <= 1.0

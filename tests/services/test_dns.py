@@ -1,0 +1,129 @@
+"""Tests for DNS services, anycast selection and DoH overhead."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.net.ipv4 import parse_ip
+from repro.services import DNSService, DoHOverheadModel, ServerSite
+
+
+def test_anycast_selects_resolver_near_breakout(google_dns, ihbo_session):
+    resolver = google_dns.select_resolver(ihbo_session.pgw_site.location)
+    # Breakout in Amsterdam -> Amsterdam resolver (same-country in Fig. terms).
+    assert resolver.city.name == "Amsterdam"
+    assert resolver.city.country_iso3 == ihbo_session.breakout_country
+
+
+def test_unicast_always_answers_from_home(singtel_dns, cities):
+    madrid = cities.get("Madrid", "ESP").location
+    assert singtel_dns.select_resolver(madrid).city.name == "Singapore"
+
+
+def test_resolve_reports_resolver_country(google_dns, fabric, ihbo_session, rng):
+    answer = google_dns.resolve(ihbo_session, fabric, rng)
+    assert answer.resolver_country == "NLD"
+    assert answer.service_name == "Google DNS"
+    assert answer.lookup_ms > 0
+
+
+def test_ihbo_resolution_uses_doh_by_default(google_dns, fabric, ihbo_session, rng):
+    answer = google_dns.resolve(ihbo_session, fabric, rng)
+    assert answer.used_doh  # session negotiated DoH (Android default)
+
+
+def test_doh_override_disables(google_dns, fabric, ihbo_session, rng):
+    answer = google_dns.resolve(ihbo_session, fabric, rng, use_doh=False)
+    assert not answer.used_doh
+
+
+def test_hr_resolution_never_doh(singtel_dns, fabric, hr_session, rng):
+    # Operator resolver does not support DoH regardless of device setting.
+    answer = singtel_dns.resolve(hr_session, fabric, rng)
+    assert not answer.used_doh
+
+
+def test_doh_inflates_median_lookup(google_dns, fabric, ihbo_session):
+    rng = random.Random(7)
+    with_doh = [
+        google_dns.resolve(ihbo_session, fabric, rng, use_doh=True).lookup_ms
+        for _ in range(300)
+    ]
+    rng = random.Random(7)
+    without = [
+        google_dns.resolve(ihbo_session, fabric, rng, use_doh=False).lookup_ms
+        for _ in range(300)
+    ]
+    assert statistics.median(with_doh) > statistics.median(without)
+
+
+def test_hr_lookup_slower_than_ihbo(singtel_dns, google_dns, fabric, hr_session, ihbo_session):
+    rng = random.Random(9)
+    hr_times = [singtel_dns.resolve(hr_session, fabric, rng).lookup_ms for _ in range(100)]
+    ihbo_times = [
+        google_dns.resolve(ihbo_session, fabric, rng, use_doh=False).lookup_ms
+        for _ in range(100)
+    ]
+    # GTP tunnel to Singapore dwarfs Madrid->Amsterdam even without DoH.
+    assert statistics.median(hr_times) > 2 * statistics.median(ihbo_times)
+
+
+def test_cache_misses_cost_more(google_dns, fabric, ihbo_session):
+    rng = random.Random(21)
+    answers = [google_dns.resolve(ihbo_session, fabric, rng, use_doh=False) for _ in range(400)]
+    hits = [a.lookup_ms for a in answers if a.cache_hit]
+    misses = [a.lookup_ms for a in answers if not a.cache_hit]
+    assert hits and misses
+    assert statistics.median(misses) > statistics.median(hits)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DNSService(name="bad", sites=[])
+    with pytest.raises(ValueError):
+        DoHOverheadModel(cold_probability=1.5)
+    with pytest.raises(ValueError):
+        DoHOverheadModel(extra_rtts=-1)
+
+
+def test_dns_service_cache_rate_validation(cities):
+    site = ServerSite(city=cities.get("Madrid", "ESP"), ip=parse_ip("192.0.2.50"))
+    with pytest.raises(ValueError):
+        DNSService(name="bad", sites=[site], cache_hit_rate=2.0)
+    with pytest.raises(ValueError):
+        DNSService(name="bad", sites=[site], recursive_penalty_ms=-1.0)
+
+
+def test_anycast_miss_routes_to_runner_up(cities):
+    """With a miss rate of 1.0 every query lands at the second-nearest site."""
+    service = DNSService(
+        name="miss", anycast=True, anycast_miss_rate=1.0,
+        sites=[
+            ServerSite(city=cities.get("Amsterdam", "NLD"), ip=parse_ip("192.0.2.60")),
+            ServerSite(city=cities.get("Frankfurt", "DEU"), ip=parse_ip("192.0.2.61")),
+            ServerSite(city=cities.get("Singapore", "SGP"), ip=parse_ip("192.0.2.62")),
+        ],
+    )
+    origin = cities.get("Amsterdam", "NLD").location
+    rng = random.Random(4)
+    assert service.select_resolver(origin, rng).city.name == "Frankfurt"
+    # Without an rng the selection stays deterministic nearest.
+    assert service.select_resolver(origin).city.name == "Amsterdam"
+
+
+def test_anycast_miss_rate_shapes_same_country_share(cities):
+    service = DNSService(
+        name="share", anycast=True, anycast_miss_rate=0.25,
+        sites=[
+            ServerSite(city=cities.get("Amsterdam", "NLD"), ip=parse_ip("192.0.2.70")),
+            ServerSite(city=cities.get("Frankfurt", "DEU"), ip=parse_ip("192.0.2.71")),
+        ],
+    )
+    origin = cities.get("Amsterdam", "NLD").location
+    rng = random.Random(8)
+    same = sum(
+        1 for _ in range(1000)
+        if service.select_resolver(origin, rng).city.country_iso3 == "NLD"
+    )
+    assert 0.68 < same / 1000 < 0.82  # ~the paper's 74%

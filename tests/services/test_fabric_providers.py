@@ -1,0 +1,84 @@
+"""Tests for the service fabric and service providers."""
+
+import random
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.net import ASTopology, LatencyModel
+from repro.net.ipv4 import parse_ip
+from repro.services import ServerSite, ServiceFabric, ServiceProvider
+
+
+def test_public_stretch_validation(topology):
+    with pytest.raises(ValueError):
+        ServiceFabric(LatencyModel(), topology, public_stretch=0.9)
+
+
+def test_session_rtt_composition(fabric, ihbo_session, cities):
+    server = cities.get("Amsterdam", "NLD").location
+    total = fabric.session_rtt_ms(ihbo_session, server)
+    private = fabric.private_rtt_ms(ihbo_session)
+    # The Amsterdam server is next to the PGW: public share is tiny.
+    assert total >= private
+    assert total - private < 3.0
+
+
+def test_hr_session_dominated_by_private_path(fabric, hr_session, cities):
+    # HR to Singapore, then back to a Dubai edge: private >> public? No —
+    # the edge near the PGW (Singapore) is what the paper observes.
+    server = cities.get("Singapore", "SGP").location
+    total = fabric.session_rtt_ms(hr_session, server)
+    private = fabric.private_rtt_ms(hr_session)
+    assert private / total > 0.95
+
+
+def test_radio_conditions_increase_rtt(fabric, ihbo_session):
+    from repro.cellular import RadioAccessTechnology, RadioConditions
+
+    server = GeoPoint(52.37, 4.90)
+    base = fabric.session_rtt_ms(ihbo_session, server)
+    cond = RadioConditions(RadioAccessTechnology.LTE, cqi=8, rsrp_dbm=-100, snr_db=5)
+    with_radio = fabric.session_rtt_ms(ihbo_session, server, conditions=cond)
+    assert with_radio > base + 20
+
+
+def test_sampled_rtt_deterministic_per_seed(fabric, ihbo_session):
+    server = GeoPoint(52.37, 4.90)
+    a = fabric.session_rtt_ms(ihbo_session, server, rng=random.Random(5))
+    b = fabric.session_rtt_ms(ihbo_session, server, rng=random.Random(5))
+    assert a == b
+
+
+def test_as_path_direct_peering(fabric, ihbo_session):
+    # Packet Host peers with Google: two ASNs, like most paper traceroutes.
+    assert fabric.as_path(ihbo_session, 15169) == [54825, 15169]
+
+
+def test_as_path_fallback_when_unrouted(fabric, ihbo_session):
+    # An ASN absent from the topology still yields the 2-AS opaque view.
+    assert fabric.as_path(ihbo_session, 64512) == [54825, 64512]
+
+
+def test_provider_nearest_edge(google, cities):
+    madrid = cities.get("Madrid", "ESP").location
+    assert google.nearest_edge(madrid).city.name == "Madrid"
+    bangkok = cities.get("Bangkok", "THA").location
+    assert google.nearest_edge(bangkok).city.name == "Bangkok"
+
+
+def test_provider_internal_hops_bounded(google):
+    rng = random.Random(3)
+    for _ in range(100):
+        hops = google.sample_internal_hops(rng)
+        assert 2 <= hops <= 7
+
+
+def test_provider_validation(cities):
+    with pytest.raises(ValueError):
+        ServiceProvider(name="X", asn=1, edges=[])
+    site = ServerSite(city=cities.get("Madrid", "ESP"), ip=parse_ip("192.0.2.9"))
+    with pytest.raises(ValueError):
+        ServiceProvider(name="X", asn=1, edges=[site], internal_hop_range=(5, 2))
+    with pytest.raises(ValueError):
+        ServiceProvider(name="X", asn=1, edges=[site], icmp_response_rate=1.5)

@@ -1,0 +1,143 @@
+"""Reusable mini-world builder for unit tests.
+
+A reduced ecosystem with one IHBO corridor (Play Poland -> Spain via
+Packet Host Amsterdam), one HR corridor (Singtel -> UAE), and one native
+operator (dtac Thailand). Unit tests across packages share it; the full
+calibrated world lives in ``repro.worlds``.
+"""
+
+from repro.cellular import (
+    AgreementRegistry,
+    IMSIRange,
+    MobileOperator,
+    OperatorRegistry,
+    PGWSite,
+    PLMN,
+    PGWSelection,
+    RoamingAgreement,
+    RoamingArchitecture,
+    SessionFactory,
+)
+from repro.geo import default_city_registry
+from repro.net import CarrierGradeNAT, LatencyModel
+
+
+def build_mini_world():
+    """Construct the shared mini world; returns a dict of its parts."""
+    cities = default_city_registry()
+    operators = OperatorRegistry()
+    play = MobileOperator(name="Play", country_iso3="POL", plmn=PLMN("260", "06"), asn=12912,
+                          home_city=cities.get("Warsaw", "POL"))
+    play.rent_range("Airalo", IMSIRange(prefix="2600677", label="airalo"))
+    singtel = MobileOperator(
+        name="Singtel", country_iso3="SGP", plmn=PLMN("525", "01"), asn=45143,
+        core_hop_depths=(8,), home_city=cities.get("Singapore", "SGP"),
+    )
+    singtel.rent_range("Airalo", IMSIRange(prefix="5250144", label="airalo"))
+    movistar = MobileOperator(
+        name="Movistar", country_iso3="ESP", plmn=PLMN("214", "07"), asn=3352
+    )
+    etisalat = MobileOperator(
+        name="Etisalat", country_iso3="ARE", plmn=PLMN("424", "02"), asn=5384
+    )
+    dtac = MobileOperator(
+        name="dtac", country_iso3="THA", plmn=PLMN("520", "05"), asn=9587,
+        core_hop_depths=(4, 5, 6, 7, 8, 9, 10),
+        home_city=cities.get("Bangkok", "THA"),
+    )
+    dtac.rent_range("Airalo", IMSIRange(prefix="5200533", label="airalo"))
+    for op in (play, singtel, movistar, etisalat, dtac):
+        operators.add(op)
+
+    pgw_sites = {
+        "packet-host-ams": PGWSite(
+            site_id="packet-host-ams",
+            provider_org="Packet Host",
+            provider_asn=54825,
+            city=cities.get("Amsterdam", "NLD"),
+            cgnat=CarrierGradeNAT(
+                [f"198.18.0.{i}" for i in range(1, 5)], name="ph-ams"
+            ),
+            private_hop_depths=(6, 7),
+        ),
+        "singtel-sgp": PGWSite(
+            site_id="singtel-sgp",
+            provider_org="Singtel",
+            provider_asn=45143,
+            city=cities.get("Singapore", "SGP"),
+            cgnat=CarrierGradeNAT(
+                [f"198.18.1.{i}" for i in range(1, 5)], name="singtel"
+            ),
+            private_hop_depths=(8,),
+        ),
+        "dtac-tha": PGWSite(
+            site_id="dtac-tha",
+            provider_org="dtac",
+            provider_asn=9587,
+            city=cities.get("Bangkok", "THA"),
+            cgnat=CarrierGradeNAT(
+                [f"198.18.2.{i}" for i in range(1, 16)], name="dtac"
+            ),
+            private_hop_depths=(4, 5, 6, 7, 8, 9, 10),
+        ),
+        "movistar-esp": PGWSite(
+            site_id="movistar-esp",
+            provider_org="Movistar",
+            provider_asn=3352,
+            city=cities.get("Madrid", "ESP"),
+            cgnat=CarrierGradeNAT(
+                [f"198.18.3.{i}" for i in range(1, 9)], name="movistar"
+            ),
+            private_hop_depths=(4, 5),
+        ),
+        "etisalat-are": PGWSite(
+            site_id="etisalat-are",
+            provider_org="Etisalat",
+            provider_asn=5384,
+            city=cities.get("Abu Dhabi", "ARE"),
+            cgnat=CarrierGradeNAT(
+                [f"198.18.4.{i}" for i in range(1, 9)], name="etisalat"
+            ),
+            private_hop_depths=(4, 5),
+        ),
+    }
+
+    agreements = AgreementRegistry(
+        [
+            RoamingAgreement(
+                b_mno_name="Play",
+                v_mno_name="Movistar",
+                architecture=RoamingArchitecture.IHBO,
+                pgw_site_ids=("packet-host-ams",),
+                selection=PGWSelection.UNIFORM,
+            ),
+            RoamingAgreement(
+                b_mno_name="Singtel",
+                v_mno_name="Etisalat",
+                architecture=RoamingArchitecture.HR,
+                pgw_site_ids=("singtel-sgp",),
+                tunnel_stretch=3.0,
+                extra_rtt_ms=40.0,
+            ),
+        ]
+    )
+
+    factory = SessionFactory(
+        operators=operators,
+        agreements=agreements,
+        pgw_sites=pgw_sites,
+        latency=LatencyModel(),
+        native_site_ids={
+            "dtac": "dtac-tha",
+            "Movistar": "movistar-esp",
+            "Etisalat": "etisalat-are",
+            "Singtel": "singtel-sgp",
+        },
+    )
+    return {
+        "operators": operators,
+        "agreements": agreements,
+        "pgw_sites": pgw_sites,
+        "factory": factory,
+        "cities": cities,
+    }

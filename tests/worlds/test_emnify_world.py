@@ -1,0 +1,51 @@
+"""Tests for the emnify methodology-validation world (Section 4.3.1)."""
+
+import random
+
+import pytest
+
+from repro.cellular.radio import RadioAccessTechnology, RadioConditions
+from repro.cellular.roaming import RoamingArchitecture
+from repro.measure.traceroute import postprocess
+from repro.worlds import build_emnify_world
+from repro.worlds import paperdata as pd
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_emnify_world()
+
+
+def test_session_is_ihbo_via_amazon_dublin(world):
+    rng = random.Random(1)
+    _, session = world.provision_session(rng)
+    assert session.architecture is RoamingArchitecture.IHBO
+    assert session.pgw_site.provider_asn == pd.ASN_AMAZON
+    assert session.breakout_country == "IRL"
+    assert session.v_mno_name == "O2 UK"
+
+
+def test_methodology_identifies_amazon_dublin(world):
+    """The ground-truth check: traceroutes geolocate the PGW to AS16509/Dublin."""
+    rng = random.Random(2)
+    esim, session = world.provision_session(rng)
+    conditions = RadioConditions(RadioAccessTechnology.NR, 11, -82.0, 14.0)
+    identified = set()
+    for target in ("Google", "YouTube", "Facebook"):
+        for _ in range(20):
+            result = world.engine.trace(
+                session, world.sp_targets[target], conditions, rng
+            )
+            record = postprocess(result, session, esim, conditions, world.geoip)
+            if not record.pgw_verified:
+                continue  # the paper discards runs whose CG-NAT hop timed out
+            geo = world.geoip.lookup(record.pgw_ip)
+            identified.add((geo.asn, geo.city))
+    assert identified == {(pd.ASN_AMAZON, "Dublin")}
+
+
+def test_emnify_esims_come_from_rented_range(world):
+    rng = random.Random(3)
+    esim, _ = world.provision_session(rng)
+    assert esim.provider == "emnify"
+    assert esim.imsi.value.startswith("9014377")

@@ -1,0 +1,67 @@
+"""Tests for world integrity validation."""
+
+import pytest
+
+from repro.cellular import PGWSelection, RoamingAgreement, RoamingArchitecture
+from repro.worlds import build_airalo_world
+from repro.worlds.validate import validate_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_airalo_world(seed=99)
+
+
+def test_calibrated_world_is_healthy(world):
+    assert validate_world(world) == []
+
+
+def test_detects_missing_agreement():
+    world = build_airalo_world(seed=101)
+    # Sabotage: drop one roaming agreement.
+    removed = world.agreements._by_key.pop(("Play", "Movistar"))  # noqa: SLF001
+    try:
+        problems = validate_world(world)
+        assert any("Play" in p and "Movistar" in p for p in problems)
+    finally:
+        world.agreements._by_key[removed.key] = removed  # noqa: SLF001
+
+
+def test_detects_unknown_pgw_site():
+    world = build_airalo_world(seed=102)
+    original = world.agreements.get("Polkomtel", "SFR")
+    broken = RoamingAgreement(
+        b_mno_name="Polkomtel",
+        v_mno_name="SFR",
+        architecture=RoamingArchitecture.IHBO,
+        pgw_site_ids=("no-such-site",),
+        selection=PGWSelection.STATIC_BMNO,
+    )
+    world.agreements._by_key[original.key] = broken  # noqa: SLF001
+    try:
+        problems = validate_world(world)
+        assert any("no-such-site" in p for p in problems)
+    finally:
+        world.agreements._by_key[original.key] = original  # noqa: SLF001
+
+
+def test_detects_missing_dns_service():
+    world = build_airalo_world(seed=103)
+    removed = world.resources.dns_services.pop("Google DNS")
+    try:
+        problems = validate_world(world)
+        assert any("Google DNS" in p for p in problems)
+    finally:
+        world.resources.dns_services["Google DNS"] = removed
+
+
+def test_detects_missing_policy():
+    world = build_airalo_world(seed=104)
+    operator = world.operators.get("Jazz")
+    saved = operator.bandwidth
+    operator.bandwidth = None
+    try:
+        problems = validate_world(world)
+        assert any("Jazz" in p and "policy" in p for p in problems)
+    finally:
+        operator.bandwidth = saved
