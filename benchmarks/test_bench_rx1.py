@@ -1,0 +1,25 @@
+"""Benchmark RX1: the campaign under paper-plausible fault injection.
+
+Beyond timing, this asserts the resilience acceptance bar: the faulted
+campaign still completes >= 95% of the plan, and the headline shape
+survives — native < IHBO < HR latency inflation, and roaming eSIMs
+skew slower than physical SIMs in the Figure 13 speed buckets.
+"""
+
+from repro.experiments import rx1
+
+from benchmarks._harness import report, run_once
+
+
+def test_bench_rx1(benchmark):
+    result = run_once(benchmark, rx1.run)
+    report("RX1", rx1.format_result(result))
+
+    assert result["completion_rate"] is not None
+    assert result["completion_rate"] >= rx1.COMPLETION_TARGET
+    assert result["inflation_ordering_holds"], result["mean_latency_ms"]
+
+    esim = result["esim_categories_stressed"]
+    sim = result["sim_categories_stressed"]
+    assert esim["slow"] > sim["slow"]
+    assert esim["fast"] < sim["fast"]

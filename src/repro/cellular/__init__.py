@@ -39,7 +39,7 @@ from repro.cellular.roaming import (
 )
 from repro.cellular.esim import SIMProfile, SIMKind, RSPServer, ProvisioningError, issue_physical_sim
 from repro.cellular.attach import SessionFactory
-from repro.cellular.ue import UserEquipment, AttachError
+from repro.cellular.ue import UserEquipment, AttachError, AttachReject, SimFlipError
 from repro.cellular.procedures import AttachTiming, estimate_attach_time_ms
 from repro.cellular.steering import (
     NetworkSelector,
@@ -95,6 +95,8 @@ __all__ = [
     "SessionFactory",
     "UserEquipment",
     "AttachError",
+    "AttachReject",
+    "SimFlipError",
     "AttachTiming",
     "estimate_attach_time_ms",
     "NetworkSelector",

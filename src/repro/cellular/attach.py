@@ -34,6 +34,19 @@ class AttachError(Exception):
     """Raised when a session cannot be established."""
 
 
+class AttachReject(AttachError):
+    """The network refused the attach with a 3GPP EMM cause code.
+
+    The field campaign saw these regularly (congested cells, transient
+    core failures); the fault injector replays them so the orchestration
+    layer's retry path is exercised.
+    """
+
+    def __init__(self, message: str, cause_code: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.cause_code = cause_code
+
+
 class SessionFactory:
     """Builds PDN sessions against a world's operators and agreements."""
 

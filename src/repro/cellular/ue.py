@@ -13,14 +13,23 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.cellular.attach import AttachError, SessionFactory
+from repro.cellular.attach import AttachError, AttachReject, SessionFactory
 from repro.cellular.core import PDNSession
 from repro.cellular.esim import SIMKind, SIMProfile
 from repro.cellular.identifiers import generate_imei
 from repro.cellular.radio import RadioAccessTechnology
 from repro.geo.cities import City
 
-__all__ = ["UserEquipment", "AttachError"]
+__all__ = ["UserEquipment", "AttachError", "AttachReject", "SimFlipError"]
+
+
+class SimFlipError(AttachError):
+    """A SIM flip wedged the PDP context; the modem needs another go.
+
+    Matches the field failure mode where switching between the physical
+    SIM and the eSIM left the baseband without a usable data context
+    until the flip was retried (or the device rebooted).
+    """
 
 
 @dataclass

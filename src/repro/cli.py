@@ -9,6 +9,7 @@ Exposes the reproduction from the shell::
     python -m repro campaign web
     python -m repro probe ESP                 # per-country eSIM diagnostic
     python -m repro market --country ESP --gb 3
+    python -m repro chaos --attach-reject 0.1 # campaign under injected faults
 """
 
 from __future__ import annotations
@@ -160,6 +161,28 @@ def _cmd_tools(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import ChaosConfig
+
+    try:
+        chaos = ChaosConfig(
+            seed=args.chaos_seed if args.chaos_seed is not None else args.seed,
+            attach_reject_rate=args.attach_reject,
+            sim_flip_failure_rate=args.sim_flip,
+            service_outage_rate=args.outage,
+            probe_timeout_rate=args.timeout,
+            churn_rate_per_day=args.churn,
+            malformed_upload_rate=args.upload_malformed,
+            max_makeup_days=args.makeup_days,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    study = ThickMnaStudy(seed=args.seed, chaos=chaos)
+    print(study.render("RX1", scale=args.scale))
+    return 0
+
+
 def _cmd_market(args: argparse.Namespace) -> int:
     from repro.market import provider_country_medians
 
@@ -221,6 +244,28 @@ def build_parser() -> argparse.ArgumentParser:
                              help="trip legs, e.g. ESP:2 FRA:1.5 THA:3")
     trip_parser.add_argument("--day", type=int, default=90)
 
+    chaos_parser = sub.add_parser(
+        "chaos", help="replay the device campaign under injected faults (RX1)"
+    )
+    chaos_parser.add_argument("--scale", type=float, default=None,
+                              help="campaign scale (default 0.15)")
+    chaos_parser.add_argument("--chaos-seed", type=int, default=None,
+                              help="fault-stream seed (default: --seed)")
+    chaos_parser.add_argument("--attach-reject", type=float, default=0.05,
+                              help="attach-reject probability per attempt")
+    chaos_parser.add_argument("--sim-flip", type=float, default=0.02,
+                              help="SIM-flip wedge probability per attach")
+    chaos_parser.add_argument("--outage", type=float, default=0.02,
+                              help="transient service-outage rate per test run")
+    chaos_parser.add_argument("--timeout", type=float, default=0.03,
+                              help="DNS/speedtest probe-timeout rate per run")
+    chaos_parser.add_argument("--churn", type=float, default=0.02,
+                              help="endpoint churn probability per day")
+    chaos_parser.add_argument("--upload-malformed", type=float, default=0.08,
+                              help="malformed web-upload rate per attempt")
+    chaos_parser.add_argument("--makeup-days", type=int, default=7,
+                              help="extra days to roll missed runs onto")
+
     market_parser = sub.add_parser("market", help="query the eSIM marketplace")
     market_parser.add_argument("--day", type=int, default=90,
                                help="crawl day (0 = 2024-02-01)")
@@ -237,6 +282,7 @@ _HANDLERS = {
     "probe": _cmd_probe,
     "tools": _cmd_tools,
     "trip": _cmd_trip,
+    "chaos": _cmd_chaos,
     "market": _cmd_market,
 }
 

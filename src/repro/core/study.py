@@ -10,7 +10,9 @@ Typical use::
     report = study.run_all(scale=0.1) # every table and figure
 
 Experiments are identified by the paper's artefact ids ("T2"-"T4",
-"F3"-"F20", "HX1" headline numbers, "HX2" emnify validation).
+"F3"-"F20", "HX1" headline numbers, "HX2" emnify validation) plus
+"RX1", the resilience check that replays the campaign under injected
+faults (see ``repro.faults``).
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ import importlib
 from typing import Dict, List, Optional
 
 from repro.experiments import common
+from repro.faults import ChaosConfig
 from repro.measure.dataset import MeasurementDataset
 from repro.worlds import AiraloWorld
 
@@ -47,6 +50,7 @@ EXPERIMENT_REGISTRY: Dict[str, str] = {
     "F20": "fig20",
     "HX1": "headline",
     "HX2": "validation",
+    "RX1": "rx1",          # resilience: headline shape under injected faults
     # Extensions: the paper's future-work items, implemented.
     "X1": "ext_voip",          # jitter / loss / VoIP MOS
     "X2": "ext_placement",     # dynamic PGW placement
@@ -63,10 +67,21 @@ _SCALED = {"T4", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13",
 
 
 class ThickMnaStudy:
-    """Drives the full reproduction for one seed."""
+    """Drives the full reproduction for one seed.
 
-    def __init__(self, seed: int = common.DEFAULT_SEED) -> None:
+    Pass ``chaos=ChaosConfig.paper_plausible(seed)`` (or any custom
+    :class:`~repro.faults.ChaosConfig`) to run every campaign under
+    injected faults; the default ``chaos=None`` reproduces the clean
+    campaigns byte-for-byte.
+    """
+
+    def __init__(
+        self,
+        seed: int = common.DEFAULT_SEED,
+        chaos: Optional[ChaosConfig] = None,
+    ) -> None:
         self.seed = seed
+        self.chaos = chaos
 
     # -- building blocks ---------------------------------------------------
 
@@ -77,11 +92,11 @@ class ThickMnaStudy:
 
     def device_dataset(self, scale: float = common.DEFAULT_SCALE) -> MeasurementDataset:
         """The Table 4 device campaign at ``scale``."""
-        return common.get_device_dataset(scale, self.seed)
+        return common.get_device_dataset(scale, self.seed, chaos=self.chaos)
 
     def web_dataset(self) -> MeasurementDataset:
         """The Table 3 web campaign."""
-        return common.get_web_dataset(self.seed)
+        return common.get_web_dataset(self.seed, chaos=self.chaos)
 
     # -- experiments -----------------------------------------------------------
 
@@ -103,6 +118,10 @@ class ThickMnaStudy:
         """Run one experiment and return its data series."""
         module = self._module(artefact_id)
         artefact_id = artefact_id.upper()
+        if artefact_id == "RX1":
+            return module.run(
+                scale=scale or common.DEFAULT_SCALE, seed=self.seed, chaos=self.chaos
+            )
         if artefact_id in _SCALED:
             return module.run(scale=scale or common.DEFAULT_SCALE, seed=self.seed)
         if artefact_id in ("F16", "F17", "F18", "F19"):

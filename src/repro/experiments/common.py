@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.faults import ChaosConfig
 from repro.geo import CountryRegistry, default_country_registry
 from repro.market import CrawlDataset, EsimDB, MarketCrawler, build_provider_universe
 from repro.measure.dataset import MeasurementDataset
@@ -20,8 +21,8 @@ DEFAULT_SCALE = 0.15
 DEFAULT_SEED = 2024
 
 _worlds: Dict[int, AiraloWorld] = {}
-_device_datasets: Dict[Tuple[int, float], MeasurementDataset] = {}
-_web_datasets: Dict[int, MeasurementDataset] = {}
+_device_datasets: Dict[Tuple[int, float, Optional[ChaosConfig]], MeasurementDataset] = {}
+_web_datasets: Dict[Tuple[int, Optional[ChaosConfig]], MeasurementDataset] = {}
 _market: Dict[int, Tuple[EsimDB, CrawlDataset]] = {}
 _countries: Optional[CountryRegistry] = None
 
@@ -33,18 +34,25 @@ def get_world(seed: int = DEFAULT_SEED) -> AiraloWorld:
 
 
 def get_device_dataset(
-    scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    chaos: Optional[ChaosConfig] = None,
 ) -> MeasurementDataset:
-    key = (seed, scale)
+    key = (seed, scale, chaos)
     if key not in _device_datasets:
-        _device_datasets[key] = get_world(seed).run_device_campaign(scale=scale)
+        _device_datasets[key] = get_world(seed).run_device_campaign(
+            scale=scale, chaos=chaos
+        )
     return _device_datasets[key]
 
 
-def get_web_dataset(seed: int = DEFAULT_SEED) -> MeasurementDataset:
-    if seed not in _web_datasets:
-        _web_datasets[seed] = get_world(seed).run_web_campaign()
-    return _web_datasets[seed]
+def get_web_dataset(
+    seed: int = DEFAULT_SEED, chaos: Optional[ChaosConfig] = None
+) -> MeasurementDataset:
+    key = (seed, chaos)
+    if key not in _web_datasets:
+        _web_datasets[key] = get_world(seed).run_web_campaign(chaos=chaos)
+    return _web_datasets[key]
 
 
 def get_countries() -> CountryRegistry:

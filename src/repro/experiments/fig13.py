@@ -55,6 +55,9 @@ def run(scale: float = common.DEFAULT_SCALE, seed: int = common.DEFAULT_SEED) ->
             if records:
                 per_country.append(speed_categories(records))
         keys = ("slow", "medium", "fast")
+        if not per_country:
+            # A fault-degraded campaign can lose every series of one kind.
+            return {key: 0.0 for key in keys}
         return {
             key: sum(shares[key] for shares in per_country) / len(per_country)
             for key in keys
@@ -107,5 +110,10 @@ def format_result(result: Dict) -> str:
         f"physical SIM: slow {sim['slow']:.1%} fast {sim['fast']:.1%} "
         f"(paper 31.9% / 48%)"
     )
-    lines.append(f"CQI filter retention: {result['cqi_retention']:.0%} (paper 80%)")
+    retention = result["cqi_retention"]
+    lines.append(
+        "CQI filter retention: "
+        + (f"{retention:.0%}" if retention is not None else "n/a")
+        + " (paper 80%)"
+    )
     return "\n".join(lines)

@@ -61,11 +61,16 @@ def run(scale: float = common.DEFAULT_SCALE, seed: int = common.DEFAULT_SEED) ->
 
 def format_result(result: Dict) -> str:
     paper = result["paper"]
+
+    def fmt(value) -> str:
+        # A partial (fault-degraded) series can miss an architecture.
+        return f"+{value:.0%}" if value is not None else "n/a"
+
     return "\n".join(
         [
-            f"HR latency inflation vs native:   +{result['hr_inflation']:.0%} "
+            f"HR latency inflation vs native:   {fmt(result['hr_inflation'])} "
             f"(paper +{paper['hr_inflation']:.0%})",
-            f"IHBO latency inflation vs native: +{result['ihbo_inflation']:.0%} "
+            f"IHBO latency inflation vs native: {fmt(result['ihbo_inflation'])} "
             f"(paper +{paper['ihbo_inflation']:.0%})",
             f"roaming-eSIM measurements >150 ms: "
             f"{result['esim_roaming_high_latency_share']:.1%} "

@@ -1,0 +1,28 @@
+"""Fault-injection substrate.
+
+Deterministic chaos for the measurement campaigns: a seeded
+:class:`FaultInjector` driven by a :class:`ChaosConfig` (default off),
+plus the resilience primitives (:class:`BackoffPolicy`,
+:class:`CircuitBreaker`) the orchestration layer wraps around it.
+"""
+
+from repro.faults.chaos import (
+    ATTACH_REJECT_CAUSES,
+    ChaosConfig,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+)
+from repro.faults.retry import BackoffPolicy, CircuitBreaker
+
+__all__ = [
+    "ATTACH_REJECT_CAUSES",
+    "BackoffPolicy",
+    "ChaosConfig",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+]

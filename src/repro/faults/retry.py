@@ -1,0 +1,86 @@
+"""Resilience primitives: exponential backoff and circuit breaking.
+
+The real AmiGo deployment survived flaky radios and flakier volunteers
+with the classic operational toolkit: retry with exponential backoff and
+jitter around every network operation, and a per-device circuit breaker
+that stops hammering an endpoint that keeps failing (MobileAtlas calls
+the same idea "probe quarantine"). Both are modelled here in simulated
+time — delays are accounted, never slept.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with a hard cap and multiplicative jitter.
+
+    The deterministic part (:meth:`schedule`) is monotone non-decreasing
+    and bounded by ``cap_s``; :meth:`delay_s` adds jitter drawn from the
+    caller's RNG stream, bounded by ``cap_s * (1 + jitter)``.
+    """
+
+    base_s: float = 1.0
+    factor: float = 2.0
+    cap_s: float = 60.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0:
+            raise ValueError("backoff base must be positive")
+        if self.factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if self.cap_s < self.base_s:
+            raise ValueError("backoff cap must be >= base")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def schedule(self, attempts: int) -> List[float]:
+        """Jitter-free delays before retry 1..attempts (monotone, capped)."""
+        return [min(self.base_s * self.factor**i, self.cap_s) for i in range(attempts)]
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        """The jittered delay before retry ``attempt`` (0-based)."""
+        base = min(self.base_s * self.factor**attempt, self.cap_s)
+        return base * (1.0 + self.jitter * rng.random())
+
+
+class CircuitBreaker:
+    """Quarantines an endpoint after K consecutive failures.
+
+    Any success closes the breaker and resets the count; the K-th
+    consecutive failure trips it, taking the endpoint out of rotation
+    for ``quarantine_days`` simulated days.
+    """
+
+    def __init__(self, threshold: int, quarantine_days: int) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if quarantine_days < 1:
+            raise ValueError("quarantine must last at least one day")
+        self.threshold = threshold
+        self.quarantine_days = quarantine_days
+        self.consecutive_failures = 0
+        self._reopen_day: Optional[int] = None
+        self.trip_days: List[int] = []
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._reopen_day = None
+
+    def record_failure(self, day: int) -> bool:
+        """Count one failure on ``day``; returns True when this trips it."""
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.threshold:
+            self._reopen_day = day + self.quarantine_days + 1
+            self.trip_days.append(day)
+            self.consecutive_failures = 0
+            return True
+        return False
+
+    def is_quarantined(self, day: int) -> bool:
+        return self._reopen_day is not None and day < self._reopen_day

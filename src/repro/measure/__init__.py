@@ -7,7 +7,10 @@ its measurement endpoints, and the web-based campaign runner.
 """
 
 from repro.measure.records import (
+    CampaignHealth,
     MeasurementContext,
+    QuarantineEvent,
+    TestHealth,
     TracerouteRecord,
     SpeedtestRecord,
     CDNRecord,
@@ -19,16 +22,31 @@ from repro.measure.traceroute import Hop, TracerouteEngine, TracerouteResult
 from repro.measure.ping import ping_provider
 from repro.measure.voip import VoIPRecord, probe_voip, rfc3550_jitter, e_model_r_factor, mos_from_r
 from repro.measure.clients import (
+    ProbeTimeout,
+    ServiceOutage,
+    TransientNetworkError,
     run_speedtest,
     fetch_from_cdn,
     probe_dns,
     probe_video,
 )
-from repro.measure.amigo import AmigoControlServer, MeasurementEndpoint, DeviceStatus
+from repro.measure.amigo import (
+    AmigoControlServer,
+    ConfigurationError,
+    MeasurementEndpoint,
+    DeviceStatus,
+)
 from repro.measure.webcampaign import WebCampaignRunner, ScreenshotValidator, UploadRejected
 
 __all__ = [
+    "CampaignHealth",
+    "ConfigurationError",
     "MeasurementContext",
+    "ProbeTimeout",
+    "QuarantineEvent",
+    "ServiceOutage",
+    "TestHealth",
+    "TransientNetworkError",
     "TracerouteRecord",
     "SpeedtestRecord",
     "CDNRecord",

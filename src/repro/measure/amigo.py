@@ -5,23 +5,44 @@ control server that endpoints poll over REST-like calls to (1) report
 device vitals and radio metrics and (2) receive instrumentation (which
 tests to run). Endpoints are rooted phones carrying a local physical SIM
 and an Airalo eSIM, flipping between them per battery of tests.
+
+Orchestration is resilient the way a real cron-driven fleet is: attaches
+and test runs retry with exponential backoff, a per-endpoint circuit
+breaker quarantines devices that keep failing, and missed runs roll onto
+later deployment days (make-up scheduling). All of it is inert unless a
+:class:`~repro.faults.ChaosConfig` is supplied — the clean path draws
+exactly the same RNG stream the fault-free implementation did.
+
+Loggers: ``repro.measure.amigo`` (retries at DEBUG, churn/quarantine and
+skipped endpoints at WARNING).
 """
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.cellular.attach import SessionFactory
+from repro.cellular.attach import AttachReject, SessionFactory
 from repro.cellular.core import PDNSession
 from repro.cellular.esim import SIMProfile
 from repro.cellular.mno import BandwidthPolicy, OperatorRegistry
 from repro.cellular.radio import RadioConditions
-from repro.cellular.ue import UserEquipment
+from repro.cellular.ue import SimFlipError, UserEquipment
+from repro.faults import ChaosConfig, CircuitBreaker, FaultInjector, FaultKind, FaultPlan
 from repro.geo.cities import City
-from repro.measure.clients import fetch_from_cdn, probe_dns, probe_video, run_speedtest
+from repro.measure.clients import (
+    ProbeTimeout,
+    ServiceOutage,
+    TransientNetworkError,
+    fetch_from_cdn,
+    probe_dns,
+    probe_video,
+    run_speedtest,
+)
 from repro.measure.dataset import MeasurementDataset
+from repro.measure.records import CampaignHealth, QuarantineEvent
 from repro.measure.traceroute import TracerouteEngine, postprocess
 from repro.net.geoip import GeoIPDatabase
 from repro.services.cdn import CDNProvider
@@ -30,6 +51,12 @@ from repro.services.fabric import ServiceFabric
 from repro.services.providers import ServiceProvider
 from repro.services.speedtest import SpeedtestFleet
 from repro.services.video import AdaptiveBitratePlayer
+
+logger = logging.getLogger("repro.measure.amigo")
+
+
+class ConfigurationError(RuntimeError):
+    """A session references services the testbed was not provisioned with."""
 
 
 @dataclass
@@ -49,7 +76,11 @@ class TestbedResources:
     def dns_for(self, session: PDNSession) -> DNSService:
         """The resolver service a session's DNS configuration points at."""
         if session.dns_operator not in self.dns_services:
-            raise KeyError(f"no DNS service registered for {session.dns_operator}")
+            raise ConfigurationError(
+                f"no DNS service registered for {session.dns_operator!r} "
+                f"(session {getattr(session, 'session_id', '?')}, "
+                f"v-MNO {getattr(session, 'v_mno_name', '?')})"
+            )
         return self.dns_services[session.dns_operator]
 
     def policy_for(self, session: PDNSession) -> BandwidthPolicy:
@@ -59,7 +90,11 @@ class TestbedResources:
             return operator.bandwidth
         parent = self.operators.parent_of(operator)
         if parent.bandwidth is None:
-            raise ValueError(f"{operator.name} has no bandwidth policy configured")
+            raise ConfigurationError(
+                f"{operator.name} has no bandwidth policy configured "
+                f"(nor has its host {parent.name}; session "
+                f"{getattr(session, 'session_id', '?')})"
+            )
         return parent.bandwidth
 
     def youtube_cap_for(self, session: PDNSession) -> Optional[float]:
@@ -111,6 +146,18 @@ class DeviceStatus:
 #: Test plan entry: (physical-SIM runs, eSIM runs), keyed by test name.
 TestPlan = Dict[str, Tuple[int, int]]
 
+#: Mutable per-endpoint backlog: test name -> [physical runs, eSIM runs].
+Backlog = Dict[str, List[int]]
+
+
+@dataclass
+class _EndpointChaos:
+    """Per-endpoint resilience state during a chaotic campaign."""
+
+    config: ChaosConfig
+    plan: FaultPlan
+    breaker: CircuitBreaker
+
 
 class MeasurementEndpoint:
     """A rooted phone executing instrumentation under server control."""
@@ -149,26 +196,45 @@ class MeasurementEndpoint:
 
     # -- data-plane execution ---------------------------------------------------
 
-    def run_battery(self, plan: TestPlan, day: int) -> MeasurementDataset:
+    def run_battery(
+        self,
+        plan: TestPlan,
+        day: int,
+        chaos: Optional[_EndpointChaos] = None,
+        health: Optional[CampaignHealth] = None,
+        backlog: Optional[Backlog] = None,
+        makeup: bool = False,
+    ) -> MeasurementDataset:
         """Execute one day's share of the plan on both SIMs.
 
         Each test script reattaches before running (the SIM flip tears the
         PDP context down anyway), so PGW selection is re-rolled per test
         type — which is how the paper observed Play/Telna eSIMs
         alternating between Packet Host and OVH within a deployment.
+
+        With ``chaos`` set, attaches and runs are retried with backoff;
+        runs that still fail are pushed onto ``backlog`` for make-up
+        scheduling, and final failures feed the circuit breaker.
         """
         dataset = MeasurementDataset()
+        country = self.deployment.country_iso3
         for use_esim in (False, True):
             for test_name, (sim_count, esim_count) in sorted(plan.items()):
                 count = esim_count if use_esim else sim_count
                 if count == 0:
                     continue
-                self._attach(use_esim)
+                if not self._attach_with_retry(use_esim, day, chaos, health):
+                    _push_backlog(backlog, test_name, use_esim, count)
+                    continue
                 sim = self.device.active_sim
                 session = self.device.session
                 assert session is not None
                 for _ in range(count):
-                    self._run_one(test_name, session, sim, day, dataset)
+                    done = self._run_with_retry(
+                        test_name, session, sim, day, dataset, chaos, health, makeup
+                    )
+                    if not done:
+                        _push_backlog(backlog, test_name, use_esim, 1)
         self.device.detach()
         return dataset
 
@@ -178,6 +244,120 @@ class MeasurementEndpoint:
             self.deployment.v_mno_esim if use_esim else self.deployment.v_mno_physical
         )
         self.device.switch_to(slot, v_mno, self.factory, self.rng)
+
+    def _attach_with_retry(
+        self,
+        use_esim: bool,
+        day: int,
+        chaos: Optional[_EndpointChaos],
+        health: Optional[CampaignHealth],
+    ) -> bool:
+        """Attach, retrying injected rejects/SIM-flip wedges with backoff."""
+        if chaos is None:
+            if health is not None:
+                health.attach_attempts += 1
+            self._attach(use_esim)
+            return True
+        country = self.deployment.country_iso3
+        for attempt in range(chaos.config.max_attach_attempts):
+            if health is not None:
+                health.attach_attempts += 1
+                if attempt:
+                    health.attach_retries += 1
+            try:
+                fault = chaos.plan.attach_fault(day)
+                if fault is not None:
+                    if fault.kind is FaultKind.SIM_FLIP:
+                        raise SimFlipError(fault.detail)
+                    raise AttachReject(fault.detail)
+                self._attach(use_esim)
+                chaos.breaker.record_success()
+                return True
+            except (AttachReject, SimFlipError) as error:
+                delay = chaos.plan.backoff_delay_s(attempt)
+                logger.debug(
+                    "%s day %d: attach attempt %d failed (%s); backing off %.1fs",
+                    country, day, attempt + 1, error, delay,
+                )
+        if health is not None:
+            health.attach_failures += 1
+        self._note_failure(day, chaos, health)
+        logger.warning(
+            "%s day %d: attach gave up after %d attempts",
+            country, day, chaos.config.max_attach_attempts,
+        )
+        return False
+
+    def _run_with_retry(
+        self,
+        test_name: str,
+        session: PDNSession,
+        sim: SIMProfile,
+        day: int,
+        dataset: MeasurementDataset,
+        chaos: Optional[_EndpointChaos],
+        health: Optional[CampaignHealth],
+        makeup: bool,
+    ) -> bool:
+        """One planned run, retried through injected outages/timeouts."""
+        country = self.deployment.country_iso3
+        cell = health.cell(country, test_name) if health is not None else None
+        if cell is not None:
+            cell.attempted += 1
+        if chaos is None:
+            self._run_one(test_name, session, sim, day, dataset)
+            if cell is not None:
+                cell.succeeded += 1
+            return True
+        for attempt in range(chaos.config.max_test_attempts):
+            try:
+                fault = chaos.plan.test_fault(test_name, day)
+                if fault is not None:
+                    if fault.kind is FaultKind.SERVICE_OUTAGE:
+                        raise ServiceOutage(f"{test_name}: service outage")
+                    raise ProbeTimeout(f"{test_name}: probe timed out")
+                self._run_one(test_name, session, sim, day, dataset)
+                if cell is not None:
+                    cell.succeeded += 1
+                    if makeup:
+                        cell.made_up += 1
+                chaos.breaker.record_success()
+                return True
+            except TransientNetworkError as error:
+                if cell is not None:
+                    cell.retried += 1
+                delay = chaos.plan.backoff_delay_s(attempt)
+                logger.debug(
+                    "%s day %d: %s attempt %d failed (%s); backing off %.1fs",
+                    country, day, test_name, attempt + 1, error, delay,
+                )
+        self._note_failure(day, chaos, health)
+        logger.info(
+            "%s day %d: %s gave up after %d attempts; rescheduling",
+            country, day, test_name, chaos.config.max_test_attempts,
+        )
+        return False
+
+    def _note_failure(
+        self,
+        day: int,
+        chaos: _EndpointChaos,
+        health: Optional[CampaignHealth],
+    ) -> None:
+        """Feed a final (post-retry) failure to the circuit breaker."""
+        if chaos.breaker.record_failure(day) and health is not None:
+            health.quarantines.append(
+                QuarantineEvent(
+                    country_iso3=self.deployment.country_iso3,
+                    imei=self.device.imei,
+                    day=day,
+                    consecutive_failures=chaos.breaker.threshold,
+                )
+            )
+            logger.warning(
+                "%s day %d: circuit breaker tripped; quarantined for %d days",
+                self.deployment.country_iso3, day, chaos.breaker.quarantine_days,
+            )
 
     def _sample_conditions(self) -> RadioConditions:
         rat = self.device.preferred_rat(self.rng)
@@ -244,9 +424,15 @@ class MeasurementEndpoint:
 class AmigoControlServer:
     """Coordinates endpoints: collects status pings, distributes plans."""
 
-    def __init__(self, resources: TestbedResources, factory: SessionFactory) -> None:
+    def __init__(
+        self,
+        resources: TestbedResources,
+        factory: SessionFactory,
+        chaos: Optional[ChaosConfig] = None,
+    ) -> None:
         self.resources = resources
         self.factory = factory
+        self.chaos = chaos
         self._endpoints: List[MeasurementEndpoint] = []
         self.status_log: List[DeviceStatus] = []
 
@@ -266,31 +452,163 @@ class AmigoControlServer:
 
         ``plans`` maps country ISO3 to the total per-test counts; counts
         are split evenly across the deployment's days (remainder lands on
-        the earliest days, like a cron-driven battery does).
+        the earliest days, like a cron-driven battery does). The result's
+        ``health`` carries the degradation accounting — full completion
+        and no incidents unless the server was built with a chaos config.
         """
         dataset = MeasurementDataset()
+        health = dataset.health
+        injector = (
+            FaultInjector(self.chaos)
+            if self.chaos is not None and self.chaos.enabled
+            else None
+        )
         for endpoint in self._endpoints:
             country = endpoint.deployment.country_iso3
             if country not in plans:
+                label = f"{country}:{endpoint.device.imei}"
+                logger.warning(
+                    "endpoint %s registered but its country has no plan; skipping",
+                    label,
+                )
+                health.skipped_endpoints.append(label)
                 continue
             plan = plans[country]
-            days = endpoint.deployment.duration_days
-            for day in range(days):
-                self.status_log.append(endpoint.report_status(day))
-                daily = {
-                    test: (
-                        _share(sim_count, day, days),
-                        _share(esim_count, day, days),
-                    )
-                    for test, (sim_count, esim_count) in plan.items()
-                }
-                daily = {t: c for t, c in daily.items() if c != (0, 0)}
-                if daily:
-                    dataset.merge(endpoint.run_battery(daily, day))
+            for test, (sim_count, esim_count) in plan.items():
+                health.cell(country, test).planned += sim_count + esim_count
+            if injector is None:
+                self._run_clean(endpoint, plan, dataset, health)
+            else:
+                self._run_resilient(endpoint, plan, injector, dataset, health)
         return dataset
+
+    # -- campaign drivers ---------------------------------------------------
+
+    def _run_clean(
+        self,
+        endpoint: MeasurementEndpoint,
+        plan: TestPlan,
+        dataset: MeasurementDataset,
+        health: CampaignHealth,
+    ) -> None:
+        """The fault-free path: bit-identical to the pre-chaos testbed."""
+        days = endpoint.deployment.duration_days
+        for day in range(days):
+            self.status_log.append(endpoint.report_status(day))
+            daily = _daily_share(plan, day, days)
+            if daily:
+                dataset.merge(endpoint.run_battery(daily, day, health=health))
+
+    def _run_resilient(
+        self,
+        endpoint: MeasurementEndpoint,
+        plan: TestPlan,
+        injector: FaultInjector,
+        dataset: MeasurementDataset,
+        health: CampaignHealth,
+    ) -> None:
+        """Chaotic path: churn/quarantine skip days, failures roll forward
+        onto later days, and make-up days drain the backlog at the end."""
+        config = injector.config
+        country = endpoint.deployment.country_iso3
+        chaos = _EndpointChaos(
+            config=config,
+            plan=injector.plan_for(f"{country}:{endpoint.device.imei}"),
+            breaker=CircuitBreaker(config.breaker_threshold, config.quarantine_days),
+        )
+        days = endpoint.deployment.duration_days
+        backlog: Backlog = {}
+        offline_until = -1
+        for day in range(days + config.max_makeup_days):
+            makeup = day >= days
+            if makeup and not _backlog_total(backlog):
+                break
+            if day <= offline_until or chaos.breaker.is_quarantined(day):
+                health.offline_days += 1
+                if not makeup:
+                    _defer_day(plan, day, days, backlog)
+                continue
+            churn = chaos.plan.churn_days(day)
+            if churn:
+                offline_until = day + churn - 1
+                health.offline_days += 1
+                logger.warning(
+                    "%s day %d: endpoint went dark for %d day(s)",
+                    country, day, churn,
+                )
+                if not makeup:
+                    _defer_day(plan, day, days, backlog)
+                continue
+            self.status_log.append(endpoint.report_status(day))
+            todays = _daily_share(plan, day, days) if not makeup else {}
+            todays = _merge_backlog(todays, backlog)
+            if makeup:
+                health.makeup_days += 1
+            if todays:
+                dataset.merge(
+                    endpoint.run_battery(
+                        todays, day, chaos=chaos, health=health,
+                        backlog=backlog, makeup=makeup,
+                    )
+                )
+        for test, (sim_count, esim_count) in sorted(
+            (t, tuple(c)) for t, c in backlog.items()
+        ):
+            dropped = sim_count + esim_count
+            if dropped:
+                health.cell(country, test).dropped += dropped
+                logger.warning(
+                    "%s: dropping %d %s run(s) after the make-up window",
+                    country, dropped, test,
+                )
 
 
 def _share(total: int, day: int, days: int) -> int:
     """Even split of ``total`` runs across ``days``, remainder first."""
     base, remainder = divmod(total, days)
     return base + (1 if day < remainder else 0)
+
+
+def _daily_share(plan: TestPlan, day: int, days: int) -> TestPlan:
+    """One day's slice of the plan, dropping empty entries."""
+    daily = {
+        test: (_share(sim_count, day, days), _share(esim_count, day, days))
+        for test, (sim_count, esim_count) in plan.items()
+    }
+    return {t: c for t, c in daily.items() if c != (0, 0)}
+
+
+def _backlog_total(backlog: Backlog) -> int:
+    return sum(sim_count + esim_count for sim_count, esim_count in backlog.values())
+
+
+def _push_backlog(
+    backlog: Optional[Backlog], test: str, use_esim: bool, count: int
+) -> None:
+    if backlog is None:
+        return
+    entry = backlog.setdefault(test, [0, 0])
+    entry[1 if use_esim else 0] += count
+
+
+def _defer_day(plan: TestPlan, day: int, days: int, backlog: Backlog) -> None:
+    """Roll a missed day's share forward onto the backlog."""
+    for test, (sim_count, esim_count) in _daily_share(plan, day, days).items():
+        entry = backlog.setdefault(test, [0, 0])
+        entry[0] += sim_count
+        entry[1] += esim_count
+
+
+def _merge_backlog(todays: TestPlan, backlog: Backlog) -> TestPlan:
+    """Today's share plus everything owed; consumes the backlog."""
+    merged = {test: list(counts) for test, counts in todays.items()}
+    for test, (sim_count, esim_count) in backlog.items():
+        entry = merged.setdefault(test, [0, 0])
+        entry[0] += sim_count
+        entry[1] += esim_count
+    backlog.clear()
+    return {
+        test: (sim_count, esim_count)
+        for test, (sim_count, esim_count) in merged.items()
+        if (sim_count, esim_count) != (0, 0)
+    }

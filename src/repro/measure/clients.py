@@ -29,6 +29,18 @@ from repro.services.speedtest import SpeedtestFleet
 from repro.services.video import AdaptiveBitratePlayer
 
 
+class TransientNetworkError(RuntimeError):
+    """A client run failed for a reason a retry can plausibly fix."""
+
+
+class ServiceOutage(TransientNetworkError):
+    """The target service (PGW path, speedtest server, CDN edge) was down."""
+
+
+class ProbeTimeout(TransientNetworkError):
+    """The probe (DNS lookup, speedtest, fetch) timed out mid-run."""
+
+
 def run_speedtest(
     session: PDNSession,
     sim: SIMProfile,

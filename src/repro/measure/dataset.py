@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 from repro.cellular.esim import SIMKind
 from repro.cellular.roaming import RoamingArchitecture
 from repro.measure.records import (
+    CampaignHealth,
     CDNRecord,
     DNSRecord,
     SpeedtestRecord,
@@ -32,6 +33,9 @@ class MeasurementDataset:
     dns_probes: List[DNSRecord] = field(default_factory=list)
     video_probes: List[VideoRecord] = field(default_factory=list)
     web_measurements: List[WebMeasurementRecord] = field(default_factory=list)
+    #: Degradation accounting: attempted/succeeded/retried/dropped per
+    #: (country, test kind), quarantines, skipped endpoints.
+    health: CampaignHealth = field(default_factory=CampaignHealth)
 
     def merge(self, other: "MeasurementDataset") -> None:
         """Append every record of ``other`` into this dataset."""
@@ -41,6 +45,7 @@ class MeasurementDataset:
         self.dns_probes.extend(other.dns_probes)
         self.video_probes.extend(other.video_probes)
         self.web_measurements.extend(other.web_measurements)
+        self.health.merge(other.health)
 
     def total_records(self) -> int:
         return (

@@ -9,7 +9,7 @@ observables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cellular.core import PDNSession
 from repro.cellular.esim import SIMKind, SIMProfile
@@ -167,3 +167,135 @@ class WebMeasurementRecord:
     latency_ms: float
     resolver_service: str
     resolver_country: str
+
+
+# ---------------------------------------------------------------------------
+# Degradation accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TestHealth:
+    """Run accounting for one (country, test kind) cell of a campaign."""
+
+    planned: int = 0
+    attempted: int = 0
+    succeeded: int = 0
+    retried: int = 0
+    dropped: int = 0
+    made_up: int = 0
+
+    def merge(self, other: "TestHealth") -> None:
+        self.planned += other.planned
+        self.attempted += other.attempted
+        self.succeeded += other.succeeded
+        self.retried += other.retried
+        self.dropped += other.dropped
+        self.made_up += other.made_up
+
+
+@dataclass(frozen=True)
+class QuarantineEvent:
+    """A circuit breaker taking one device out of rotation."""
+
+    country_iso3: str
+    imei: str
+    day: int
+    consecutive_failures: int
+
+
+@dataclass
+class CampaignHealth:
+    """How much of the plan survived the campaign's operational weather.
+
+    Keys of ``tests`` are ``(country_iso3, test kind)`` where the kind is
+    the test name up to any ``:`` qualifier (``mtr:Google`` -> ``mtr``).
+    A clean (chaos-off) campaign reports full completion with zero
+    retries, quarantines and offline days.
+    """
+
+    tests: Dict[Tuple[str, str], TestHealth] = field(default_factory=dict)
+    quarantines: List[QuarantineEvent] = field(default_factory=list)
+    skipped_endpoints: List[str] = field(default_factory=list)
+    offline_days: int = 0
+    makeup_days: int = 0
+    attach_attempts: int = 0
+    attach_retries: int = 0
+    attach_failures: int = 0
+
+    @staticmethod
+    def test_kind(test_name: str) -> str:
+        return test_name.split(":", 1)[0]
+
+    def cell(self, country_iso3: str, test_name: str) -> TestHealth:
+        key = (country_iso3, self.test_kind(test_name))
+        if key not in self.tests:
+            self.tests[key] = TestHealth()
+        return self.tests[key]
+
+    # -- aggregates ---------------------------------------------------------
+
+    def _total(self, attr: str) -> int:
+        return sum(getattr(cell, attr) for cell in self.tests.values())
+
+    @property
+    def planned_total(self) -> int:
+        return self._total("planned")
+
+    @property
+    def succeeded_total(self) -> int:
+        return self._total("succeeded")
+
+    @property
+    def retried_total(self) -> int:
+        return self._total("retried")
+
+    @property
+    def dropped_total(self) -> int:
+        return self._total("dropped")
+
+    def completion_rate(self) -> Optional[float]:
+        """Fraction of planned runs that produced a record (None if no plan)."""
+        if self.planned_total == 0:
+            return None
+        return self.succeeded_total / self.planned_total
+
+    def merge(self, other: "CampaignHealth") -> None:
+        for key, cell in other.tests.items():
+            if key not in self.tests:
+                self.tests[key] = TestHealth()
+            self.tests[key].merge(cell)
+        self.quarantines.extend(other.quarantines)
+        self.skipped_endpoints.extend(other.skipped_endpoints)
+        self.offline_days += other.offline_days
+        self.makeup_days += other.makeup_days
+        self.attach_attempts += other.attach_attempts
+        self.attach_retries += other.attach_retries
+        self.attach_failures += other.attach_failures
+
+    def render(self) -> str:
+        """Human-readable health report (the CLI's ``chaos`` output)."""
+        lines = [
+            f"{'Country':8} {'Test':10} {'plan':>6} {'ok':>6} {'retry':>6} "
+            f"{'drop':>6} {'makeup':>6}"
+        ]
+        for (country, kind), cell in sorted(self.tests.items()):
+            lines.append(
+                f"{country:8} {kind:10} {cell.planned:>6} {cell.succeeded:>6} "
+                f"{cell.retried:>6} {cell.dropped:>6} {cell.made_up:>6}"
+            )
+        rate = self.completion_rate()
+        lines.append(
+            f"plan completion: {rate:.1%}" if rate is not None
+            else "plan completion: n/a"
+        )
+        lines.append(
+            f"attach: {self.attach_attempts} attempts, "
+            f"{self.attach_retries} retries, {self.attach_failures} gave up"
+        )
+        lines.append(
+            f"quarantines: {len(self.quarantines)}; offline days: "
+            f"{self.offline_days}; make-up days: {self.makeup_days}; "
+            f"skipped endpoints: {len(self.skipped_endpoints)}"
+        )
+        return "\n".join(lines)

@@ -5,10 +5,19 @@ screenshot of their network settings (validated — in the paper by a
 vision model — to prove the Airalo eSIM is active and Wi-Fi is off), the
 page retrieves their DNS configuration, then runs a fast.com-style
 speedtest in an iframe and parses the uploaded result.
+
+With a :class:`~repro.faults.ChaosConfig` supplied, the runner also
+weathers injected faults: unreadable uploads, attach rejects and probe
+timeouts all burn attempts from the volunteer's (enlarged) retry budget,
+and the dataset's health report accounts for what survived.
+
+Logger: ``repro.measure.webcampaign`` (rejected uploads at INFO,
+exhausted volunteers at WARNING).
 """
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -17,12 +26,19 @@ from repro.cellular.attach import SessionFactory
 from repro.cellular.esim import SIMProfile
 from repro.cellular.mno import OperatorRegistry
 from repro.cellular.ue import UserEquipment
+from repro.faults import ChaosConfig, FaultInjector, FaultPlan
 from repro.geo.cities import City
 from repro.measure.dataset import MeasurementDataset
 from repro.measure.records import MeasurementContext, WebMeasurementRecord
 from repro.services.dns import DNSService
 from repro.services.fabric import ServiceFabric
 from repro.services.speedtest import SpeedtestFleet
+
+logger = logging.getLogger("repro.measure.webcampaign")
+
+#: Attempts a volunteer makes per planned measurement (clean / chaotic).
+_ATTEMPT_BUDGET = 3
+_CHAOS_ATTEMPT_BUDGET = 6
 
 
 class UploadRejected(Exception):
@@ -91,6 +107,7 @@ class WebCampaignRunner:
         operators: OperatorRegistry,
         factory: SessionFactory,
         validator: Optional[ScreenshotValidator] = None,
+        chaos: Optional[ChaosConfig] = None,
     ) -> None:
         self.fabric = fabric
         self.fastcom = fastcom
@@ -98,40 +115,83 @@ class WebCampaignRunner:
         self.operators = operators
         self.factory = factory
         self.validator = validator or ScreenshotValidator()
+        self.chaos = chaos
         self.rejected_uploads = 0
 
     def run(self, volunteers: List[WebVolunteer], rng: random.Random) -> MeasurementDataset:
         dataset = MeasurementDataset()
+        injector = (
+            FaultInjector(self.chaos)
+            if self.chaos is not None and self.chaos.enabled
+            else None
+        )
         for volunteer in volunteers:
-            dataset.merge(self._run_volunteer(volunteer, rng))
+            plan = injector.plan_for(volunteer.name) if injector else None
+            dataset.merge(self._run_volunteer(volunteer, rng, plan))
         return dataset
 
     def _run_volunteer(
-        self, volunteer: WebVolunteer, rng: random.Random
+        self,
+        volunteer: WebVolunteer,
+        rng: random.Random,
+        plan: Optional[FaultPlan] = None,
     ) -> MeasurementDataset:
         dataset = MeasurementDataset()
+        cell = dataset.health.cell(volunteer.country_iso3, "web")
+        cell.planned += volunteer.planned_measurements
         device = UserEquipment.provision("volunteer phone", volunteer.city, rng)
         slot = device.install_sim(volunteer.esim)
 
         completed = 0
         attempts = 0
-        # Volunteers retry failed uploads, but give up eventually.
-        max_attempts = volunteer.planned_measurements * 3
+        # Volunteers retry failed uploads, but give up eventually; a
+        # chaotic campaign grants a larger budget (more retries needed).
+        budget = _ATTEMPT_BUDGET if plan is None else _CHAOS_ATTEMPT_BUDGET
+        max_attempts = volunteer.planned_measurements * budget
         while completed < volunteer.planned_measurements and attempts < max_attempts:
             attempts += 1
             day = (attempts - 1) * volunteer.duration_days // max_attempts
+            if plan is not None and plan.attach_fault(day) is not None:
+                # The eSIM would not attach; the volunteer tries later.
+                cell.retried += 1
+                plan.backoff_delay_s(0)
+                continue
             session = device.switch_to(slot, volunteer.v_mno_name, self.factory, rng)
+            cell.attempted += 1
 
             upload = self._simulate_upload(volunteer, session.v_mno_name, rng)
+            if plan is not None and plan.upload_malformed(day):
+                upload = ScreenshotUpload(
+                    shows_cellular=upload.shows_cellular,
+                    operator_shown=upload.operator_shown,
+                    readable=False,
+                )
             try:
                 self.validator.validate(upload, session.v_mno_name)
-            except UploadRejected:
+            except UploadRejected as error:
                 self.rejected_uploads += 1
+                cell.retried += 1
+                logger.info("%s day %d: upload rejected (%s)",
+                            volunteer.name, day, error)
+                continue
+
+            if plan is not None and plan.test_fault("web", day) is not None:
+                # fast.com iframe timed out; burn an attempt and retry.
+                cell.retried += 1
+                plan.backoff_delay_s(0)
                 continue
 
             record = self._measure(volunteer, device, session, day, rng)
             dataset.web_measurements.append(record)
+            cell.succeeded += 1
             completed += 1
+        if completed < volunteer.planned_measurements:
+            missing = volunteer.planned_measurements - completed
+            cell.dropped += missing
+            logger.warning(
+                "%s completed %d/%d measurements before exhausting retries",
+                volunteer.name, completed, volunteer.planned_measurements,
+            )
         device.detach()
         return dataset
 

@@ -33,6 +33,7 @@ from repro.cellular import (
     SessionFactory,
     issue_physical_sim,
 )
+from repro.faults import ChaosConfig
 from repro.geo import CityRegistry, CountryRegistry, default_city_registry, default_country_registry
 from repro.ipx import IPXNetwork, IPXProvider
 from repro.measure.amigo import (
@@ -171,13 +172,21 @@ class AiraloWorld:
         )
 
     def run_device_campaign(
-        self, scale: float = 1.0, seed_salt: int = 1
+        self,
+        scale: float = 1.0,
+        seed_salt: int = 1,
+        chaos: Optional[ChaosConfig] = None,
     ) -> MeasurementDataset:
-        """The full Table 4 campaign (``scale`` shrinks every test count)."""
+        """The full Table 4 campaign (``scale`` shrinks every test count).
+
+        ``chaos`` (default off) runs the campaign under injected faults
+        with the resilient orchestration; the result's ``health`` then
+        reports retries, quarantines and make-up scheduling.
+        """
         if scale <= 0:
             raise ValueError("scale must be positive")
         rng = self.rng(seed_salt)
-        server = AmigoControlServer(self.resources, self.factory)
+        server = AmigoControlServer(self.resources, self.factory, chaos=chaos)
         plans: Dict[str, Dict[str, Tuple[int, int]]] = {}
         for entry in pd.DEVICE_CAMPAIGN:
             server.register_endpoint(
@@ -214,7 +223,9 @@ class AiraloWorld:
                 )
         return volunteers
 
-    def run_web_campaign(self, seed_salt: int = 2) -> MeasurementDataset:
+    def run_web_campaign(
+        self, seed_salt: int = 2, chaos: Optional[ChaosConfig] = None
+    ) -> MeasurementDataset:
         rng = self.rng(seed_salt)
         runner = WebCampaignRunner(
             fabric=self.fabric,
@@ -222,6 +233,7 @@ class AiraloWorld:
             dns_services=self.resources.dns_services,
             operators=self.operators,
             factory=self.factory,
+            chaos=chaos,
         )
         return runner.run(self.web_volunteers(rng), rng)
 

@@ -14,8 +14,11 @@ def test_registry_covers_all_paper_artefacts():
     tables = {"T2", "T3", "T4"}
     figures = {f"F{i}" for i in range(3, 21)}
     headline = {"HX1", "HX2"}
+    resilience = {"RX1"}
     extensions = {"X1", "X2", "X3", "X4", "X5", "X6", "XA"}
-    assert set(EXPERIMENT_REGISTRY) == tables | figures | headline | extensions
+    assert set(EXPERIMENT_REGISTRY) == (
+        tables | figures | headline | resilience | extensions
+    )
 
 
 def test_available_experiments_sorted(study):

@@ -130,9 +130,38 @@ def test_policy_for_falls_back_to_parent(resources, world):
     assert policy is world["operators"].get("Movistar").bandwidth
 
 
-def test_dns_for_unknown_operator_raises(resources):
+def test_dns_for_unknown_operator_raises_configuration_error(resources):
+    from repro.measure import ConfigurationError
+
     class FakeSession:
         dns_operator = "Nobody"
+        session_id = "sess-42"
+        v_mno_name = "Movistar"
 
-    with pytest.raises(KeyError):
+    with pytest.raises(ConfigurationError) as excinfo:
         resources.dns_for(FakeSession())
+    message = str(excinfo.value)
+    assert "'Nobody'" in message
+    assert "sess-42" in message
+    assert "Movistar" in message
+
+
+def test_policy_for_unconfigured_operator_raises_configuration_error(resources, world):
+    from repro.cellular import MobileOperator, OperatorKind, PLMN
+    from repro.measure import ConfigurationError
+
+    bare = MobileOperator(
+        name="Barebones", country_iso3="ESP", plmn=PLMN("214", "42"),
+        asn=64500, kind=OperatorKind.MNO,
+    )
+    world["operators"].add(bare)
+
+    class FakeSession:
+        v_mno_name = "Barebones"
+        session_id = "sess-7"
+
+    with pytest.raises(ConfigurationError) as excinfo:
+        resources.policy_for(FakeSession())
+    message = str(excinfo.value)
+    assert "Barebones" in message
+    assert "sess-7" in message

@@ -1,0 +1,118 @@
+"""Property-based tests for the fault-injection substrate.
+
+Three invariants the chaos layer must never break:
+
+1. Chaos off (``None``, ``ChaosConfig.disabled()``, or enabled with every
+   rate at zero) yields datasets byte-identical to the fault-free seed.
+2. The same seed and the same fault plan replay the same campaign —
+   records AND the health ledger (retry counts, quarantines) match.
+3. Backoff schedules are monotone non-decreasing and bounded by the cap;
+   jittered delays stay within ``cap * (1 + jitter)``.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import BackoffPolicy, ChaosConfig
+from repro.measure.dataset import MeasurementDataset
+from tests.worldkit import run_mini_campaign
+
+
+def _records(dataset: MeasurementDataset):
+    return (
+        dataset.traceroutes,
+        dataset.speedtests,
+        dataset.cdn_fetches,
+        dataset.dns_probes,
+        dataset.video_probes,
+        dataset.web_measurements,
+    )
+
+
+def _health_state(dataset: MeasurementDataset):
+    health = dataset.health
+    return (
+        health.tests,
+        health.quarantines,
+        health.offline_days,
+        health.makeup_days,
+        health.attach_attempts,
+        health.attach_retries,
+        health.attach_failures,
+    )
+
+
+# ---------------------------------------------------------------------------
+# 1. Chaos off is invisible
+# ---------------------------------------------------------------------------
+
+def test_chaos_off_is_byte_identical():
+    baseline = run_mini_campaign(chaos=None)
+    for off in (
+        None,
+        ChaosConfig.disabled(),
+        ChaosConfig(),  # enabled but every rate at zero
+    ):
+        replay = run_mini_campaign(chaos=off)
+        assert _records(replay) == _records(baseline)
+
+
+# ---------------------------------------------------------------------------
+# 2. Same seed + same fault plan => same campaign
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=6, deadline=None)
+@given(
+    chaos_seed=st.integers(min_value=0, max_value=2**16),
+    attach_reject=st.floats(min_value=0.0, max_value=0.3),
+    outage=st.floats(min_value=0.0, max_value=0.25),
+    timeout=st.floats(min_value=0.0, max_value=0.25),
+    churn=st.floats(min_value=0.0, max_value=0.2),
+)
+def test_same_seed_and_plan_replay_identically(
+    chaos_seed, attach_reject, outage, timeout, churn
+):
+    config = ChaosConfig(
+        seed=chaos_seed,
+        attach_reject_rate=attach_reject,
+        service_outage_rate=outage,
+        probe_timeout_rate=timeout,
+        churn_rate_per_day=churn,
+    )
+    first = run_mini_campaign(chaos=config)
+    second = run_mini_campaign(chaos=config)
+    assert _records(first) == _records(second)
+    assert _health_state(first) == _health_state(second)
+
+
+# ---------------------------------------------------------------------------
+# 3. Backoff is monotone and bounded
+# ---------------------------------------------------------------------------
+
+@given(
+    base=st.floats(min_value=0.01, max_value=10.0),
+    factor=st.floats(min_value=1.0, max_value=5.0),
+    cap_mult=st.floats(min_value=1.0, max_value=100.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    attempts=st.integers(min_value=1, max_value=30),
+    jitter_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_backoff_monotone_and_bounded(
+    base, factor, cap_mult, jitter, attempts, jitter_seed
+):
+    policy = BackoffPolicy(
+        base_s=base, factor=factor, cap_s=base * cap_mult, jitter=jitter
+    )
+    schedule = policy.schedule(attempts)
+    assert len(schedule) == attempts
+    assert all(
+        later >= earlier for earlier, later in zip(schedule, schedule[1:])
+    )
+    assert all(policy.base_s <= delay <= policy.cap_s for delay in schedule)
+
+    rng = random.Random(jitter_seed)
+    ceiling = policy.cap_s * (1.0 + policy.jitter)
+    for attempt, planned in enumerate(schedule):
+        jittered = policy.delay_s(attempt, rng)
+        assert planned <= jittered <= ceiling
