@@ -1,0 +1,100 @@
+"""Benchmark the study runner: serial vs parallel, cold vs warm cache.
+
+Times four full ``run_all`` configurations over the same artefact set:
+
+* **cold serial** — empty disk cache, every input simulated from scratch;
+* **warm serial** — same cache directory, fresh in-memory state, every
+  input loaded from disk (what a second CLI invocation sees);
+* **cold parallel** / **warm parallel** — the same pair with ``jobs=2``.
+
+Asserts the two acceptance bars: the warm run is measurably faster than
+the cold one, and parallel rendering is byte-identical to serial. The
+serial/parallel delta is recorded, not asserted — speedup depends on the
+host's core count (this repo's CI runs on small shared runners).
+"""
+
+import os
+import time
+
+from repro.core import StudyRunner, ThickMnaStudy
+from repro.core import cache as cache_mod
+from repro.experiments import common
+
+from benchmarks._harness import report
+
+SCALE = 0.1
+JOBS = min(4, max(2, os.cpu_count() or 1))
+
+
+def _timed_run(jobs: int, cache_root) -> tuple:
+    """One full run_all from a cold in-memory state; returns (report, s)."""
+    common.clear_caches()
+    cache_mod.configure(root=cache_root)
+    started = time.perf_counter()
+    run_report = StudyRunner(seed=2024, jobs=jobs).run_all(scale=SCALE)
+    return run_report, time.perf_counter() - started
+
+
+def test_bench_runner_serial_parallel_cold_warm(benchmark, tmp_path_factory):
+    previous = cache_mod.get_default_cache()
+    saved_state = (
+        dict(common._worlds), dict(common._device_datasets),
+        dict(common._web_datasets), dict(common._market),
+    )
+    try:
+        serial_root = tmp_path_factory.mktemp("runner-serial-cache")
+        parallel_root = tmp_path_factory.mktemp("runner-parallel-cache")
+
+        cold_serial, cold_serial_s = _timed_run(1, serial_root)
+        warm_serial, warm_serial_s = _timed_run(1, serial_root)
+        cold_parallel, cold_parallel_s = _timed_run(JOBS, parallel_root)
+        warm_parallel, warm_parallel_s = _timed_run(JOBS, parallel_root)
+
+        # pytest-benchmark ledger entry: the steady-state (warm serial) run.
+        benchmark.pedantic(
+            lambda: StudyRunner(seed=2024, jobs=1).run_all(scale=SCALE),
+            rounds=1, iterations=1,
+        )
+
+        for run_report in (cold_serial, warm_serial, cold_parallel, warm_parallel):
+            assert not run_report.failed(), run_report.summary_table()
+
+        # Acceptance: same seed => byte-identical artefacts, any job count.
+        study = ThickMnaStudy(seed=2024)
+        for artefact_id in cold_serial.results:
+            rendered = study.format_result(artefact_id, cold_serial.results[artefact_id])
+            assert rendered == study.format_result(
+                artefact_id, warm_serial.results[artefact_id]
+            )
+            assert rendered == study.format_result(
+                artefact_id, cold_parallel.results[artefact_id]
+            )
+            assert rendered == study.format_result(
+                artefact_id, warm_parallel.results[artefact_id]
+            )
+
+        # Acceptance: the persistent cache pays for itself.
+        assert warm_serial_s < cold_serial_s, (warm_serial_s, cold_serial_s)
+        assert warm_serial.warm_wall_s < cold_serial.warm_wall_s
+
+        cache_mb = cache_mod.get_default_cache().total_bytes() / 1e6
+        lines = [
+            f"artefacts            : {len(cold_serial.results)} "
+            f"(scale={SCALE:g}, jobs={JOBS}, cores={os.cpu_count()})",
+            f"cold serial          : {cold_serial_s:6.2f}s "
+            f"(input build {cold_serial.warm_wall_s:.2f}s)",
+            f"warm serial          : {warm_serial_s:6.2f}s "
+            f"(input load  {warm_serial.warm_wall_s:.2f}s)",
+            f"cold parallel (x{JOBS})  : {cold_parallel_s:6.2f}s",
+            f"warm parallel (x{JOBS})  : {warm_parallel_s:6.2f}s",
+            f"warm/cold speedup    : {cold_serial_s / warm_serial_s:6.2f}x",
+            f"cache size on disk   : {cache_mb:6.1f} MB",
+        ]
+        report("RUNNER", "\n".join(lines))
+    finally:
+        common.clear_caches()
+        common._worlds.update(saved_state[0])
+        common._device_datasets.update(saved_state[1])
+        common._web_datasets.update(saved_state[2])
+        common._market.update(saved_state[3])
+        cache_mod.set_default_cache(previous)

@@ -10,11 +10,14 @@ Exposes the reproduction from the shell::
     python -m repro probe ESP                 # per-country eSIM diagnostic
     python -m repro market --country ESP --gb 3
     python -m repro chaos --attach-reject 0.1 # campaign under injected faults
+    python -m repro run-all --jobs 4          # every artefact, sharded
+    python -m repro cache info                # the persistent artifact store
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import random
 import statistics
 import sys
@@ -22,6 +25,26 @@ from typing import List, Optional
 
 from repro.core.study import EXPERIMENT_REGISTRY, ThickMnaStudy
 from repro.experiments import common
+
+
+def _configure_logging(verbose: bool) -> None:
+    """Route ``repro.*`` log records explicitly.
+
+    Campaign weather (retries, quarantines, endpoints going dark) is
+    logged at INFO by ``repro.measure``; without ``--verbose`` it stays
+    out of the CLI's output instead of leaking through the root
+    logger's last-resort handler.
+    """
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_cli", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(logging.INFO if verbose else logging.WARNING)
+    logger.propagate = False
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -40,8 +63,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     study = ThickMnaStudy(seed=args.seed)
     try:
         result = study.run(args.artefact, scale=args.scale)
-        module = study._module(args.artefact)  # noqa: SLF001
-        print(module.format_result(result))
+        print(study.format_result(args.artefact, result))
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
@@ -183,6 +205,57 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.core import cache as cache_mod
+    from repro.core.runner import StudyRunner
+
+    if args.cache_dir or args.no_cache:
+        cache_mod.configure(root=args.cache_dir, enabled=not args.no_cache)
+    runner = StudyRunner(seed=args.seed, jobs=args.jobs)
+    try:
+        report = runner.run_all(scale=args.scale, artefacts=args.artefacts or None)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    print(report.summary_table())
+    if args.render_dir:
+        study = ThickMnaStudy(seed=args.seed)
+        render_dir = pathlib.Path(args.render_dir)
+        render_dir.mkdir(parents=True, exist_ok=True)
+        for artefact_id, result in report.results.items():
+            (render_dir / f"{artefact_id}.txt").write_text(
+                study.format_result(artefact_id, result) + "\n"
+            )
+        print(f"(rendered artefacts written to {render_dir})")
+    if args.json:
+        report.save(args.json)
+        print(f"(run report written to {args.json})")
+    return 0 if not report.failed() else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.core import cache as cache_mod
+
+    if args.cache_dir:
+        cache_mod.configure(root=args.cache_dir)
+    store = cache_mod.get_default_cache()
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {store.root}")
+        return 0
+    info = store.info()
+    print(f"cache root : {info['root']}")
+    print(f"enabled    : {info['enabled']}")
+    print(f"entries    : {info['entry_count']}")
+    print(f"total size : {info['total_bytes'] / 1e6:.1f} MB")
+    for entry in info["entries"]:
+        print(f"  {entry['key']:50} {entry['size_bytes'] / 1e6:8.2f} MB")
+    return 0
+
+
 def _cmd_market(args: argparse.Namespace) -> int:
     from repro.market import provider_country_medians
 
@@ -217,6 +290,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Roam Without a Home' (IMC 2025)",
     )
     parser.add_argument("--seed", type=int, default=common.DEFAULT_SEED)
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="show campaign-weather logs (retries, quarantines)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
@@ -266,6 +341,30 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--makeup-days", type=int, default=7,
                               help="extra days to roll missed runs onto")
 
+    run_all_parser = sub.add_parser(
+        "run-all", help="run every artefact, optionally sharded over processes"
+    )
+    run_all_parser.add_argument("--jobs", type=int, default=1,
+                                help="worker processes (default 1 = in-process)")
+    run_all_parser.add_argument("--scale", type=float, default=None,
+                                help="campaign scale (default 0.15)")
+    run_all_parser.add_argument("--artefacts", nargs="*", metavar="ID",
+                                help="subset of artefact ids (default: all)")
+    run_all_parser.add_argument("--json", default=None, metavar="FILE",
+                                help="export the run report (ledger + results)")
+    run_all_parser.add_argument("--render-dir", default=None, metavar="DIR",
+                                help="also write each artefact's rendered text")
+    run_all_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                                help="persistent cache root (default "
+                                     "~/.cache/repro-airalo or $REPRO_CACHE_DIR)")
+    run_all_parser.add_argument("--no-cache", action="store_true",
+                                help="disable the persistent artifact cache")
+
+    cache_parser = sub.add_parser("cache", help="inspect the persistent artifact cache")
+    cache_parser.add_argument("action", choices=("info", "clear"))
+    cache_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="cache root to operate on")
+
     market_parser = sub.add_parser("market", help="query the eSIM marketplace")
     market_parser.add_argument("--day", type=int, default=90,
                                help="crawl day (0 = 2024-02-01)")
@@ -284,11 +383,14 @@ _HANDLERS = {
     "trip": _cmd_trip,
     "chaos": _cmd_chaos,
     "market": _cmd_market,
+    "run-all": _cmd_run_all,
+    "cache": _cmd_cache,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
     return _HANDLERS[args.command](args)
 
 

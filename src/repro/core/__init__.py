@@ -2,9 +2,22 @@
 
 :class:`ThickMnaStudy` is the one-stop entry point: build the calibrated
 world, run the paper's three campaigns, and regenerate any table or
-figure by its identifier.
+figure by its identifier. :class:`StudyRunner` shards ``run_all`` over
+worker processes; :class:`ArtifactCache` is the persistent store that
+makes fresh processes cheap (see :mod:`repro.core.cache`).
 """
 
+from repro.core.cache import ArtifactCache, CacheStats, fingerprint
+from repro.core.runner import ArtefactRun, RunReport, StudyRunner
 from repro.core.study import ThickMnaStudy, EXPERIMENT_REGISTRY
 
-__all__ = ["ThickMnaStudy", "EXPERIMENT_REGISTRY"]
+__all__ = [
+    "ArtefactRun",
+    "ArtifactCache",
+    "CacheStats",
+    "EXPERIMENT_REGISTRY",
+    "RunReport",
+    "StudyRunner",
+    "ThickMnaStudy",
+    "fingerprint",
+]

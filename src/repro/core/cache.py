@@ -1,0 +1,249 @@
+"""Persistent artifact cache for expensive build products.
+
+Worlds, campaign :class:`~repro.measure.dataset.MeasurementDataset`\\ s
+and market crawls are deterministic functions of ``(package version,
+seed, scale, ChaosConfig)`` — there is no reason to rebuild them in
+every fresh process. This module stores them as pickles under
+``~/.cache/repro-airalo/`` (override with ``$REPRO_CACHE_DIR``; disable
+entirely with ``$REPRO_CACHE_DISABLE=1``), keyed by a content
+fingerprint of everything that can change the bytes.
+
+Design rules:
+
+* **Atomic writes.** Entries are written to a temp file in the cache
+  directory and ``os.replace``\\ d into place, so a crashed or
+  concurrent writer can never leave a half-written entry under the
+  final name.
+* **Corruption tolerance.** A load that fails for *any* reason (
+  truncated pickle, stale class layout, wrong protocol) is treated as a
+  miss: the entry is deleted and the caller rebuilds. The cache can
+  therefore always be deleted, truncated or hand-edited with no effect
+  beyond a rebuild.
+* **Versioned keys.** The package version is part of every fingerprint,
+  so upgrading the simulator silently invalidates old entries instead
+  of serving artefacts built by different code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
+
+_SUFFIX = ".pkl"
+
+
+def default_cache_root() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-airalo``."""
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return pathlib.Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg).expanduser() if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro-airalo"
+
+
+def _fingerprint_value(value: Any) -> Any:
+    """Reduce a key component to canonical JSON-able data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _fingerprint_value(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _fingerprint_value(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_fingerprint_value(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def fingerprint(kind: str, **parts: Any) -> str:
+    """Stable content key: ``{kind}-{sha256 of the canonical parts}``.
+
+    ``parts`` should include everything that can change the artefact's
+    bytes — seed, scale, chaos config, package version. Dataclasses
+    (e.g. :class:`~repro.faults.ChaosConfig`) are flattened field by
+    field, so two equal configs always fingerprint identically.
+    """
+    canonical = json.dumps(
+        _fingerprint_value(parts), sort_keys=True, separators=(",", ":")
+    )
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return f"{kind}-{digest[:20]}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance (one process)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.stores, self.evictions)
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.stores - earlier.stores,
+            self.evictions - earlier.evictions,
+        )
+
+
+@dataclass(frozen=True)
+class CacheEntryInfo:
+    """One on-disk entry, as reported by ``python -m repro cache info``."""
+
+    key: str
+    size_bytes: int
+
+
+class ArtifactCache:
+    """Pickle store with atomic writes and corruption-tolerant loads."""
+
+    def __init__(
+        self,
+        root: Optional[Union[str, pathlib.Path]] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.root = pathlib.Path(root) if root is not None else default_cache_root()
+        self.enabled = enabled and os.environ.get(ENV_CACHE_DISABLE, "") not in (
+            "1", "true", "yes",
+        )
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}{_SUFFIX}"
+
+    # -- load / store -------------------------------------------------------
+
+    def load(self, key: str) -> Optional[Any]:
+        """The cached object, or ``None`` on miss *or* corrupt entry."""
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Truncated write, stale class layout, garbage bytes: drop the
+            # entry and let the caller rebuild from scratch.
+            self.stats.misses += 1
+            self.stats.evictions += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return value
+
+    def store(self, key: str, value: Any) -> Optional[pathlib.Path]:
+        """Atomically persist ``value``; returns the entry path."""
+        if not self.enabled:
+            return None
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=self.root, prefix=f".{key}.", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, path)
+        except Exception:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    # -- maintenance --------------------------------------------------------
+
+    def entries(self) -> List[CacheEntryInfo]:
+        if not self.root.is_dir():
+            return []
+        found = []
+        for path in sorted(self.root.glob(f"*{_SUFFIX}")):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            found.append(CacheEntryInfo(key=path.stem, size_bytes=size))
+        return found
+
+    def total_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry (and stray temp file); returns the count."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in list(self.root.glob(f"*{_SUFFIX}")) + list(
+            self.root.glob(f".*{_SUFFIX}.*")
+        ):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def info(self) -> Dict[str, Any]:
+        """Summary for the CLI: root, flag, entry list, totals."""
+        entries = self.entries()
+        return {
+            "root": str(self.root),
+            "enabled": self.enabled,
+            "entries": [dataclasses.asdict(entry) for entry in entries],
+            "entry_count": len(entries),
+            "total_bytes": sum(entry.size_bytes for entry in entries),
+        }
+
+
+# -- process-wide default ---------------------------------------------------
+
+_default_cache: Optional[ArtifactCache] = None
+
+
+def get_default_cache() -> ArtifactCache:
+    """The cache the experiment layer consults (created lazily)."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = ArtifactCache()
+    return _default_cache
+
+
+def set_default_cache(cache: ArtifactCache) -> ArtifactCache:
+    """Adopt ``cache`` as the process-wide default."""
+    global _default_cache
+    _default_cache = cache
+    return cache
+
+
+def configure(
+    root: Optional[Union[str, pathlib.Path]] = None,
+    enabled: bool = True,
+) -> ArtifactCache:
+    """Replace the process-wide default cache (tests, workers, CLI)."""
+    return set_default_cache(ArtifactCache(root=root, enabled=enabled))

@@ -1,0 +1,277 @@
+"""Parallel study runner: shard ``run_all`` across worker processes.
+
+The 31 artefacts are independent once the shared inputs (world, the two
+campaign datasets, the market crawl) exist, so the runner builds those
+once in the parent, persists them through :mod:`repro.core.cache`, and
+fans the per-artefact analysis out over a ``ProcessPoolExecutor``::
+
+    from repro.core import StudyRunner
+
+    report = StudyRunner(seed=2024, jobs=4).run_all(scale=0.15)
+    print(report.summary_table())
+    report.save("run-report.json")
+
+Every artefact gets its own ledger row (:class:`ArtefactRun`: wall
+time, worker id, cache hits/misses, error if any) and a failure in one
+artefact never aborts the others. Determinism is unchanged: workers
+compute exactly what the serial path computes, from byte-identical
+cached inputs, so ``jobs=N`` renders the same artefacts as ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core import cache as cache_mod
+from repro.faults import ChaosConfig
+
+#: Artefacts that need the device campaign / web campaign / market crawl;
+#: everything else runs off the world alone. Used only to decide what to
+#: warm ahead of the fan-out, never to skip work.
+_NEEDS_MARKET = {"F16", "F17", "F18", "F19", "X5"}
+
+
+@dataclass
+class ArtefactRun:
+    """Ledger row for one artefact in one ``run_all``."""
+
+    artefact_id: str
+    status: str  # "ok" | "error"
+    wall_s: float
+    worker: str  # e.g. "pid-12345"
+    cache_hits: int = 0
+    cache_misses: int = 0
+    error: str = ""
+
+
+@dataclass
+class RunReport:
+    """What a :class:`StudyRunner` run did, artefact by artefact."""
+
+    seed: int
+    scale: float
+    jobs: int
+    total_wall_s: float = 0.0
+    warm_wall_s: float = 0.0
+    runs: List[ArtefactRun] = field(default_factory=list)
+    #: Raw experiment results for the artefacts that succeeded.
+    results: Dict[str, Any] = field(default_factory=dict)
+
+    def ok(self) -> List[ArtefactRun]:
+        return [run for run in self.runs if run.status == "ok"]
+
+    def failed(self) -> List[ArtefactRun]:
+        return [run for run in self.runs if run.status != "ok"]
+
+    def summary_table(self) -> str:
+        """The ledger as fixed-width text (what ``run-all`` prints)."""
+        lines = [
+            f"{'artefact':9} {'status':7} {'wall':>8} {'worker':>10} "
+            f"{'hit':>4} {'miss':>4}",
+        ]
+        for run in self.runs:
+            lines.append(
+                f"{run.artefact_id:9} {run.status:7} {run.wall_s:7.2f}s "
+                f"{run.worker:>10} {run.cache_hits:4d} {run.cache_misses:4d}"
+            )
+        workers = {run.worker for run in self.runs}
+        lines.append(
+            f"{len(self.ok())}/{len(self.runs)} artefacts ok in "
+            f"{self.total_wall_s:.2f}s wall "
+            f"(warm-up {self.warm_wall_s:.2f}s, jobs={self.jobs}, "
+            f"{len(workers)} worker(s), seed={self.seed}, scale={self.scale:g})"
+        )
+        for run in self.failed():
+            first_line = run.error.strip().splitlines()[-1] if run.error else ""
+            lines.append(f"  FAILED {run.artefact_id}: {first_line}")
+        return "\n".join(lines)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """JSON-safe dict (ledger + flattened results)."""
+        from repro.experiments.export import jsonable
+
+        return {
+            "seed": self.seed,
+            "scale": self.scale,
+            "jobs": self.jobs,
+            "total_wall_s": self.total_wall_s,
+            "warm_wall_s": self.warm_wall_s,
+            "runs": [jsonable(run) for run in self.runs],
+            "results": {key: jsonable(value) for key, value in self.results.items()},
+        }
+
+    def save(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        import json
+        import pathlib
+
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_jsonable(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+# -- worker side -------------------------------------------------------------
+
+_WORKER_STUDY = None
+
+
+def _worker_init(
+    seed: int,
+    chaos: Optional[ChaosConfig],
+    cache_root: Optional[str],
+    cache_enabled: bool,
+) -> None:
+    """Process-pool initializer: point the worker at the parent's cache."""
+    from repro.core.study import ThickMnaStudy
+
+    cache_mod.configure(root=cache_root, enabled=cache_enabled)
+    global _WORKER_STUDY
+    _WORKER_STUDY = ThickMnaStudy(seed=seed, chaos=chaos)
+
+
+def _run_artefact(
+    artefact_id: str, scale: Optional[float]
+) -> Tuple[str, str, Any, str, float, str, int, int]:
+    """Run one artefact in this process; never raises."""
+    study = _WORKER_STUDY
+    assert study is not None, "worker used before _worker_init"
+    stats_before = cache_mod.get_default_cache().stats.snapshot()
+    started = time.perf_counter()
+    try:
+        result = study.run(artefact_id, scale=scale)
+        status, error = "ok", ""
+    except Exception:
+        result, status, error = None, "error", traceback.format_exc()
+    wall = time.perf_counter() - started
+    delta = cache_mod.get_default_cache().stats.delta(stats_before)
+    return (
+        artefact_id, status, result, error, wall,
+        f"pid-{os.getpid()}", delta.hits, delta.misses,
+    )
+
+
+# -- parent side -------------------------------------------------------------
+
+class StudyRunner:
+    """Runs a study's artefacts with warm shared inputs, optionally sharded.
+
+    ``jobs=1`` runs everything inline (no subprocess, still isolated per
+    artefact); ``jobs=N`` uses a ``ProcessPoolExecutor``. ``warm=False``
+    skips the parent-side input build, e.g. to measure cold-process
+    behaviour in benchmarks.
+    """
+
+    def __init__(
+        self,
+        seed: int = 2024,
+        chaos: Optional[ChaosConfig] = None,
+        jobs: int = 1,
+        cache: Optional[cache_mod.ArtifactCache] = None,
+        warm: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.seed = seed
+        self.chaos = chaos
+        self.jobs = jobs
+        self.cache = cache if cache is not None else cache_mod.get_default_cache()
+        self.warm = warm
+
+    def _study(self):
+        from repro.core.study import ThickMnaStudy
+
+        return ThickMnaStudy(seed=self.seed, chaos=self.chaos)
+
+    def warm_inputs(self, scale: float, artefacts: Sequence[str]) -> float:
+        """Build (or load) the shared inputs once, in the parent.
+
+        With the disk cache enabled this both warms this process's
+        in-memory layer and guarantees every worker finds the inputs on
+        disk instead of re-simulating the campaigns per process.
+        """
+        from repro.experiments import common
+
+        started = time.perf_counter()
+        common.get_world(self.seed)
+        common.get_device_dataset(scale, self.seed, chaos=self.chaos)
+        common.get_web_dataset(self.seed, chaos=self.chaos)
+        if any(artefact in _NEEDS_MARKET for artefact in artefacts):
+            common.get_market()
+        return time.perf_counter() - started
+
+    def run_all(
+        self,
+        scale: Optional[float] = None,
+        artefacts: Optional[Sequence[str]] = None,
+    ) -> RunReport:
+        """Run ``artefacts`` (default: all), return the ledger + results."""
+        from repro.experiments import common
+
+        if self.cache is not cache_mod.get_default_cache():
+            # The runner's cache becomes the process default so the
+            # experiment layer (and the warm-up) read and write it.
+            cache_mod.set_default_cache(self.cache)
+        study = self._study()
+        if artefacts is None:
+            artefacts = study.available_experiments()
+        else:
+            artefacts = [artefact.upper() for artefact in artefacts]
+            for artefact in artefacts:
+                study._module(artefact)  # fail fast on unknown ids
+        effective_scale = scale if scale is not None else common.DEFAULT_SCALE
+        report = RunReport(seed=self.seed, scale=effective_scale, jobs=self.jobs)
+        started = time.perf_counter()
+        if self.warm:
+            report.warm_wall_s = self.warm_inputs(effective_scale, artefacts)
+        if self.jobs == 1:
+            rows = self._run_serial(artefacts, scale)
+        else:
+            rows = self._run_parallel(artefacts, scale)
+        order = {artefact: index for index, artefact in enumerate(artefacts)}
+        for row in sorted(rows, key=lambda r: order[r[0]]):
+            artefact_id, status, result, error, wall, worker, hits, misses = row
+            report.runs.append(
+                ArtefactRun(
+                    artefact_id=artefact_id, status=status, wall_s=wall,
+                    worker=worker, cache_hits=hits, cache_misses=misses,
+                    error=error,
+                )
+            )
+            if status == "ok":
+                report.results[artefact_id] = result
+        report.total_wall_s = time.perf_counter() - started
+        return report
+
+    def _run_serial(self, artefacts, scale):
+        global _WORKER_STUDY
+        _WORKER_STUDY = self._study()
+        return [_run_artefact(artefact, scale) for artefact in artefacts]
+
+    def _run_parallel(self, artefacts, scale):
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_worker_init,
+            initargs=(
+                self.seed, self.chaos,
+                str(self.cache.root), self.cache.enabled,
+            ),
+        ) as pool:
+            futures = {
+                pool.submit(_run_artefact, artefact, scale): artefact
+                for artefact in artefacts
+            }
+            rows = []
+            for future in concurrent.futures.as_completed(futures):
+                try:
+                    rows.append(future.result())
+                except Exception:
+                    # A worker died (OOM, signal): isolate like any failure.
+                    rows.append((
+                        futures[future], "error", None, traceback.format_exc(),
+                        0.0, "pid-?", 0, 0,
+                    ))
+        return rows

@@ -130,14 +130,35 @@ class ThickMnaStudy:
             return module.run()
         return module.run(seed=self.seed)
 
+    def format_result(self, artefact_id: str, result: Dict) -> str:
+        """Format an already-computed ``run()`` result the paper's way.
+
+        Public counterpart of each experiment module's ``format_result``
+        so callers (the CLI, the runner) never need the module object.
+        """
+        return self._module(artefact_id).format_result(result)
+
     def render(self, artefact_id: str, scale: Optional[float] = None) -> str:
         """Run one experiment and format it the way the paper reports it."""
-        module = self._module(artefact_id)
-        return module.format_result(self.run(artefact_id, scale=scale))
+        return self.format_result(artefact_id, self.run(artefact_id, scale=scale))
 
-    def run_all(self, scale: Optional[float] = None) -> Dict[str, Dict]:
-        """Every table and figure; returns {artefact id: result}."""
-        return {
-            artefact_id: self.run(artefact_id, scale=scale)
-            for artefact_id in self.available_experiments()
-        }
+    def run_all(
+        self, scale: Optional[float] = None, jobs: int = 1
+    ) -> Dict[str, Dict]:
+        """Every table and figure; returns {artefact id: result}.
+
+        ``jobs>1`` shards the artefacts over worker processes via
+        :class:`repro.core.runner.StudyRunner`; the output is
+        byte-identical to the serial path for the same seed. Raises
+        ``RuntimeError`` if any artefact fails (use ``StudyRunner``
+        directly for the per-artefact ledger with isolated failures).
+        """
+        from repro.core.runner import StudyRunner
+
+        report = StudyRunner(
+            seed=self.seed, chaos=self.chaos, jobs=jobs
+        ).run_all(scale=scale)
+        if report.failed():
+            failures = ", ".join(run.artefact_id for run in report.failed())
+            raise RuntimeError(f"run_all failed for: {failures}")
+        return report.results

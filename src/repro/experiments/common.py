@@ -1,13 +1,25 @@
 """Shared experiment infrastructure: cached worlds and campaign datasets.
 
-Experiments reuse one world build and one campaign run per (seed, scale)
-so a full benchmark session does the expensive simulation once.
+Two cache layers sit under every getter:
+
+1. a process-local dict, so one benchmark session builds each expensive
+   input exactly once and always hands back the *same object*;
+2. the persistent :mod:`repro.core.cache` pickle store, so a fresh
+   process (a CLI invocation, a ``StudyRunner`` worker) loads the bytes
+   a previous process built instead of re-simulating the campaign.
+
+Entries are keyed by a content fingerprint of ``(package version, seed,
+scale, ChaosConfig)``; corrupt or stale entries fall back to a rebuild.
+``clear_caches()`` keeps its historical semantics — it drops only the
+in-memory layer (pass ``disk=True`` to also wipe the store).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+import repro
+from repro.core import cache as _cache
 from repro.faults import ChaosConfig
 from repro.geo import CountryRegistry, default_country_registry
 from repro.market import CrawlDataset, EsimDB, MarketCrawler, build_provider_universe
@@ -27,9 +39,19 @@ _market: Dict[int, Tuple[EsimDB, CrawlDataset]] = {}
 _countries: Optional[CountryRegistry] = None
 
 
+def _disk_key(kind: str, **parts) -> str:
+    return _cache.fingerprint(kind, version=repro.__version__, **parts)
+
+
 def get_world(seed: int = DEFAULT_SEED) -> AiraloWorld:
     if seed not in _worlds:
-        _worlds[seed] = build_airalo_world(seed=seed)
+        store = _cache.get_default_cache()
+        key = _disk_key("world", seed=seed)
+        world = store.load(key)
+        if world is None:
+            world = build_airalo_world(seed=seed)
+            store.store(key, world)
+        _worlds[seed] = world
     return _worlds[seed]
 
 
@@ -40,9 +62,13 @@ def get_device_dataset(
 ) -> MeasurementDataset:
     key = (seed, scale, chaos)
     if key not in _device_datasets:
-        _device_datasets[key] = get_world(seed).run_device_campaign(
-            scale=scale, chaos=chaos
-        )
+        store = _cache.get_default_cache()
+        disk_key = _disk_key("device-dataset", seed=seed, scale=scale, chaos=chaos)
+        dataset = store.load(disk_key)
+        if dataset is None:
+            dataset = get_world(seed).run_device_campaign(scale=scale, chaos=chaos)
+            store.store(disk_key, dataset)
+        _device_datasets[key] = dataset
     return _device_datasets[key]
 
 
@@ -51,7 +77,13 @@ def get_web_dataset(
 ) -> MeasurementDataset:
     key = (seed, chaos)
     if key not in _web_datasets:
-        _web_datasets[key] = get_world(seed).run_web_campaign(chaos=chaos)
+        store = _cache.get_default_cache()
+        disk_key = _disk_key("web-dataset", seed=seed, chaos=chaos)
+        dataset = store.load(disk_key)
+        if dataset is None:
+            dataset = get_world(seed).run_web_campaign(chaos=chaos)
+            store.store(disk_key, dataset)
+        _web_datasets[key] = dataset
     return _web_datasets[key]
 
 
@@ -65,15 +97,28 @@ def get_countries() -> CountryRegistry:
 def get_market(step_days: int = 7) -> Tuple[EsimDB, CrawlDataset]:
     """The aggregator plus a Feb-May crawl sampled every ``step_days``."""
     if step_days not in _market:
-        esimdb = EsimDB(build_provider_universe(), get_countries())
-        crawl = MarketCrawler(esimdb).crawl_daily(0, 120, step=step_days)
-        _market[step_days] = (esimdb, crawl)
+        store = _cache.get_default_cache()
+        disk_key = _disk_key("market-crawl", step_days=step_days)
+        pair = store.load(disk_key)
+        if pair is None:
+            esimdb = EsimDB(build_provider_universe(), get_countries())
+            crawl = MarketCrawler(esimdb).crawl_daily(0, 120, step=step_days)
+            pair = (esimdb, crawl)
+            store.store(disk_key, pair)
+        _market[step_days] = pair
     return _market[step_days]
 
 
-def clear_caches() -> None:
-    """Drop every cached world/dataset (for isolation in tests)."""
+def clear_caches(disk: bool = False) -> None:
+    """Drop every cached world/dataset (for isolation in tests).
+
+    The persistent store survives by default — it is content-addressed,
+    so a later getter returns equal bytes either way. ``disk=True``
+    additionally wipes it (what ``python -m repro cache clear`` does).
+    """
     _worlds.clear()
     _device_datasets.clear()
     _web_datasets.clear()
     _market.clear()
+    if disk:
+        _cache.get_default_cache().clear()

@@ -282,7 +282,7 @@ class MeasurementEndpoint:
         if health is not None:
             health.attach_failures += 1
         self._note_failure(day, chaos, health)
-        logger.warning(
+        logger.info(
             "%s day %d: attach gave up after %d attempts",
             country, day, chaos.config.max_attach_attempts,
         )
@@ -354,7 +354,7 @@ class MeasurementEndpoint:
                     consecutive_failures=chaos.breaker.threshold,
                 )
             )
-            logger.warning(
+            logger.info(
                 "%s day %d: circuit breaker tripped; quarantined for %d days",
                 self.deployment.country_iso3, day, chaos.breaker.quarantine_days,
             )
@@ -532,7 +532,7 @@ class AmigoControlServer:
             if churn:
                 offline_until = day + churn - 1
                 health.offline_days += 1
-                logger.warning(
+                logger.info(
                     "%s day %d: endpoint went dark for %d day(s)",
                     country, day, churn,
                 )
@@ -557,7 +557,7 @@ class AmigoControlServer:
             dropped = sim_count + esim_count
             if dropped:
                 health.cell(country, test).dropped += dropped
-                logger.warning(
+                logger.info(
                     "%s: dropping %d %s run(s) after the make-up window",
                     country, dropped, test,
                 )

@@ -11,7 +11,9 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+import os
 import pathlib
+import tempfile
 from typing import Any, Dict, Type, Union
 
 from repro.cellular.esim import SIMKind
@@ -75,15 +77,31 @@ def _decode_record(kind: str, payload: Dict[str, Any]):
 
 
 def save_dataset(dataset: MeasurementDataset, path: Union[str, pathlib.Path]) -> int:
-    """Write the dataset as JSON-lines; returns the record count."""
+    """Write the dataset as JSON-lines; returns the record count.
+
+    The write is atomic (temp file + rename in the target directory), so
+    an interrupted save never leaves a truncated file under ``path`` —
+    the same contract as the persistent artifact cache.
+    """
     path = pathlib.Path(path)
     count = 0
-    with path.open("w") as handle:
-        for kind, field_name in _FIELD_BY_TYPE.items():
-            for record in getattr(dataset, field_name):
-                line = {"type": kind, "record": _encode(record)}
-                handle.write(json.dumps(line) + "\n")
-                count += 1
+    handle = tempfile.NamedTemporaryFile(
+        mode="w", dir=path.parent or ".", prefix=f".{path.name}.", delete=False
+    )
+    try:
+        with handle:
+            for kind, field_name in _FIELD_BY_TYPE.items():
+                for record in getattr(dataset, field_name):
+                    line = {"type": kind, "record": _encode(record)}
+                    handle.write(json.dumps(line) + "\n")
+                    count += 1
+        os.replace(handle.name, path)
+    except Exception:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
     return count
 
 

@@ -188,7 +188,7 @@ class WebCampaignRunner:
         if completed < volunteer.planned_measurements:
             missing = volunteer.planned_measurements - completed
             cell.dropped += missing
-            logger.warning(
+            logger.info(
                 "%s completed %d/%d measurements before exhausting retries",
                 volunteer.name, completed, volunteer.planned_measurements,
             )

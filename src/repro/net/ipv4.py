@@ -69,6 +69,21 @@ class PrefixPool:
         self._subnets: Iterator[IPNetwork] = self._supernet.subnets(new_prefix=new_prefix)
         self._allocated: List[IPNetwork] = []
 
+    # Live generators cannot be pickled, but allocation order is
+    # deterministic: the allocated list says how far the stream advanced,
+    # so a restored pool re-derives the iterator and fast-forwards.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_subnets"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        subnets = self._supernet.subnets(new_prefix=self._new_prefix)
+        for _ in self._allocated:
+            next(subnets)
+        self._subnets = subnets
+
     @property
     def supernet(self) -> IPNetwork:
         return self._supernet
@@ -104,6 +119,21 @@ class AddressAllocator:
         self._network = ipaddress.IPv4Network(str(network))
         self._hosts = self._network.hosts()
         self._assignments: Dict[IPAddress, str] = {}
+
+    # Same pickling contract as PrefixPool: every allocation is recorded
+    # in ``_assignments`` (addresses are never handed out twice), so its
+    # size tells a restored allocator how far to advance a fresh stream.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_hosts"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        hosts = self._network.hosts()
+        for _ in range(len(self._assignments)):
+            next(hosts)
+        self._hosts = hosts
 
     @property
     def network(self) -> IPNetwork:

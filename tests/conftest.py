@@ -1,0 +1,17 @@
+"""Suite-wide fixtures.
+
+The persistent artifact cache is pointed at a per-session temp directory
+so tests never read or write ``~/.cache/repro-airalo``: the suite stays
+hermetic and immune to stale entries from other checkouts, while still
+exercising the disk-cache code paths.
+"""
+
+import pytest
+
+from repro.core import cache as cache_mod
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    cache_mod.configure(root=tmp_path_factory.mktemp("artifact-cache"))
+    yield

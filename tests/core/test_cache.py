@@ -1,0 +1,162 @@
+"""Tests for the persistent artifact cache (repro.core.cache)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core import cache as cache_mod
+from repro.core.cache import ArtifactCache, fingerprint
+from repro.faults import ChaosConfig
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactCache(root=tmp_path / "cache")
+
+
+# -- fingerprints -----------------------------------------------------------
+
+def test_fingerprint_stable_under_kwarg_order():
+    assert fingerprint("world", seed=1, scale=0.5) == fingerprint(
+        "world", scale=0.5, seed=1
+    )
+
+
+def test_fingerprint_separates_kinds_and_values():
+    base = fingerprint("world", seed=1)
+    assert fingerprint("dataset", seed=1) != base
+    assert fingerprint("world", seed=2) != base
+
+
+def test_fingerprint_flattens_chaos_config():
+    a = ChaosConfig(seed=7, attach_reject_rate=0.1)
+    b = ChaosConfig(seed=7, attach_reject_rate=0.1)
+    c = ChaosConfig(seed=7, attach_reject_rate=0.2)
+    assert fingerprint("d", chaos=a) == fingerprint("d", chaos=b)
+    assert fingerprint("d", chaos=a) != fingerprint("d", chaos=c)
+    assert fingerprint("d", chaos=None) != fingerprint("d", chaos=a)
+
+
+def test_fingerprint_is_filename_safe():
+    key = fingerprint("device-dataset", seed=2024, scale=0.15)
+    assert "/" not in key and key.startswith("device-dataset-")
+
+
+# -- store / load -----------------------------------------------------------
+
+def test_roundtrip(store):
+    key = fingerprint("blob", n=1)
+    assert store.load(key) is None
+    store.store(key, {"value": [1, 2, 3]})
+    assert store.load(key) == {"value": [1, 2, 3]}
+    assert store.stats.hits == 1
+    assert store.stats.misses == 1
+    assert store.stats.stores == 1
+
+
+def test_store_is_atomic_no_temp_leftovers(store):
+    store.store(fingerprint("blob", n=1), list(range(1000)))
+    names = [path.name for path in store.root.iterdir()]
+    assert len(names) == 1
+    assert not names[0].startswith(".")
+
+
+def test_truncated_entry_is_a_silent_miss(store):
+    key = fingerprint("blob", n=1)
+    path = store.store(key, list(range(1000)))
+    path.write_bytes(path.read_bytes()[:17])  # truncate mid-pickle
+    assert store.load(key) is None
+    assert store.stats.evictions == 1
+    assert not path.exists()  # corrupt entry dropped
+
+
+def test_garbage_entry_is_a_silent_miss(store):
+    key = fingerprint("blob", n=1)
+    path = store.store(key, "fine")
+    path.write_bytes(b"not a pickle at all")
+    assert store.load(key) is None
+
+
+def test_unresolvable_entry_class_is_a_silent_miss(store):
+    # Simulates a stale entry whose class no longer exists after an
+    # upgrade: well-formed pickle bytes, unresolvable import.
+    key = fingerprint("blob", n=1)
+    store.root.mkdir(parents=True)
+    (store.root / f"{key}.pkl").write_bytes(b"cno_such_module_xyz\nNoClass\n.")
+    assert store.load(key) is None
+    assert store.stats.evictions == 1
+
+
+def test_disabled_cache_never_touches_disk(tmp_path):
+    store = ArtifactCache(root=tmp_path / "cache", enabled=False)
+    assert store.store("k", 1) is None
+    assert store.load("k") is None
+    assert not (tmp_path / "cache").exists()
+
+
+def test_env_disable(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache_mod.ENV_CACHE_DISABLE, "1")
+    store = ArtifactCache(root=tmp_path / "cache")
+    assert not store.enabled
+
+
+def test_env_cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache_mod.ENV_CACHE_DIR, str(tmp_path / "elsewhere"))
+    assert cache_mod.default_cache_root() == tmp_path / "elsewhere"
+
+
+# -- maintenance ------------------------------------------------------------
+
+def test_info_and_clear(store):
+    store.store(fingerprint("a", n=1), "x")
+    store.store(fingerprint("b", n=2), "y" * 1000)
+    info = store.info()
+    assert info["entry_count"] == 2
+    assert info["total_bytes"] > 1000
+    assert store.clear() == 2
+    assert store.entries() == []
+
+
+def test_clear_on_missing_root(tmp_path):
+    assert ArtifactCache(root=tmp_path / "never-created").clear() == 0
+
+
+# -- integration with the experiment layer ----------------------------------
+
+def test_corrupt_disk_entry_triggers_rebuild(tmp_path):
+    """A truncated cached dataset must silently rebuild, byte-identical."""
+    from repro.experiments import common
+
+    previous = cache_mod.get_default_cache()
+    store = cache_mod.configure(root=tmp_path / "cache")
+    try:
+        common.clear_caches()
+        built = common.get_device_dataset(scale=0.03, seed=99)
+        entries = {p for p in store.root.glob("device-dataset-*.pkl")}
+        assert entries, "dataset was not persisted"
+        for path in entries:
+            path.write_bytes(path.read_bytes()[: os.path.getsize(path) // 2])
+        common.clear_caches()  # drop memory layer; disk is now corrupt
+        rebuilt = common.get_device_dataset(scale=0.03, seed=99)
+        assert rebuilt == built
+    finally:
+        common.clear_caches()
+        cache_mod.set_default_cache(previous)
+
+
+def test_warm_load_equals_fresh_build(tmp_path):
+    from repro.experiments import common
+
+    previous = cache_mod.get_default_cache()
+    cache_mod.configure(root=tmp_path / "cache")
+    try:
+        common.clear_caches()
+        built = common.get_web_dataset(seed=77)
+        common.clear_caches()
+        loaded = common.get_web_dataset(seed=77)  # from disk this time
+        assert loaded == built
+        assert cache_mod.get_default_cache().stats.hits >= 1
+    finally:
+        common.clear_caches()
+        cache_mod.set_default_cache(previous)

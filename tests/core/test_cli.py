@@ -106,3 +106,119 @@ def test_tools_catalogue(capsys):
     out = capsys.readouterr().out
     for tool in ("Speedtest", "Traceroute", "CDN", "DNS", "YouTube", "VoIP"):
         assert tool in out
+
+
+# -- run-all / cache / verbose ------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _restore_repro_logger():
+    """Undo ``main()``'s logging configuration after every CLI test.
+
+    The CLI intentionally stops ``repro.*`` records propagating to the
+    root logger; leaving that in place would starve ``caplog`` in tests
+    that run later in the session.
+    """
+    import logging
+
+    logger = logging.getLogger("repro")
+    state = (list(logger.handlers), logger.level, logger.propagate)
+    yield
+    logger.handlers[:], logger.level, logger.propagate = state[0], state[1], state[2]
+    logger.setLevel(state[1])
+
+
+@pytest.fixture()
+def cli_cache(tmp_path):
+    """Point the process-default cache at a throwaway dir for CLI tests."""
+    from repro.core import cache as cache_mod
+    from repro.experiments import common
+
+    previous = cache_mod.get_default_cache()
+    yield tmp_path / "cache"
+    common.clear_caches()
+    cache_mod.set_default_cache(previous)
+
+
+def test_run_all_subset(cli_cache, capsys):
+    assert main([
+        "run-all", "--scale", "0.05", "--artefacts", "T2", "F7",
+        "--cache-dir", str(cli_cache),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 artefacts ok" in out
+    assert "T2" in out and "F7" in out
+
+
+def test_run_all_exports_report_and_renders(cli_cache, tmp_path, capsys):
+    import json
+
+    report_path = tmp_path / "report.json"
+    render_dir = tmp_path / "rendered"
+    assert main([
+        "run-all", "--scale", "0.05", "--artefacts", "T2",
+        "--cache-dir", str(cli_cache),
+        "--json", str(report_path), "--render-dir", str(render_dir),
+    ]) == 0
+    data = json.loads(report_path.read_text())
+    assert data["runs"][0]["artefact_id"] == "T2"
+    assert "Packet Host" in (render_dir / "T2.txt").read_text()
+
+
+def test_run_all_unknown_artefact(cli_cache, capsys):
+    assert main([
+        "run-all", "--artefacts", "F99", "--cache-dir", str(cli_cache),
+    ]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_all_parallel_matches_serial(cli_cache, tmp_path, capsys):
+    serial_dir = tmp_path / "serial"
+    parallel_dir = tmp_path / "parallel"
+    artefacts = ["T2", "F7", "HX1"]
+    assert main([
+        "run-all", "--scale", "0.05", "--artefacts", *artefacts,
+        "--cache-dir", str(cli_cache), "--render-dir", str(serial_dir),
+    ]) == 0
+    assert main([
+        "run-all", "--scale", "0.05", "--artefacts", *artefacts, "--jobs", "2",
+        "--cache-dir", str(cli_cache), "--render-dir", str(parallel_dir),
+    ]) == 0
+    for artefact in artefacts:
+        assert (serial_dir / f"{artefact}.txt").read_bytes() == (
+            parallel_dir / f"{artefact}.txt"
+        ).read_bytes()
+
+
+def test_cache_info_and_clear(cli_cache, capsys):
+    assert main([
+        "run-all", "--scale", "0.05", "--artefacts", "T2",
+        "--cache-dir", str(cli_cache),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["cache", "info", "--cache-dir", str(cli_cache)]) == 0
+    out = capsys.readouterr().out
+    assert "cache root" in out and "world-" in out
+    assert main(["cache", "clear", "--cache-dir", str(cli_cache)]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert main(["cache", "info", "--cache-dir", str(cli_cache)]) == 0
+    assert "entries    : 0" in capsys.readouterr().out
+
+
+def test_chaos_weather_silent_by_default(capsys):
+    assert main(["chaos", "--churn", "0.3", "--scale", "0.03"]) == 0
+    captured = capsys.readouterr()
+    assert "went dark" not in captured.err
+    assert "went dark" not in captured.out
+
+
+def test_verbose_surfaces_campaign_weather(capsys):
+    from repro.experiments import common
+
+    # Force the campaign (and its logs) to actually re-run: drop the
+    # in-memory layer AND the disk entry the previous chaos test wrote.
+    common.clear_caches(disk=True)
+    assert main(["--verbose", "chaos", "--churn", "0.3", "--scale", "0.03"]) == 0
+    captured = capsys.readouterr()
+    assert "went dark" in captured.err
+    assert "went dark" not in captured.out

@@ -1,0 +1,123 @@
+"""Tests for the parallel study runner (repro.core.runner)."""
+
+import json
+
+import pytest
+
+from repro.core import StudyRunner, ThickMnaStudy
+from repro.core import cache as cache_mod
+
+#: Small, fast, representative mix: a topology table (world only), a
+#: device-campaign figure, the headline numbers and a market figure.
+SUBSET = ["T2", "F7", "HX1", "F18"]
+SCALE = 0.05
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path):
+    previous = cache_mod.get_default_cache()
+    store = cache_mod.configure(root=tmp_path / "cache")
+    from repro.experiments import common
+
+    common.clear_caches()
+    yield store
+    common.clear_caches()
+    cache_mod.set_default_cache(previous)
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError):
+        StudyRunner(jobs=0)
+
+
+def test_unknown_artefact_fails_fast():
+    with pytest.raises(KeyError):
+        StudyRunner(jobs=1).run_all(scale=SCALE, artefacts=["F99"])
+
+
+def test_serial_report_ledger(isolated_cache):
+    report = StudyRunner(seed=2024, jobs=1).run_all(scale=SCALE, artefacts=SUBSET)
+    assert [run.artefact_id for run in report.runs] == SUBSET
+    assert all(run.status == "ok" for run in report.runs)
+    assert set(report.results) == set(SUBSET)
+    assert report.total_wall_s > 0
+    assert len({run.worker for run in report.runs}) == 1
+    table = report.summary_table()
+    assert "4/4 artefacts ok" in table
+    assert "jobs=1" in table
+
+
+def test_parallel_matches_serial_byte_for_byte(isolated_cache):
+    study = ThickMnaStudy(seed=2024)
+    serial = StudyRunner(seed=2024, jobs=1).run_all(scale=SCALE, artefacts=SUBSET)
+    parallel = StudyRunner(seed=2024, jobs=2).run_all(scale=SCALE, artefacts=SUBSET)
+    assert not parallel.failed()
+    for artefact_id in SUBSET:
+        assert study.format_result(
+            artefact_id, serial.results[artefact_id]
+        ) == study.format_result(artefact_id, parallel.results[artefact_id])
+
+
+def test_parallel_runs_span_workers(isolated_cache):
+    report = StudyRunner(seed=2024, jobs=2).run_all(scale=SCALE, artefacts=SUBSET)
+    assert all(run.worker.startswith("pid-") for run in report.runs)
+
+
+def test_failure_is_isolated_per_artefact(isolated_cache, monkeypatch):
+    import repro.experiments.table2 as table2
+
+    def boom(**kwargs):
+        raise RuntimeError("synthetic failure")
+
+    monkeypatch.setattr(table2, "run", boom)
+    report = StudyRunner(seed=2024, jobs=1).run_all(
+        scale=SCALE, artefacts=["T2", "F7"]
+    )
+    by_id = {run.artefact_id: run for run in report.runs}
+    assert by_id["T2"].status == "error"
+    assert "synthetic failure" in by_id["T2"].error
+    assert by_id["F7"].status == "ok"
+    assert "F7" in report.results and "T2" not in report.results
+    assert "FAILED T2" in report.summary_table()
+
+
+def test_run_all_facade_raises_on_failure(isolated_cache, monkeypatch):
+    import repro.experiments.headline as headline
+
+    monkeypatch.setattr(
+        headline, "run", lambda **kwargs: (_ for _ in ()).throw(ValueError("x"))
+    )
+    monkeypatch.setattr(
+        ThickMnaStudy, "available_experiments", lambda self: ["HX1", "T2"]
+    )
+    with pytest.raises(RuntimeError, match="HX1"):
+        ThickMnaStudy(seed=2024).run_all(scale=SCALE)
+
+
+def test_report_json_export(isolated_cache, tmp_path):
+    report = StudyRunner(seed=2024, jobs=1).run_all(scale=SCALE, artefacts=["T2"])
+    target = tmp_path / "report.json"
+    report.save(target)
+    data = json.loads(target.read_text())
+    assert data["jobs"] == 1
+    assert data["runs"][0]["artefact_id"] == "T2"
+    assert data["runs"][0]["status"] == "ok"
+    assert "T2" in data["results"]
+
+
+def test_second_run_hits_the_disk_cache(isolated_cache):
+    from repro.experiments import common
+
+    StudyRunner(seed=2024, jobs=1).run_all(scale=SCALE, artefacts=["F7"])
+    common.clear_caches()  # fresh-process simulation: memory gone, disk warm
+    before = isolated_cache.stats.snapshot()
+    report = StudyRunner(seed=2024, jobs=1).run_all(scale=SCALE, artefacts=["F7"])
+    delta = isolated_cache.stats.delta(before)
+    assert delta.hits >= 2  # world + device dataset come from disk
+    assert not report.failed()
+
+
+def test_study_run_all_jobs_parameter(isolated_cache):
+    study = ThickMnaStudy(seed=2024)
+    results = study.run_all(scale=SCALE, jobs=2)
+    assert set(results) == set(study.available_experiments())

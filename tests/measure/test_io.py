@@ -97,3 +97,56 @@ def test_save_result_writes_valid_json(tmp_path):
     save_result({("A", 1): {"v": 1.5}}, path)
     data = json.loads(path.read_text())
     assert data == {"A|1": {"v": 1.5}}
+
+
+def test_roundtrip_preserves_web_records(tmp_path):
+    from repro.experiments import common
+
+    dataset = common.get_web_dataset()
+    path = tmp_path / "web.jsonl"
+    count = save_dataset(dataset, path)
+    loaded = load_dataset(path)
+    assert count == dataset.total_records()
+    assert loaded.web_measurements == dataset.web_measurements
+
+
+def test_save_is_atomic_no_temp_leftovers(small_dataset, tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    save_dataset(small_dataset, path)
+    assert [p.name for p in tmp_path.iterdir()] == ["campaign.jsonl"]
+
+
+def test_failed_save_leaves_no_file(tmp_path):
+    class Exploding:
+        """Stand-in record that breaks JSON encoding mid-stream."""
+
+    dataset = MeasurementDataset()
+    dataset.speedtests.append(Exploding())
+    path = tmp_path / "campaign.jsonl"
+    with pytest.raises(TypeError):
+        save_dataset(dataset, path)
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_truncated_file_raises_with_location(small_dataset, tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    save_dataset(small_dataset, path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2])
+    with pytest.raises(ValueError, match="malformed"):
+        load_dataset(path)
+
+
+def test_save_result_roundtrips_real_experiment(tmp_path):
+    from repro.core import ThickMnaStudy
+
+    result = ThickMnaStudy(seed=2024).run("F7")
+    path = tmp_path / "f7.json"
+    save_result(result, path)
+    data = json.loads(path.read_text())
+    assert data == jsonable_strings(jsonable(result))
+
+
+def jsonable_strings(value):
+    """json round-trip normalisation (tuples->lists already done)."""
+    return json.loads(json.dumps(value))
