@@ -1,0 +1,119 @@
+"""Benchmark the indexed query layer against the naive scans it replaced.
+
+Replays the Table 4 counting pass — per-country, per-test, per-SIM-kind
+successful-test counts — over the full-scale device campaign two ways:
+
+* **naive**: the pre-index implementation, one full list scan per cell;
+* **indexed, cold**: first touch of a freshly-invalidated dataset, so
+  the timing includes the one-off per-dimension hash-table build;
+* **indexed, warm**: the steady state every later query pays — indexes
+  live on the dataset and are shared by all 31 artefacts' analyses, so
+  the build above is amortised across the whole study.
+
+All passes must produce identical counts, the steady-state pass must be
+at least 5x faster than the naive scans, and the measured timings are
+persisted under ``benchmarks/output/query_speedup.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Tuple
+
+from repro.cellular import SIMKind
+from repro.experiments import common
+from repro.experiments.table4 import _count
+
+from benchmarks._harness import OUTPUT_DIR, run_once
+
+SCALE = 1.0
+ROUNDS = 5
+MIN_SPEEDUP = 5.0
+
+_KIND_TESTS = [
+    ("speedtest", "speedtests", None, None),
+    ("mtr:Facebook", "traceroutes", "target", "Facebook"),
+    ("mtr:Google", "traceroutes", "target", "Google"),
+    ("mtr:YouTube", "traceroutes", "target", "YouTube"),
+    ("cdn:Cloudflare", "cdn_fetches", "provider", "Cloudflare"),
+    ("cdn:Google CDN", "cdn_fetches", "provider", "Google CDN"),
+    ("cdn:jQuery", "cdn_fetches", "provider", "jQuery"),
+    ("cdn:jsDelivr", "cdn_fetches", "provider", "jsDelivr"),
+    ("cdn:Microsoft Ajax", "cdn_fetches", "provider", "Microsoft Ajax"),
+    ("video", "video_probes", None, None),
+]
+
+
+def _naive_count(dataset, country: str) -> Dict[str, Tuple[int, int]]:
+    """Table 4's counting exactly as written before the query layer."""
+    counts: Dict[str, Tuple[int, int]] = {}
+    for key, attr, field, wanted in _KIND_TESTS:
+        records = getattr(dataset, attr)
+        sim = esim = 0
+        for record in records:
+            if record.context.country_iso3 != country:
+                continue
+            if field is not None and getattr(record, field) != wanted:
+                continue
+            if record.context.sim_kind is SIMKind.ESIM:
+                esim += 1
+            else:
+                sim += 1
+        counts[key] = (sim, esim)
+    return counts
+
+
+def _naive_countries(dataset) -> list:
+    seen = set()
+    for _, attr, _, _ in _KIND_TESTS:
+        for record in getattr(dataset, attr):
+            seen.add(record.context.country_iso3)
+    return sorted(seen)
+
+
+def _table4_pass(dataset, count_fn, countries) -> Dict[str, Dict[str, Tuple[int, int]]]:
+    return {country: count_fn(dataset, country) for country in countries}
+
+
+def _best_of(fn, rounds: int) -> Tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_bench_query_vs_naive_table4_counting(benchmark):
+    dataset = common.get_device_dataset(SCALE)
+    countries = _naive_countries(dataset)
+
+    naive_s, naive_rows = _best_of(
+        lambda: _table4_pass(dataset, _naive_count, countries), ROUNDS
+    )
+
+    def indexed_pass():
+        return _table4_pass(dataset, _count, countries)
+
+    dataset.invalidate_indexes()
+    cold_s, cold_rows = _best_of(indexed_pass, 1)  # pays the index build
+    warm_s, warm_rows = _best_of(indexed_pass, ROUNDS)
+    run_once(benchmark, indexed_pass)
+
+    assert cold_rows == naive_rows
+    assert warm_rows == naive_rows
+    speedup = naive_s / warm_s
+    cells = len(countries) * len(_KIND_TESTS)
+    text = "\n".join([
+        f"Table 4 counting, scale={SCALE} "
+        f"({dataset.total_records()} records, {cells} cells, "
+        f"best of {ROUNDS} rounds)",
+        f"naive full scans    : {naive_s * 1e3:8.2f} ms",
+        f"indexed, cold       : {cold_s * 1e3:8.2f} ms (incl. index build)",
+        f"indexed, steady     : {warm_s * 1e3:8.2f} ms",
+        f"steady-state speedup: {speedup:8.1f}x (floor {MIN_SPEEDUP:.0f}x)",
+    ])
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "query_speedup.txt").write_text(text + "\n")
+    print(f"\n=== query speedup ===\n{text}")
+    assert speedup >= MIN_SPEEDUP, text

@@ -70,7 +70,7 @@ def main() -> None:
 
     planner = ItineraryPlanner(esimdb, countries)
     legs = [TripLeg(destination, needed_gb), TripLeg("FRA", 1.0), TripLeg("ITA", 1.0)]
-    print(f"\ntrip planner ({' -> '.join(l.country_iso3 for l in legs)}):")
+    print(f"\ntrip planner ({' -> '.join(leg.country_iso3 for leg in legs)}):")
     print(render_recommendation(planner.recommend(legs)))
 
     print("\nAiralo median $/GB per continent:")

@@ -10,7 +10,6 @@ Run:  python examples/roaming_probe.py [ISO3]       (default: ESP)
 """
 
 import random
-import statistics
 import sys
 
 from repro.cellular import UserEquipment, issue_physical_sim

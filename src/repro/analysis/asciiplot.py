@@ -7,7 +7,7 @@ just summary numbers. Pure string manipulation — no plotting stack.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 from repro.analysis.stats import BoxplotSummary
 

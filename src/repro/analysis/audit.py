@@ -20,7 +20,7 @@ from repro.cellular.mno import OperatorRegistry
 from repro.cellular.radio import RadioAccessTechnology, RadioConditions
 from repro.cellular.roaming import RoamingArchitecture
 from repro.cellular.ue import UserEquipment
-from repro.geo.cities import City, CityRegistry
+from repro.geo.cities import City
 from repro.measure.records import MeasurementContext
 from repro.measure.traceroute import TracerouteEngine, postprocess
 from repro.mna.aggregator import MobileNetworkAggregator

@@ -10,7 +10,7 @@ providers, locations and architecture.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.cellular.mno import OperatorRegistry
 from repro.cellular.roaming import RoamingArchitecture

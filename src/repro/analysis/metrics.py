@@ -9,7 +9,7 @@ split against the Speedtest Global Index thresholds.
 from __future__ import annotations
 
 import statistics
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Sequence
 
 from repro.cellular.roaming import RoamingArchitecture
 from repro.measure.records import SpeedtestRecord

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import ipaddress
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.cellular.roaming import RoamingArchitecture
 from repro.geo.cities import City

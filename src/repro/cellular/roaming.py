@@ -9,8 +9,8 @@ found to pin PGW selection statically.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 
 class RoamingArchitecture(enum.Enum):

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.cellular.identifiers import IMSI, IMSIRange, PLMN, infer_imsi_prefixes
 from repro.cellular.signalling import SignallingProfile

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.cellular.attach import AttachError, AttachReject, SessionFactory
 from repro.cellular.core import PDNSession

@@ -23,8 +23,9 @@ import statistics
 import sys
 from typing import List, Optional
 
-from repro.core.study import EXPERIMENT_REGISTRY, ThickMnaStudy
-from repro.experiments import common
+from repro.core.study import ThickMnaStudy
+from repro.experiments import common, registry
+from repro.measure.amigo import ConfigurationError
 
 
 def _configure_logging(verbose: bool) -> None:
@@ -48,14 +49,13 @@ def _configure_logging(verbose: bool) -> None:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    study = ThickMnaStudy(seed=args.seed)
-    descriptions = {
-        "T": "table", "F": "figure", "H": "headline", "X": "extension",
-    }
-    for artefact in study.available_experiments():
-        kind = descriptions.get(artefact[0], "artefact")
-        module = EXPERIMENT_REGISTRY[artefact]
-        print(f"{artefact:5} {kind:10} repro.experiments.{module}")
+    specs = registry.all_specs()
+    print(f"{'id':5} {'kind':10} {'scale':5} {'inputs':28} title")
+    for artefact in sorted(specs):
+        spec = specs[artefact]
+        scale = "yes" if spec.supports_scale else "-"
+        print(f"{artefact:5} {spec.kind:10} {scale:5} "
+              f"{spec.describe_inputs():28} {spec.title}")
     return 0
 
 
@@ -64,7 +64,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     try:
         result = study.run(args.artefact, scale=args.scale)
         print(study.format_result(args.artefact, result))
-    except KeyError as error:
+    except (KeyError, ConfigurationError) as error:
         print(error.args[0], file=sys.stderr)
         return 2
     if args.json:
@@ -149,7 +149,6 @@ def _cmd_probe(args: argparse.Namespace) -> int:
 
 
 def _cmd_trip(args: argparse.Namespace) -> int:
-    from repro.geo import default_country_registry
     from repro.market import ItineraryPlanner, TripLeg, render_recommendation
 
     esimdb, _ = common.get_market()

@@ -30,11 +30,6 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.core import cache as cache_mod
 from repro.faults import ChaosConfig
 
-#: Artefacts that need the device campaign / web campaign / market crawl;
-#: everything else runs off the world alone. Used only to decide what to
-#: warm ahead of the fan-out, never to skip work.
-_NEEDS_MARKET = {"F16", "F17", "F18", "F19", "X5"}
-
 
 @dataclass
 class ArtefactRun:
@@ -137,12 +132,19 @@ def _run_artefact(
     artefact_id: str, scale: Optional[float]
 ) -> Tuple[str, str, Any, str, float, str, int, int]:
     """Run one artefact in this process; never raises."""
+    from repro.experiments import registry
+
     study = _WORKER_STUDY
     assert study is not None, "worker used before _worker_init"
     stats_before = cache_mod.get_default_cache().stats.snapshot()
     started = time.perf_counter()
     try:
-        result = study.run(artefact_id, scale=scale)
+        # A global --scale only applies to the scale-aware experiments;
+        # the rest run with exactly the parameters their spec declares.
+        spec = registry.get_spec(artefact_id)
+        result = study.run(
+            artefact_id, scale=scale if spec.supports_scale else None
+        )
         status, error = "ok", ""
     except Exception:
         result, status, error = None, "error", traceback.format_exc()
@@ -189,17 +191,26 @@ class StudyRunner:
     def warm_inputs(self, scale: float, artefacts: Sequence[str]) -> float:
         """Build (or load) the shared inputs once, in the parent.
 
-        With the disk cache enabled this both warms this process's
-        in-memory layer and guarantees every worker finds the inputs on
-        disk instead of re-simulating the campaigns per process.
+        Each :class:`~repro.experiments.registry.ExperimentSpec` declares
+        which inputs its experiment reads, so only the union the shard
+        actually needs is built — a subset run of topology tables never
+        simulates a campaign. With the disk cache enabled this both
+        warms this process's in-memory layer and guarantees every worker
+        finds the inputs on disk instead of re-simulating per process.
         """
-        from repro.experiments import common
+        from repro.experiments import common, registry
 
+        needed = set()
+        for artefact in artefacts:
+            needed.update(registry.get_spec(artefact).inputs)
         started = time.perf_counter()
-        common.get_world(self.seed)
-        common.get_device_dataset(scale, self.seed, chaos=self.chaos)
-        common.get_web_dataset(self.seed, chaos=self.chaos)
-        if any(artefact in _NEEDS_MARKET for artefact in artefacts):
+        if needed & {"world", "device_dataset", "web_dataset"}:
+            common.get_world(self.seed)
+        if "device_dataset" in needed:
+            common.get_device_dataset(scale, self.seed, chaos=self.chaos)
+        if "web_dataset" in needed:
+            common.get_web_dataset(self.seed, chaos=self.chaos)
+        if "market" in needed:
             common.get_market()
         return time.perf_counter() - started
 
@@ -209,7 +220,7 @@ class StudyRunner:
         artefacts: Optional[Sequence[str]] = None,
     ) -> RunReport:
         """Run ``artefacts`` (default: all), return the ledger + results."""
-        from repro.experiments import common
+        from repro.experiments import common, registry
 
         if self.cache is not cache_mod.get_default_cache():
             # The runner's cache becomes the process default so the
@@ -221,7 +232,7 @@ class StudyRunner:
         else:
             artefacts = [artefact.upper() for artefact in artefacts]
             for artefact in artefacts:
-                study._module(artefact)  # fail fast on unknown ids
+                registry.get_spec(artefact)  # fail fast on unknown ids
         effective_scale = scale if scale is not None else common.DEFAULT_SCALE
         report = RunReport(seed=self.seed, scale=effective_scale, jobs=self.jobs)
         started = time.perf_counter()

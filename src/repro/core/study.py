@@ -13,57 +13,30 @@ Experiments are identified by the paper's artefact ids ("T2"-"T4",
 "F3"-"F20", "HX1" headline numbers, "HX2" emnify validation) plus
 "RX1", the resilience check that replays the campaign under injected
 faults (see ``repro.faults``).
+
+Dispatch is declarative: every experiment module registers an
+:class:`~repro.experiments.registry.ExperimentSpec` via the
+``@experiment`` decorator, and the driver forwards exactly the
+parameters each spec declares (``seed`` / ``scale`` / ``chaos``) —
+there is no hand-maintained id->module table or "takes scale" set to
+drift out of sync.
 """
 
 from __future__ import annotations
 
-import importlib
 from typing import Dict, List, Optional
 
-from repro.experiments import common
+from repro.experiments import common, registry
+from repro.experiments.registry import ExperimentSpec
 from repro.faults import ChaosConfig
+from repro.measure.amigo import ConfigurationError
 from repro.measure.dataset import MeasurementDataset
 from repro.worlds import AiraloWorld
 
-#: Artefact id -> experiment module name under ``repro.experiments``.
-EXPERIMENT_REGISTRY: Dict[str, str] = {
-    "T2": "table2",
-    "T3": "table3",
-    "T4": "table4",
-    "F3": "fig3",
-    "F4": "fig4",
-    "F5": "fig5",
-    "F6": "fig6",
-    "F7": "fig7",
-    "F8": "fig8",
-    "F9": "fig9",
-    "F10": "fig10",
-    "F11": "fig11",
-    "F12": "fig12",
-    "F13": "fig13",
-    "F14": "fig14",
-    "F15": "fig15",
-    "F16": "fig16",
-    "F17": "fig17",
-    "F18": "fig18",
-    "F19": "fig19",
-    "F20": "fig20",
-    "HX1": "headline",
-    "HX2": "validation",
-    "RX1": "rx1",          # resilience: headline shape under injected faults
-    # Extensions: the paper's future-work items, implemented.
-    "X1": "ext_voip",          # jitter / loss / VoIP MOS
-    "X2": "ext_placement",     # dynamic PGW placement
-    "X3": "ext_audit",         # generic thick-MNA auditor
-    "X4": "ext_steering",      # steering of roaming / partner visibility
-    "X5": "ext_economics",     # wholesale corridors / unit economics
-    "X6": "ext_jurisdiction",  # content localization / data jurisdictions
-    "XA": "ablations",         # design-choice ablations
-}
-
-#: Experiments whose ``run`` accepts a campaign ``scale`` parameter.
-_SCALED = {"T4", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13",
-           "F14", "F15", "F20", "HX1"}
+#: Artefact id -> experiment module basename, derived from the specs.
+#: Kept for backward compatibility with callers of the historic
+#: hand-written table; new code should use :func:`registry.all_specs`.
+EXPERIMENT_REGISTRY: Dict[str, str] = registry.legacy_registry()
 
 
 class ThickMnaStudy:
@@ -101,34 +74,36 @@ class ThickMnaStudy:
     # -- experiments -----------------------------------------------------------
 
     def available_experiments(self) -> List[str]:
-        return sorted(EXPERIMENT_REGISTRY)
+        return registry.artefact_ids()
 
-    def _module(self, artefact_id: str):
-        artefact_id = artefact_id.upper()
-        if artefact_id not in EXPERIMENT_REGISTRY:
-            raise KeyError(
-                f"unknown experiment {artefact_id!r}; "
-                f"known: {', '.join(sorted(EXPERIMENT_REGISTRY))}"
-            )
-        return importlib.import_module(
-            f"repro.experiments.{EXPERIMENT_REGISTRY[artefact_id]}"
-        )
+    def spec(self, artefact_id: str) -> ExperimentSpec:
+        """The declarative spec for one artefact (KeyError if unknown)."""
+        return registry.get_spec(artefact_id)
 
     def run(self, artefact_id: str, scale: Optional[float] = None) -> Dict:
-        """Run one experiment and return its data series."""
-        module = self._module(artefact_id)
-        artefact_id = artefact_id.upper()
-        if artefact_id == "RX1":
-            return module.run(
-                scale=scale or common.DEFAULT_SCALE, seed=self.seed, chaos=self.chaos
+        """Run one experiment and return its data series.
+
+        Passing ``scale`` for an experiment that is not scale-aware is a
+        :class:`~repro.measure.amigo.ConfigurationError` — loudly, here,
+        instead of a ``TypeError`` from deep inside the module.
+        """
+        spec = self.spec(artefact_id)
+        if scale is not None and not spec.supports_scale:
+            scaled = sorted(
+                s.artefact_id for s in registry.all_specs().values()
+                if s.supports_scale
             )
-        if artefact_id in _SCALED:
-            return module.run(scale=scale or common.DEFAULT_SCALE, seed=self.seed)
-        if artefact_id in ("F16", "F17", "F18", "F19"):
-            return module.run()
-        if artefact_id == "HX2":
-            return module.run()
-        return module.run(seed=self.seed)
+            raise ConfigurationError(
+                f"{spec.artefact_id} does not take a campaign scale "
+                f"(it reads {spec.describe_inputs()}); scale-aware "
+                f"experiments: {', '.join(scaled)}"
+            )
+        effective_scale = scale if scale is not None else (
+            common.DEFAULT_SCALE if spec.supports_scale else None
+        )
+        return spec.invoke(
+            seed=self.seed, scale=effective_scale, chaos=self.chaos
+        )
 
     def format_result(self, artefact_id: str, result: Dict) -> str:
         """Format an already-computed ``run()`` result the paper's way.
@@ -136,7 +111,7 @@ class ThickMnaStudy:
         Public counterpart of each experiment module's ``format_result``
         so callers (the CLI, the runner) never need the module object.
         """
-        return self._module(artefact_id).format_result(result)
+        return self.spec(artefact_id).render(result)
 
     def render(self, artefact_id: str, scale: Optional[float] = None) -> str:
         """Run one experiment and format it the way the paper reports it."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 import statistics
-from typing import Dict, List
+from typing import Dict
 
 from repro.cellular import (
     PGWSelection,
@@ -25,6 +25,7 @@ from repro.cellular import (
     UserEquipment,
 )
 from repro.experiments import common
+from repro.experiments.registry import experiment
 
 
 def _attach_with_selection(world, country: str, selection: PGWSelection, rng):
@@ -177,8 +178,12 @@ def run_doh(
 def run_cqi_filter(scale: float = common.DEFAULT_SCALE, seed: int = common.DEFAULT_SEED) -> Dict:
     """Roaming-eSIM download statistics with and without the CQI filter."""
     dataset = common.get_device_dataset(scale, seed)
-    esim = [r for r in dataset.speedtests if r.context.sim_kind is SIMKind.ESIM
-            and r.context.architecture is not RoamingArchitecture.NATIVE]
+    esim = (
+        dataset.select("speedtest")
+        .where(sim_kind=SIMKind.ESIM)
+        .filter(lambda r: r.context.architecture is not RoamingArchitecture.NATIVE)
+        .records()
+    )
     unfiltered = [r.download_mbps for r in esim]
     filtered = [r.download_mbps for r in esim if r.passes_cqi_filter]
     return {
@@ -192,6 +197,8 @@ def run_cqi_filter(scale: float = common.DEFAULT_SCALE, seed: int = common.DEFAU
     }
 
 
+@experiment("XA", title="Ablations — PGW selection / LBO / DoH / CQI filter",
+            inputs=('world',))
 def run(seed: int = common.DEFAULT_SEED) -> Dict:
     """All four ablations."""
     return {

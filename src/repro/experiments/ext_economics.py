@@ -13,11 +13,14 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.experiments import common
+from repro.experiments.registry import experiment
 from repro.market import median_usd_per_gb_by_country
 from repro.market.wholesale import WholesaleMarket, margin_summary
 from repro.worlds import paperdata as pd
 
 
+@experiment("X5", title="Extension X5 — wholesale unit economics",
+            inputs=('market',))
 def run(seed: int = common.DEFAULT_SEED, snapshot_day: int = 90) -> Dict:
     esimdb, _ = common.get_market()
     snapshot = esimdb.snapshot(snapshot_day)

@@ -3,38 +3,43 @@ to the nearest Ookla server, per country and configuration."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.analysis.stats import boxplot_summary, welch_ttest, levene_test
 from repro.cellular import SIMKind
-from repro.cellular.roaming import RoamingArchitecture
 from repro.experiments import common
+from repro.experiments.registry import experiment
 
 
+@experiment("F11", title="Figure 11 — RTT to Facebook/Google/Ookla",
+            inputs=('device_dataset',))
 def run(scale: float = common.DEFAULT_SCALE, seed: int = common.DEFAULT_SEED) -> Dict:
     dataset = common.get_device_dataset(scale, seed)
 
     panels: Dict[str, Dict[Tuple[str, str], object]] = {}
     for target in ("Facebook", "Google"):
-        series: Dict[Tuple[str, str], List[float]] = {}
-        for record in dataset.traceroutes_to(target):
-            if record.final_rtt_ms is None:
-                continue
-            key = (record.context.country_iso3, record.context.config_label)
-            series.setdefault(key, []).append(record.final_rtt_ms)
-        panels[target] = {k: boxplot_summary(v) for k, v in sorted(series.items())}
+        groups = (
+            dataset.select("traceroute")
+            .where(target=target)
+            .filter(lambda r: r.final_rtt_ms is not None)
+            .group_by("country", "config")
+        )
+        panels[target] = {
+            key: boxplot_summary([r.final_rtt_ms for r in records])
+            for key, records in groups.items()
+        }
 
-    ookla: Dict[Tuple[str, str], List[float]] = {}
-    for record in dataset.speedtests:
-        key = (record.context.country_iso3, record.context.config_label)
-        ookla.setdefault(key, []).append(record.latency_ms)
-    panels["Ookla"] = {k: boxplot_summary(v) for k, v in sorted(ookla.items())}
+    speedtests = dataset.select("speedtest")
+    panels["Ookla"] = {
+        key: boxplot_summary([r.latency_ms for r in records])
+        for key, records in speedtests.group_by("country", "config").items()
+    }
 
     # The statistical tests of Section 5.1.
     roaming_sim, roaming_esim = [], []
     native_sim, native_esim = [], []
     all_sim, all_esim = [], []
-    for record in dataset.speedtests:
+    for record in speedtests:
         ctx = record.context
         is_esim = ctx.sim_kind is SIMKind.ESIM
         native_country = ctx.country_iso3 in ("KOR", "THA")

@@ -13,20 +13,21 @@ from repro.analysis.metrics import speed_categories
 from repro.analysis.stats import boxplot_summary, welch_ttest
 from repro.cellular import SIMKind
 from repro.experiments import common
+from repro.experiments.registry import experiment
 
 ROAMING_DEVICE_COUNTRIES = ("GEO", "DEU", "PAK", "QAT", "SAU", "ESP", "ARE", "GBR")
 
 
+@experiment("F13", title="Figure 13 — download/upload speeds",
+            inputs=('device_dataset', 'web_dataset'))
 def run(scale: float = common.DEFAULT_SCALE, seed: int = common.DEFAULT_SEED) -> Dict:
     device = common.get_device_dataset(scale, seed)
     web = common.get_web_dataset(seed)
 
-    web_series: Dict[str, object] = {}
-    for record in web.web_measurements:
-        web_series.setdefault(record.context.country_iso3, []).append(
-            record.download_mbps
-        )
-    web_summary = {c: boxplot_summary(v) for c, v in sorted(web_series.items())}
+    web_summary = {
+        country: boxplot_summary([r.download_mbps for r in records])
+        for country, records in web.select("web").group_by("country").items()
+    }
 
     down: Dict[Tuple[str, str], List[float]] = {}
     up: Dict[Tuple[str, str], List[float]] = {}
@@ -45,13 +46,11 @@ def run(scale: float = common.DEFAULT_SCALE, seed: int = common.DEFAULT_SEED) ->
         ones — this is how the paper's 78.8%/31.9% split reads.
         """
         per_country = []
+        by_kind = device.select("speedtest").where(sim_kind=sim_kind).filter(
+            lambda r: r.passes_cqi_filter
+        )
         for country in ROAMING_DEVICE_COUNTRIES:
-            records = [
-                r for r in device.speedtests
-                if r.passes_cqi_filter
-                and r.context.sim_kind is sim_kind
-                and r.context.country_iso3 == country
-            ]
+            records = by_kind.where(country=country).records()
             if records:
                 per_country.append(speed_categories(records))
         keys = ("slow", "medium", "fast")

@@ -4,18 +4,21 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.cellular import SIMKind
 from repro.experiments import common
+from repro.experiments.registry import experiment
 
 
+@experiment("F15", title="Figure 15 — YouTube playback resolution",
+            inputs=('device_dataset',))
 def run(scale: float = common.DEFAULT_SCALE, seed: int = common.DEFAULT_SEED) -> Dict:
     dataset = common.get_device_dataset(scale, seed)
     distributions: Dict[Tuple[str, str], Dict[str, float]] = {}
-    for record in dataset.video_probes:
-        key = (record.context.country_iso3, record.context.config_label)
+    groups = dataset.select("video").group_by("country", "config")
+    for key, records in groups.items():
         bucket = distributions.setdefault(key, {})
-        for label, count in record.resolution_counts.items():
-            bucket[label] = bucket.get(label, 0) + count
+        for record in records:
+            for label, count in record.resolution_counts.items():
+                bucket[label] = bucket.get(label, 0) + count
     # Normalise to shares.
     for bucket in distributions.values():
         total = sum(bucket.values())

@@ -3,13 +3,15 @@ to May 2024, plus the New-Jersey-vantage check."""
 
 from __future__ import annotations
 
-import statistics
 from typing import Dict
 
 from repro.market import MarketCrawler, price_timeline
 from repro.experiments import common
+from repro.experiments.registry import experiment
 
 
+@experiment("F16", title="Figure 16 — $/GB over time per continent",
+            inputs=('market',))
 def run(step_days: int = 7) -> Dict:
     esimdb, crawl = common.get_market(step_days)
     countries = common.get_countries()

@@ -8,6 +8,7 @@ from typing import Dict
 
 from repro.analysis.stats import empirical_cdf
 from repro.experiments import common
+from repro.experiments.registry import experiment
 from repro.market import (
     DEFAULT_LOCAL_OFFERS,
     LocalSIMSurvey,
@@ -17,6 +18,8 @@ from repro.market import (
 PROVIDERS = ("Airhub", "MobiMatter", "Airalo", "Keepgo")
 
 
+@experiment("F17", title="Figure 17 — provider $/GB CDFs + local SIM",
+            inputs=('market',))
 def run(step_days: int = 7, snapshot_day: int = 90) -> Dict:
     esimdb, _ = common.get_market(step_days)
     snapshot = esimdb.snapshot(snapshot_day)

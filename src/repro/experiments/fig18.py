@@ -10,9 +10,12 @@ import statistics
 from typing import Dict
 
 from repro.experiments import common
+from repro.experiments.registry import experiment
 from repro.market import decile_bounds, median_usd_per_gb_by_country
 
 
+@experiment("F18", title="Figure 18 — median $/GB per country",
+            inputs=('market',))
 def run(step_days: int = 7, snapshot_day: int = 90) -> Dict:
     esimdb, _ = common.get_market(step_days)
     countries = common.get_countries()

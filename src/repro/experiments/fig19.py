@@ -9,10 +9,13 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.experiments import common
+from repro.experiments.registry import experiment
 from repro.market import size_price_curve
 from repro.worlds import paperdata as pd
 
 
+@experiment("F19", title="Figure 19 — plan size vs price per b-MNO",
+            inputs=('market',))
 def run(step_days: int = 7, snapshot_day: int = 90, max_gb: float = 5.0) -> Dict:
     esimdb, _ = common.get_market(step_days)
     snapshot = esimdb.snapshot(snapshot_day)

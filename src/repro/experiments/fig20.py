@@ -3,24 +3,27 @@ providers (Google CDN, Microsoft Ajax, jQuery, jsDelivr)."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.analysis.stats import boxplot_summary
 from repro.experiments import common
+from repro.experiments.registry import experiment
 
 PROVIDERS = ("Google CDN", "Microsoft Ajax", "jQuery", "jsDelivr")
 
 
+@experiment("F20", title="Figure 20 — remaining CDN download times",
+            inputs=('device_dataset',))
 def run(scale: float = common.DEFAULT_SCALE, seed: int = common.DEFAULT_SEED) -> Dict:
     dataset = common.get_device_dataset(scale, seed)
     result: Dict = {}
     for provider in PROVIDERS:
-        series: Dict[Tuple[str, str], List[float]] = {}
-        for record in dataset.cdn_fetches_where(provider=provider):
-            key = (record.context.country_iso3, record.context.config_label)
-            series.setdefault(key, []).append(record.total_ms)
+        groups = dataset.select("cdn").where(provider=provider).group_by(
+            "country", "config"
+        )
         result[provider] = {
-            key: boxplot_summary(values) for key, values in sorted(series.items())
+            key: boxplot_summary([r.total_ms for r in records])
+            for key, records in groups.items()
         }
     return result
 

@@ -6,23 +6,25 @@ from typing import Dict
 
 from repro.analysis.paths import unique_asn_medians
 from repro.experiments import common
+from repro.experiments.registry import experiment
 
 
+@experiment("F6", title="Figure 6 — unique ASNs in traceroutes",
+            inputs=('device_dataset',))
 def run(scale: float = common.DEFAULT_SCALE, seed: int = common.DEFAULT_SEED) -> Dict:
     dataset = common.get_device_dataset(scale, seed)
     result: Dict = {}
     sp_only: Dict = {}
     for target in ("Google", "Facebook"):
-        records = dataset.traceroutes_to(target)
-        result[target] = unique_asn_medians(records)
+        query = dataset.select("traceroute").where(target=target)
+        result[target] = unique_asn_medians(query.records())
         # Runs revealing only the SP's ASN: the CG-NAT stayed silent.
-        buckets: Dict = {}
-        for record in records:
-            key = (record.context.country_iso3, record.context.config_label)
-            total, only = buckets.get(key, (0, 0))
-            buckets[key] = (total + 1, only + (1 if len(record.unique_asns) <= 1 else 0))
+        totals = query.count_by("country", "config")
+        only = query.filter(lambda r: len(r.unique_asns) <= 1).count_by(
+            "country", "config"
+        )
         sp_only[target] = {
-            key: only / total for key, (total, only) in buckets.items() if total
+            key: only.get(key, 0) / total for key, total in totals.items() if total
         }
     result["sp_asn_only_share"] = sp_only
     return result

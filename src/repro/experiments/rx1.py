@@ -19,6 +19,7 @@ from repro.analysis.metrics import speed_categories
 from repro.cellular import SIMKind
 from repro.cellular.roaming import RoamingArchitecture
 from repro.experiments import common
+from repro.experiments.registry import experiment
 from repro.faults import ChaosConfig
 from repro.measure.dataset import MeasurementDataset
 
@@ -61,15 +62,19 @@ def _mean_by_architecture(
 
 
 def _categories(dataset: MeasurementDataset, sim_kind: SIMKind) -> Dict[str, float]:
-    records = [
-        r for r in dataset.speedtests
-        if r.passes_cqi_filter and r.context.sim_kind is sim_kind
-    ]
+    records = (
+        dataset.select("speedtest")
+        .where(sim_kind=sim_kind)
+        .filter(lambda r: r.passes_cqi_filter)
+        .records()
+    )
     if not records:
         return {"slow": 0.0, "medium": 0.0, "fast": 0.0}
     return speed_categories(records)
 
 
+@experiment("RX1", title="Resilience — the campaign under paper-plausible fault injection",
+            inputs=('device_dataset',))
 def run(
     scale: float = common.DEFAULT_SCALE,
     seed: int = common.DEFAULT_SEED,

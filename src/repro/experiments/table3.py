@@ -10,26 +10,23 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.experiments import common
+from repro.experiments.registry import experiment
 from repro.worlds import paperdata as pd
 
 
+@experiment("T3", title="Table 3 — web-based campaign overview",
+            inputs=("web_dataset",))
 def run(seed: int = common.DEFAULT_SEED) -> Dict:
     dataset = common.get_web_dataset(seed)
-    per_country: Dict[str, Dict[str, int]] = {}
-    volunteers: Dict[str, set] = {}
-    for record in dataset.web_measurements:
-        iso3 = record.context.country_iso3
-        per_country.setdefault(iso3, {"measurements": 0})["measurements"] += 1
-        volunteers.setdefault(iso3, set()).add(record.volunteer)
     rows = []
     expected = {e.country_iso3: e for e in pd.WEB_CAMPAIGN}
-    for iso3 in sorted(per_country):
+    for iso3, records in dataset.select("web").group_by("country").items():
         rows.append(
             {
                 "country": iso3,
-                "volunteers": len(volunteers[iso3]),
+                "volunteers": len({r.volunteer for r in records}),
                 "duration_days": expected[iso3].duration_days,
-                "measurements": per_country[iso3]["measurements"],
+                "measurements": len(records),
                 "paper_measurements": expected[iso3].measurements,
             }
         )

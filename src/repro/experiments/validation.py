@@ -11,6 +11,7 @@ import random
 from typing import Dict
 
 from repro.cellular.radio import RadioAccessTechnology, RadioConditions
+from repro.experiments.registry import experiment
 from repro.measure.traceroute import postprocess
 from repro.worlds import build_emnify_world
 from repro.worlds import paperdata as pd
@@ -18,6 +19,8 @@ from repro.worlds import paperdata as pd
 TRACEROUTES_PER_SP = 73  # 3 SPs x 73 = 219 runs
 
 
+@experiment("HX2", title="Methodology validation (emnify, Section 4.3.1)",
+            inputs=(), uses_seed=False)
 def run(seed: int = 42) -> Dict:
     world = build_emnify_world(seed)
     rng = random.Random(f"{seed}:validation")

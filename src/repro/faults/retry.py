@@ -11,7 +11,7 @@ time — delays are accounted, never slept.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 

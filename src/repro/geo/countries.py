@@ -12,7 +12,7 @@ PGWs from public IPs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.geo.coords import GeoPoint

@@ -8,7 +8,7 @@ April/May to test for price discrimination.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.market.esimdb import EsimDB
 from repro.market.models import ESIMOffer, MarketSnapshot

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.geo.countries import Country, CountryRegistry
-from repro.market.models import ESIMOffer, MarketSnapshot
+from repro.market.models import MarketSnapshot
 from repro.market.providers import ContinentPricing, EsimProvider
 
 

@@ -9,13 +9,12 @@ per-GB premium of multi-country convenience versus per-country plans.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.geo.countries import CountryRegistry
 from repro.market.esimdb import EsimDB
-from repro.market.models import ESIMOffer
-from repro.market.regional import RegionalCatalog, RegionalPlan
+from repro.market.regional import RegionalCatalog
 
 
 @dataclass(frozen=True)

@@ -13,10 +13,10 @@ from __future__ import annotations
 
 import hashlib
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
-from repro.geo.countries import Country, CountryRegistry
+from repro.geo.countries import Country
 from repro.market.models import ESIMOffer
 
 #: Crawl epoch: day 0 is 2024-02-01; the campaign spans ~120 days.

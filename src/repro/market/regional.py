@@ -10,11 +10,10 @@ trip-planning problem (:mod:`repro.market.itinerary`) interesting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.geo.countries import CountryRegistry
 from repro.market.esimdb import EsimDB
-from repro.market.models import ESIMOffer
 from repro.market.pricing import median_usd_per_gb_by_country
 
 #: Regional catalogue shape: (region name, continent filter, premium).

@@ -18,6 +18,8 @@ from repro.measure.records import (
     VideoRecord,
     WebMeasurementRecord,
 )
+from repro.measure.dataset import MeasurementDataset
+from repro.measure.query import DatasetIndex, KindIndex, RecordQuery
 from repro.measure.traceroute import Hop, TracerouteEngine, TracerouteResult
 from repro.measure.ping import ping_provider
 from repro.measure.voip import VoIPRecord, probe_voip, rfc3550_jitter, e_model_r_factor, mos_from_r
@@ -41,7 +43,11 @@ from repro.measure.webcampaign import WebCampaignRunner, ScreenshotValidator, Up
 __all__ = [
     "CampaignHealth",
     "ConfigurationError",
+    "DatasetIndex",
+    "KindIndex",
     "MeasurementContext",
+    "MeasurementDataset",
+    "RecordQuery",
     "ProbeTimeout",
     "QuarantineEvent",
     "ServiceOutage",

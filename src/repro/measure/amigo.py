@@ -217,7 +217,6 @@ class MeasurementEndpoint:
         scheduling, and final failures feed the circuit breaker.
         """
         dataset = MeasurementDataset()
-        country = self.deployment.country_iso3
         for use_esim in (False, True):
             for test_name, (sim_count, esim_count) in sorted(plan.items()):
                 count = esim_count if use_esim else sim_count

@@ -2,16 +2,24 @@
 
 One object holds every record of a campaign; the analysis layer slices it
 by country / SIM kind / architecture / target, which is how each figure
-of the paper selects its series.
+of the paper selects its series. Slicing goes through the indexed query
+layer (:mod:`repro.measure.query`)::
+
+    dataset.select("speedtest").where(country="JPN").group_by("architecture")
+
+The historic ``*_where`` helpers remain as thin wrappers over the same
+indexes, so every call site — old or new — shares one set of
+per-dimension hash tables built lazily per dataset.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.cellular.esim import SIMKind
 from repro.cellular.roaming import RoamingArchitecture
+from repro.measure import query as query_mod
 from repro.measure.records import (
     CampaignHealth,
     CDNRecord,
@@ -37,6 +45,39 @@ class MeasurementDataset:
     #: (country, test kind), quarantines, skipped endpoints.
     health: CampaignHealth = field(default_factory=CampaignHealth)
 
+    # -- the query layer ------------------------------------------------------
+
+    @property
+    def index(self) -> query_mod.DatasetIndex:
+        """The lazily-built per-dimension index cache (one per dataset)."""
+        cache = self.__dict__.get("_index_cache")
+        if cache is None:
+            cache = query_mod.DatasetIndex(self)
+            self.__dict__["_index_cache"] = cache
+        return cache
+
+    def select(self, kind: str) -> query_mod.RecordQuery:
+        """Start an indexed query over one record kind.
+
+        ``kind`` is one of ``traceroute``, ``speedtest``, ``cdn``,
+        ``dns``, ``video``, ``web`` (see :data:`repro.measure.query.KIND_FIELDS`).
+        """
+        return query_mod.select(self, kind)
+
+    def invalidate_indexes(self) -> None:
+        """Drop every cached index (after mutating record lists in place)."""
+        cache = self.__dict__.get("_index_cache")
+        if cache is not None:
+            cache.invalidate()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Indexes are derived data: dropping them keeps pickled campaign
+        # bytes identical whether or not the dataset was ever queried,
+        # which the content-addressed artifact cache relies on.
+        state = dict(self.__dict__)
+        state.pop("_index_cache", None)
+        return state
+
     def merge(self, other: "MeasurementDataset") -> None:
         """Append every record of ``other`` into this dataset."""
         self.traceroutes.extend(other.traceroutes)
@@ -46,6 +87,7 @@ class MeasurementDataset:
         self.video_probes.extend(other.video_probes)
         self.web_measurements.extend(other.web_measurements)
         self.health.merge(other.health)
+        self.invalidate_indexes()
 
     def total_records(self) -> int:
         return (
@@ -62,15 +104,8 @@ class MeasurementDataset:
     def countries(self) -> List[str]:
         """Countries present in the dataset, sorted."""
         seen = set()
-        for records in (
-            self.traceroutes,
-            self.speedtests,
-            self.cdn_fetches,
-            self.dns_probes,
-            self.video_probes,
-            self.web_measurements,
-        ):
-            seen.update(r.context.country_iso3 for r in records)
+        for kind in query_mod.KIND_FIELDS:
+            seen.update(self.select(kind).values("country"))
         return sorted(seen)
 
     def traceroutes_to(
@@ -79,12 +114,9 @@ class MeasurementDataset:
         country: Optional[str] = None,
         sim_kind: Optional[SIMKind] = None,
     ) -> List[TracerouteRecord]:
-        out = [r for r in self.traceroutes if r.target == target]
-        if country is not None:
-            out = [r for r in out if r.context.country_iso3 == country.upper()]
-        if sim_kind is not None:
-            out = [r for r in out if r.context.sim_kind is sim_kind]
-        return out
+        return self.select("traceroute").where(
+            target=target, country=country, sim_kind=sim_kind
+        ).records()
 
     def speedtests_where(
         self,
@@ -93,16 +125,12 @@ class MeasurementDataset:
         architecture: Optional[RoamingArchitecture] = None,
         cqi_filtered: bool = False,
     ) -> List[SpeedtestRecord]:
-        out = list(self.speedtests)
-        if country is not None:
-            out = [r for r in out if r.context.country_iso3 == country.upper()]
-        if sim_kind is not None:
-            out = [r for r in out if r.context.sim_kind is sim_kind]
-        if architecture is not None:
-            out = [r for r in out if r.context.architecture is architecture]
+        q = self.select("speedtest").where(
+            country=country, sim_kind=sim_kind, architecture=architecture
+        )
         if cqi_filtered:
-            out = [r for r in out if r.passes_cqi_filter]
-        return out
+            q = q.filter(lambda r: r.passes_cqi_filter)
+        return q.records()
 
     def cdn_fetches_where(
         self,
@@ -110,14 +138,9 @@ class MeasurementDataset:
         country: Optional[str] = None,
         sim_kind: Optional[SIMKind] = None,
     ) -> List[CDNRecord]:
-        out = list(self.cdn_fetches)
-        if provider is not None:
-            out = [r for r in out if r.provider == provider]
-        if country is not None:
-            out = [r for r in out if r.context.country_iso3 == country.upper()]
-        if sim_kind is not None:
-            out = [r for r in out if r.context.sim_kind is sim_kind]
-        return out
+        return self.select("cdn").where(
+            provider=provider, country=country, sim_kind=sim_kind
+        ).records()
 
     def dns_probes_where(
         self,
@@ -125,23 +148,15 @@ class MeasurementDataset:
         sim_kind: Optional[SIMKind] = None,
         architecture: Optional[RoamingArchitecture] = None,
     ) -> List[DNSRecord]:
-        out = list(self.dns_probes)
-        if country is not None:
-            out = [r for r in out if r.context.country_iso3 == country.upper()]
-        if sim_kind is not None:
-            out = [r for r in out if r.context.sim_kind is sim_kind]
-        if architecture is not None:
-            out = [r for r in out if r.context.architecture is architecture]
-        return out
+        return self.select("dns").where(
+            country=country, sim_kind=sim_kind, architecture=architecture
+        ).records()
 
     def video_probes_where(
         self,
         country: Optional[str] = None,
         sim_kind: Optional[SIMKind] = None,
     ) -> List[VideoRecord]:
-        out = list(self.video_probes)
-        if country is not None:
-            out = [r for r in out if r.context.country_iso3 == country.upper()]
-        if sim_kind is not None:
-            out = [r for r in out if r.context.sim_kind is sim_kind]
-        return out
+        return self.select("video").where(
+            country=country, sim_kind=sim_kind
+        ).records()

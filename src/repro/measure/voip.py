@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.cellular.core import PDNSession
 from repro.cellular.esim import SIMProfile

@@ -20,7 +20,7 @@ from __future__ import annotations
 import logging
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.cellular.attach import SessionFactory
 from repro.cellular.esim import SIMProfile

@@ -15,10 +15,10 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List
 
 from repro.cellular.esim import RSPServer, SIMProfile
-from repro.cellular.mno import MobileOperator, OperatorRegistry
+from repro.cellular.mno import OperatorRegistry
 from repro.cellular.roaming import RoamingArchitecture
 
 

@@ -8,8 +8,7 @@ registered prefix per AS and mints stable router addresses from it.
 
 from __future__ import annotations
 
-import random
-from typing import Dict, Optional, Union
+from typing import Dict, Union
 
 from repro.geo.coords import GeoPoint
 from repro.net.geoip import GeoIPDatabase

@@ -9,8 +9,8 @@ classifier compares these organisations to decide HR vs LBO vs IHBO.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List
 
 
 class ASKind(enum.Enum):

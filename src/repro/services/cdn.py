@@ -9,10 +9,9 @@ milliseconds, exactly the spread of Figures 14a/20.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.cellular.core import PDNSession
 from repro.geo.coords import GeoPoint, haversine_km

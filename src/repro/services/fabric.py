@@ -10,8 +10,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.cellular.core import PDNSession
 from repro.cellular.radio import RadioConditions, RadioModel

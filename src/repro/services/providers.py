@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.geo.cities import City
 from repro.geo.coords import GeoPoint, haversine_km
-from repro.net.ipv4 import IPAddress, parse_ip
+from repro.net.ipv4 import IPAddress
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ Also drives both campaigns end-to-end (``run_device_campaign`` /
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.cellular import (

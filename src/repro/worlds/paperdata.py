@@ -16,7 +16,7 @@ paper reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 # --------------------------------------------------------------------------

@@ -2,12 +2,10 @@
 
 import random
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.analysis import (
-    BoxplotSummary,
     boxplot_summary,
     cdf_at,
     empirical_cdf,

@@ -1,14 +1,11 @@
 """Tests for session establishment across roaming architectures."""
 
-import random
 
 import pytest
 
 from repro.cellular import (
     RSPServer,
     RoamingArchitecture,
-    SIMProfile,
-    SIMKind,
     UserEquipment,
     AttachError,
     issue_physical_sim,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.cellular import (
     BandwidthPolicy,
-    DNSResolverSpec,
     IMSIRange,
     MobileOperator,
     OperatorKind,

@@ -1,7 +1,6 @@
 """Tests for the persistent artifact cache (repro.core.cache)."""
 
 import os
-import pickle
 
 import pytest
 

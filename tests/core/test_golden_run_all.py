@@ -1,0 +1,44 @@
+"""Golden regression: ``run_all`` output is byte-stable across refactors.
+
+``tests/core/golden/run_all_seed2024_scale0.05.json`` was captured from
+a full ``StudyRunner(seed=2024).run_all(scale=0.05)`` before the query
+layer and the declarative registry replaced the hand-written dispatch.
+Every artefact's exported JSON must still match it exactly — for the
+serial path and for ``jobs=2`` — so any future change to indexing,
+dispatch order or float-accumulation order that perturbs a single byte
+of a result fails here, loudly, with the artefact named.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.runner import StudyRunner
+from repro.experiments.export import jsonable
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "run_all_seed2024_scale0.05.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN.read_text())
+
+
+def _assert_matches_golden(report, golden):
+    assert not report.failed(), report.summary_table()
+    assert sorted(report.results) == sorted(golden["results"])
+    for artefact_id, result in report.results.items():
+        fresh = json.dumps(jsonable(result), indent=2, sort_keys=True)
+        gold = json.dumps(golden["results"][artefact_id], indent=2, sort_keys=True)
+        assert fresh == gold, f"{artefact_id} drifted from the golden export"
+
+
+def test_run_all_serial_matches_golden(golden):
+    report = StudyRunner(seed=golden["seed"], jobs=1).run_all(scale=golden["scale"])
+    _assert_matches_golden(report, golden)
+
+
+def test_run_all_parallel_matches_golden(golden):
+    report = StudyRunner(seed=golden["seed"], jobs=2).run_all(scale=golden["scale"])
+    _assert_matches_golden(report, golden)

@@ -60,6 +60,27 @@ def test_datasets_accessible(study):
     assert len(web.web_measurements) > 0
 
 
+def test_scale_for_non_scale_aware_artefact_raises(study):
+    from repro.measure.amigo import ConfigurationError
+
+    with pytest.raises(ConfigurationError) as excinfo:
+        study.run("T2", scale=0.05)
+    message = str(excinfo.value)
+    assert "T2 does not take a campaign scale" in message
+    assert "world" in message  # says what T2 actually reads
+    assert "T4" in message  # ... and which artefacts are scale-aware
+    # The same guard protects render().
+    with pytest.raises(ConfigurationError):
+        study.render("HX2", scale=0.1)
+
+
+def test_spec_accessor_exposes_declarative_metadata(study):
+    spec = study.spec("F13")
+    assert spec.artefact_id == "F13"
+    assert spec.supports_scale
+    assert spec.inputs == {"device_dataset", "web_dataset"}
+
+
 def test_top_level_import():
     import repro
 

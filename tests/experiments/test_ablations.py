@@ -1,6 +1,5 @@
 """Tests for the ablation experiments."""
 
-import pytest
 
 from repro.experiments import ablations
 

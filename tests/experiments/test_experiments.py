@@ -7,11 +7,8 @@ factor — rather than absolute numbers.
 
 import statistics
 
-import pytest
 
-from repro.cellular.roaming import RoamingArchitecture
 from repro.experiments import (
-    common,
     fig3,
     fig4,
     fig5,

@@ -7,16 +7,12 @@ import pytest
 from repro.geo import default_country_registry
 from repro.market import (
     AIRALO,
-    AIRHUB,
-    CrawlDataset,
     ESIMOffer,
     EsimDB,
     EsimProvider,
-    KEEPGO,
     LocalSIMOffer,
     LocalSIMSurvey,
     MarketCrawler,
-    MOBIMATTER,
     DEFAULT_LOCAL_OFFERS,
     build_provider_universe,
     decile_bounds,

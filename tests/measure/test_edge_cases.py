@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.experiments import common
 from repro.measure.webcampaign import WebCampaignRunner, WebVolunteer

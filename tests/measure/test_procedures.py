@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.cellular import estimate_attach_time_ms
-from repro.cellular.radio import RadioAccessTechnology
 from repro.net import LatencyModel
 from tests.measure.conftest import make_session
 

@@ -169,8 +169,8 @@ def test_cgnat_override_applies_per_country_target(fabric, addressbook, google, 
     rng = random.Random(13)
     fb = postprocess(engine.trace(session, facebook, conditions, rng),
                      session, sim, conditions, geoip)
-    gg = postprocess(engine.trace(session, google, conditions, rng),
-                     session, sim, conditions, geoip)
+    postprocess(engine.trace(session, google, conditions, rng),
+                session, sim, conditions, geoip)
     # Facebook path hides the CG-NAT; Google unaffected (rate 0.9).
     assert fb.pgw_ip != str(session.public_ip)
     assert 54825 not in fb.unique_asns

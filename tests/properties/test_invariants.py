@@ -7,10 +7,9 @@ properties the analysis layer relies on.
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cellular.identifiers import IMSI, IMSIRange, PLMN, infer_imsi_prefixes
+from repro.cellular.identifiers import IMSIRange, PLMN, infer_imsi_prefixes
 from repro.net.topology import ASTopology, NoRouteError
 from repro.services.video import AdaptiveBitratePlayer
 from repro.market.providers import EsimProvider

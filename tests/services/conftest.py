@@ -1,11 +1,9 @@
 """Service-layer fixtures: mini world + fabric + server fleets."""
 
-import ipaddress
 import random
 
 import pytest
 
-from repro.geo import default_city_registry
 from repro.net import ASTopology, LatencyModel
 from repro.net.ipv4 import parse_ip
 from repro.services import (

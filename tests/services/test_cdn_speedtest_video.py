@@ -13,7 +13,6 @@ from repro.services import (
     JQUERY_ASSET,
     SpeedtestFleet,
     VideoLadderRung,
-    YOUTUBE_LADDER,
 )
 from repro.services.cdn import slow_start_rounds
 

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.geo import GeoPoint
-from repro.net import ASTopology, LatencyModel
+from repro.net import LatencyModel
 from repro.net.ipv4 import parse_ip
 from repro.services import ServerSite, ServiceFabric, ServiceProvider
 
