@@ -1,0 +1,124 @@
+"""Benchmark the telemetry sidecar's disabled-path overhead budget.
+
+The contract in ``docs/OBSERVABILITY.md``: with no recorder installed,
+instrumentation may cost at most **2%** of a warm serial ``run_all``
+(the steady state ``benchmarks/test_bench_runner.py`` measures). The
+budget is enforced with a cost model rather than run-to-run wall deltas
+(which drown in scheduler noise at this scale):
+
+1. time a warm, untraced ``run_all`` — the baseline;
+2. run the same workload traced and count every instrumentation touch
+   point it actually exercised (span enters/exits, events, metric ops);
+3. microbenchmark the null path (``NullRecorder`` singletons) to price
+   one disabled touch point;
+4. assert ``touch points x null cost < 2% x baseline``.
+"""
+
+import time
+
+from repro import obs
+from repro.core import StudyRunner
+from repro.core import cache as cache_mod
+from repro.experiments import common
+
+from benchmarks._harness import report
+
+SCALE = 0.1
+#: Iterations of the 5-touch-point microbenchmark loop body.
+MICRO_ITERATIONS = 40_000
+OVERHEAD_BUDGET = 0.02
+
+
+def _touch_points(trace: "obs.TraceData") -> int:
+    """Instrumentation operations the traced run actually performed."""
+    spans = 2 * len(trace.spans)  # enter + exit
+    events = sum(len(span.get("events", ())) for span in trace.spans)
+    events += len(trace.events)
+    metric_ops = 0
+    for metric in trace.metrics:
+        if metric["type"] == "counter":
+            metric_ops += metric["value"]
+        elif metric["type"] == "histogram":
+            metric_ops += metric["count"]
+        else:
+            metric_ops += 1
+    return spans + events + metric_ops
+
+
+def _null_cost_per_op() -> float:
+    """Seconds per disabled touch point (5 ops per loop iteration)."""
+    assert not obs.enabled()
+    span, counter, event, histogram = (
+        obs.span, obs.counter, obs.event, obs.histogram,
+    )
+    started = time.perf_counter()
+    for _ in range(MICRO_ITERATIONS):
+        with span("bench", shard=1):  # 2 ops: enter + exit
+            pass
+        counter("bench").inc()
+        event("bench", day=0)
+        histogram("bench").observe(0.001)
+    elapsed = time.perf_counter() - started
+    return elapsed / (5 * MICRO_ITERATIONS)
+
+
+def test_bench_obs_disabled_overhead(benchmark, tmp_path_factory):
+    previous = cache_mod.get_default_cache()
+    saved_state = (
+        dict(common._worlds), dict(common._device_datasets),
+        dict(common._web_datasets), dict(common._market),
+    )
+    try:
+        cache_root = tmp_path_factory.mktemp("obs-bench-cache")
+        common.clear_caches()
+        cache_mod.configure(root=cache_root)
+
+        # Populate the disk cache, then time the steady state untraced.
+        StudyRunner(seed=2024, jobs=1).run_all(scale=SCALE)
+        common.clear_caches()
+        started = time.perf_counter()
+        baseline_report = StudyRunner(seed=2024, jobs=1).run_all(scale=SCALE)
+        baseline_s = time.perf_counter() - started
+        assert not baseline_report.failed(), baseline_report.summary_table()
+
+        # Same workload traced: every touch point lands in the trace.
+        common.clear_caches()
+        trace_dir = tmp_path_factory.mktemp("obs-bench-trace")
+        started = time.perf_counter()
+        traced_report = StudyRunner(
+            seed=2024, jobs=1, trace_dir=trace_dir
+        ).run_all(scale=SCALE)
+        traced_s = time.perf_counter() - started
+        assert not traced_report.failed(), traced_report.summary_table()
+        trace = obs.load_trace(traced_report.trace_path)
+        touches = _touch_points(trace)
+        assert touches > 0
+
+        # pytest-benchmark ledger entry: the null-path microbenchmark.
+        per_op_s = benchmark.pedantic(_null_cost_per_op, rounds=1, iterations=1)
+
+        projected_s = touches * per_op_s
+        budget_s = OVERHEAD_BUDGET * baseline_s
+        assert projected_s < budget_s, (
+            f"disabled telemetry projected at {projected_s * 1e3:.3f} ms "
+            f"({touches} touch points x {per_op_s * 1e9:.0f} ns) exceeds "
+            f"{OVERHEAD_BUDGET:.0%} of the {baseline_s:.2f}s baseline"
+        )
+
+        lines = [
+            f"baseline (untraced)  : {baseline_s:6.2f}s (scale={SCALE:g}, warm)",
+            f"traced run           : {traced_s:6.2f}s "
+            f"({len(trace.spans)} spans, {touches} touch points)",
+            f"null path            : {per_op_s * 1e9:6.0f} ns/op",
+            f"projected disabled   : {projected_s * 1e3:6.3f} ms "
+            f"({projected_s / baseline_s:.4%} of baseline; budget "
+            f"{OVERHEAD_BUDGET:.0%})",
+        ]
+        report("OBS", "\n".join(lines))
+    finally:
+        common.clear_caches()
+        common._worlds.update(saved_state[0])
+        common._device_datasets.update(saved_state[1])
+        common._web_datasets.update(saved_state[2])
+        common._market.update(saved_state[3])
+        cache_mod.set_default_cache(previous)

@@ -11,6 +11,8 @@ Exposes the reproduction from the shell::
     python -m repro market --country ESP --gb 3
     python -m repro chaos --attach-reject 0.1 # campaign under injected faults
     python -m repro run-all --jobs 4          # every artefact, sharded
+    python -m repro run-all --trace traces/   # ... with a JSONL trace file
+    python -m repro trace summary traces/run_all-seed2024-scale0.15-jobs4.jsonl
     python -m repro cache info                # the persistent artifact store
 """
 
@@ -212,13 +214,15 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 
     if args.cache_dir or args.no_cache:
         cache_mod.configure(root=args.cache_dir, enabled=not args.no_cache)
-    runner = StudyRunner(seed=args.seed, jobs=args.jobs)
+    runner = StudyRunner(seed=args.seed, jobs=args.jobs, trace_dir=args.trace)
     try:
         report = runner.run_all(scale=args.scale, artefacts=args.artefacts or None)
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
     print(report.summary_table())
+    if report.trace_path:
+        print(f"(trace written to {report.trace_path})")
     if args.render_dir:
         study = ThickMnaStudy(seed=args.seed)
         render_dir = pathlib.Path(args.render_dir)
@@ -232,6 +236,26 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         report.save(args.json)
         print(f"(run report written to {args.json})")
     return 0 if not report.failed() else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    try:
+        trace = obs.load_trace(args.file)
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.view == "summary":
+        print(obs.summary(trace))
+    elif args.view == "tree":
+        print(obs.tree(trace, max_depth=args.depth))
+    else:
+        print(obs.slowest(trace, top=args.top))
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -358,6 +382,19 @@ def build_parser() -> argparse.ArgumentParser:
                                      "~/.cache/repro-airalo or $REPRO_CACHE_DIR)")
     run_all_parser.add_argument("--no-cache", action="store_true",
                                 help="disable the persistent artifact cache")
+    run_all_parser.add_argument("--trace", default=None, metavar="DIR",
+                                help="record telemetry and write a JSONL trace "
+                                     "file into DIR (see 'repro trace')")
+
+    trace_parser = sub.add_parser(
+        "trace", help="inspect a JSONL trace written by run-all --trace"
+    )
+    trace_parser.add_argument("view", choices=("summary", "tree", "slowest"))
+    trace_parser.add_argument("file", help="path to the .jsonl trace file")
+    trace_parser.add_argument("--top", type=int, default=15,
+                              help="spans to list (slowest view)")
+    trace_parser.add_argument("--depth", type=int, default=None,
+                              help="maximum depth (tree view)")
 
     cache_parser = sub.add_parser("cache", help="inspect the persistent artifact cache")
     cache_parser.add_argument("action", choices=("info", "clear"))
@@ -383,6 +420,7 @@ _HANDLERS = {
     "chaos": _cmd_chaos,
     "market": _cmd_market,
     "run-all": _cmd_run_all,
+    "trace": _cmd_trace,
     "cache": _cmd_cache,
 }
 

@@ -33,8 +33,11 @@ import os
 import pathlib
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Union
+
+from repro import obs
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_DISABLE = "REPRO_CACHE_DISABLE"
@@ -85,15 +88,25 @@ def fingerprint(kind: str, **parts: Any) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one cache instance (one process)."""
+    """Hit/miss accounting for one cache instance (one process).
+
+    ``hit_time_s`` / ``miss_time_s`` accumulate the wall time spent in
+    :meth:`ArtifactCache.load` for hitting and missing lookups, so the
+    runner ledger can report per-artefact cache-hit latency.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    hit_time_s: float = 0.0
+    miss_time_s: float = 0.0
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.stores, self.evictions)
+        return CacheStats(
+            self.hits, self.misses, self.stores, self.evictions,
+            self.hit_time_s, self.miss_time_s,
+        )
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
         return CacheStats(
@@ -101,6 +114,8 @@ class CacheStats:
             self.misses - earlier.misses,
             self.stores - earlier.stores,
             self.evictions - earlier.evictions,
+            self.hit_time_s - earlier.hit_time_s,
+            self.miss_time_s - earlier.miss_time_s,
         )
 
 
@@ -136,23 +151,34 @@ class ArtifactCache:
         if not self.enabled:
             return None
         path = self._path(key)
+        started = time.perf_counter()
         try:
             with path.open("rb") as handle:
                 value = pickle.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
+            self.stats.miss_time_s += time.perf_counter() - started
+            obs.counter("cache.miss").inc()
             return None
         except Exception:
             # Truncated write, stale class layout, garbage bytes: drop the
             # entry and let the caller rebuild from scratch.
             self.stats.misses += 1
             self.stats.evictions += 1
+            self.stats.miss_time_s += time.perf_counter() - started
+            obs.counter("cache.miss").inc()
+            obs.counter("cache.corrupt").inc()
+            obs.event("cache.corrupt", key=key)
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
+        elapsed = time.perf_counter() - started
         self.stats.hits += 1
+        self.stats.hit_time_s += elapsed
+        obs.counter("cache.hit").inc()
+        obs.histogram("cache.load_s").observe(elapsed)
         return value
 
     def store(self, key: str, value: Any) -> Optional[pathlib.Path]:
@@ -161,6 +187,7 @@ class ArtifactCache:
             return None
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
+        started = time.perf_counter()
         handle = tempfile.NamedTemporaryFile(
             mode="wb", dir=self.root, prefix=f".{key}.", delete=False
         )
@@ -175,6 +202,8 @@ class ArtifactCache:
                 pass
             raise
         self.stats.stores += 1
+        obs.counter("cache.store").inc()
+        obs.histogram("cache.store_s").observe(time.perf_counter() - started)
         return path
 
     # -- maintenance --------------------------------------------------------

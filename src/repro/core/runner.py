@@ -12,21 +12,31 @@ fans the per-artefact analysis out over a ``ProcessPoolExecutor``::
     report.save("run-report.json")
 
 Every artefact gets its own ledger row (:class:`ArtefactRun`: wall
-time, worker id, cache hits/misses, error if any) and a failure in one
-artefact never aborts the others. Determinism is unchanged: workers
-compute exactly what the serial path computes, from byte-identical
-cached inputs, so ``jobs=N`` renders the same artefacts as ``jobs=1``.
+time, worker id, cache hits/misses and hit latency, error if any) and a
+failure in one artefact never aborts the others. Determinism is
+unchanged: workers compute exactly what the serial path computes, from
+byte-identical cached inputs, so ``jobs=N`` renders the same artefacts
+as ``jobs=1``.
+
+Telemetry rides along as a sidecar (see :mod:`repro.obs`): pass
+``trace_dir=`` (or install a :class:`~repro.obs.TraceRecorder` before
+calling) and every artefact runs under its own span — recorded in the
+worker process, exported with the ledger row, and re-parented into the
+parent's ``run_all`` trace. Artefact bytes are identical either way;
+timestamps live only in the trace file.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import os
+import pathlib
 import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.core import cache as cache_mod
 from repro.faults import ChaosConfig
 
@@ -38,9 +48,10 @@ class ArtefactRun:
     artefact_id: str
     status: str  # "ok" | "error"
     wall_s: float
-    worker: str  # e.g. "pid-12345"
+    worker: str  # e.g. "pid-12345" ("pid-lost" when the worker died)
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_hit_s: float = 0.0  # wall time spent in hitting cache loads
     error: str = ""
 
 
@@ -56,6 +67,8 @@ class RunReport:
     runs: List[ArtefactRun] = field(default_factory=list)
     #: Raw experiment results for the artefacts that succeeded.
     results: Dict[str, Any] = field(default_factory=dict)
+    #: Where the JSONL trace was written (None when tracing was off).
+    trace_path: Optional[str] = None
 
     def ok(self) -> List[ArtefactRun]:
         return [run for run in self.runs if run.status == "ok"]
@@ -67,12 +80,13 @@ class RunReport:
         """The ledger as fixed-width text (what ``run-all`` prints)."""
         lines = [
             f"{'artefact':9} {'status':7} {'wall':>8} {'worker':>10} "
-            f"{'hit':>4} {'miss':>4}",
+            f"{'hit':>4} {'miss':>4} {'hit ms':>7}",
         ]
         for run in self.runs:
             lines.append(
                 f"{run.artefact_id:9} {run.status:7} {run.wall_s:7.2f}s "
-                f"{run.worker:>10} {run.cache_hits:4d} {run.cache_misses:4d}"
+                f"{run.worker:>10} {run.cache_hits:4d} {run.cache_misses:4d} "
+                f"{run.cache_hit_s * 1000:7.1f}"
             )
         workers = {run.worker for run in self.runs}
         lines.append(
@@ -96,6 +110,7 @@ class RunReport:
             "jobs": self.jobs,
             "total_wall_s": self.total_wall_s,
             "warm_wall_s": self.warm_wall_s,
+            "trace_path": self.trace_path,
             "runs": [jsonable(run) for run in self.runs],
             "results": {key: jsonable(value) for key, value in self.results.items()},
         }
@@ -112,6 +127,11 @@ class RunReport:
 # -- worker side -------------------------------------------------------------
 
 _WORKER_STUDY = None
+_WORKER_TRACE = False
+
+#: One ledger row as shipped back from a worker: everything ArtefactRun
+#: needs plus the result payload and the worker's exported telemetry.
+_Row = Tuple[str, str, Any, str, float, str, int, int, float, Optional[Dict[str, Any]]]
 
 
 def _worker_init(
@@ -119,18 +139,20 @@ def _worker_init(
     chaos: Optional[ChaosConfig],
     cache_root: Optional[str],
     cache_enabled: bool,
+    trace: bool = False,
 ) -> None:
     """Process-pool initializer: point the worker at the parent's cache."""
     from repro.core.study import ThickMnaStudy
 
     cache_mod.configure(root=cache_root, enabled=cache_enabled)
-    global _WORKER_STUDY
+    global _WORKER_STUDY, _WORKER_TRACE
     _WORKER_STUDY = ThickMnaStudy(seed=seed, chaos=chaos)
+    _WORKER_TRACE = trace
 
 
-def _run_artefact(
+def _execute_artefact(
     artefact_id: str, scale: Optional[float]
-) -> Tuple[str, str, Any, str, float, str, int, int]:
+) -> Tuple[str, str, Any, str, float, str, int, int, float]:
     """Run one artefact in this process; never raises."""
     from repro.experiments import registry
 
@@ -152,8 +174,27 @@ def _run_artefact(
     delta = cache_mod.get_default_cache().stats.delta(stats_before)
     return (
         artefact_id, status, result, error, wall,
-        f"pid-{os.getpid()}", delta.hits, delta.misses,
+        f"pid-{os.getpid()}", delta.hits, delta.misses, delta.hit_time_s,
     )
+
+
+def _run_artefact(artefact_id: str, scale: Optional[float]) -> _Row:
+    """One ledger row; when tracing, recorded under a fresh local recorder.
+
+    The artefact records into its *own* :class:`~repro.obs.TraceRecorder`
+    whether it runs in a pool worker or inline in the parent — the
+    recorder's export travels back with the row and the parent re-parents
+    it under the ``run_all`` root span. One code path, both modes.
+    """
+    if not _WORKER_TRACE:
+        return _execute_artefact(artefact_id, scale) + (None,)
+    recorder = obs.TraceRecorder(trace_id=f"artefact-{artefact_id}")
+    with obs.use_recorder(recorder):
+        with obs.span("artefact", id=artefact_id) as span:
+            row = _execute_artefact(artefact_id, scale)
+            if row[1] != "ok":
+                span.set(failed=True)
+    return row + (recorder.export(),)
 
 
 # -- parent side -------------------------------------------------------------
@@ -165,6 +206,12 @@ class StudyRunner:
     artefact); ``jobs=N`` uses a ``ProcessPoolExecutor``. ``warm=False``
     skips the parent-side input build, e.g. to measure cold-process
     behaviour in benchmarks.
+
+    ``trace_dir`` turns telemetry on: the run records into a fresh
+    :class:`~repro.obs.TraceRecorder` and writes one JSONL trace file
+    into that directory (``report.trace_path``). Alternatively install a
+    recorder yourself with :func:`repro.obs.use_recorder` before calling
+    ``run_all`` — spans land there and no file is written.
     """
 
     def __init__(
@@ -174,6 +221,7 @@ class StudyRunner:
         jobs: int = 1,
         cache: Optional[cache_mod.ArtifactCache] = None,
         warm: bool = True,
+        trace_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -182,6 +230,7 @@ class StudyRunner:
         self.jobs = jobs
         self.cache = cache if cache is not None else cache_mod.get_default_cache()
         self.warm = warm
+        self.trace_dir = pathlib.Path(trace_dir) if trace_dir is not None else None
 
     def _study(self):
         from repro.core.study import ThickMnaStudy
@@ -220,6 +269,28 @@ class StudyRunner:
         artefacts: Optional[Sequence[str]] = None,
     ) -> RunReport:
         """Run ``artefacts`` (default: all), return the ledger + results."""
+        if self.trace_dir is None:
+            return self._run_all_inner(scale, artefacts)
+        recorder = obs.TraceRecorder(trace_id=f"run_all-seed{self.seed}")
+        with obs.use_recorder(recorder):
+            report = self._run_all_inner(scale, artefacts)
+        self.trace_dir.mkdir(parents=True, exist_ok=True)
+        path = self.trace_dir / (
+            f"run_all-seed{report.seed}-scale{report.scale:g}"
+            f"-jobs{report.jobs}.jsonl"
+        )
+        obs.write_trace(
+            recorder, path,
+            attrs={"seed": report.seed, "scale": report.scale, "jobs": report.jobs},
+        )
+        report.trace_path = str(path)
+        return report
+
+    def _run_all_inner(
+        self,
+        scale: Optional[float] = None,
+        artefacts: Optional[Sequence[str]] = None,
+    ) -> RunReport:
         from repro.experiments import common, registry
 
         if self.cache is not cache_mod.get_default_cache():
@@ -235,31 +306,44 @@ class StudyRunner:
                 registry.get_spec(artefact)  # fail fast on unknown ids
         effective_scale = scale if scale is not None else common.DEFAULT_SCALE
         report = RunReport(seed=self.seed, scale=effective_scale, jobs=self.jobs)
+        recorder = obs.get_recorder()
         started = time.perf_counter()
-        if self.warm:
-            report.warm_wall_s = self.warm_inputs(effective_scale, artefacts)
-        if self.jobs == 1:
-            rows = self._run_serial(artefacts, scale)
-        else:
-            rows = self._run_parallel(artefacts, scale)
-        order = {artefact: index for index, artefact in enumerate(artefacts)}
-        for row in sorted(rows, key=lambda r: order[r[0]]):
-            artefact_id, status, result, error, wall, worker, hits, misses = row
-            report.runs.append(
-                ArtefactRun(
-                    artefact_id=artefact_id, status=status, wall_s=wall,
-                    worker=worker, cache_hits=hits, cache_misses=misses,
-                    error=error,
+        with obs.span(
+            "run_all", seed=self.seed, scale=effective_scale, jobs=self.jobs,
+        ) as root:
+            if self.warm:
+                with obs.span("warm_inputs"):
+                    report.warm_wall_s = self.warm_inputs(
+                        effective_scale, artefacts
+                    )
+            if self.jobs == 1:
+                rows = self._run_serial(artefacts, scale)
+            else:
+                rows = self._run_parallel(artefacts, scale)
+            order = {artefact: index for index, artefact in enumerate(artefacts)}
+            for row in sorted(rows, key=lambda r: order[r[0]]):
+                (
+                    artefact_id, status, result, error, wall, worker,
+                    hits, misses, hit_time_s, telemetry,
+                ) = row
+                report.runs.append(
+                    ArtefactRun(
+                        artefact_id=artefact_id, status=status, wall_s=wall,
+                        worker=worker, cache_hits=hits, cache_misses=misses,
+                        cache_hit_s=hit_time_s, error=error,
+                    )
                 )
-            )
-            if status == "ok":
-                report.results[artefact_id] = result
+                if status == "ok":
+                    report.results[artefact_id] = result
+                if telemetry is not None and recorder.enabled:
+                    recorder.adopt(telemetry, parent_id=root.span_id)
         report.total_wall_s = time.perf_counter() - started
         return report
 
     def _run_serial(self, artefacts, scale):
-        global _WORKER_STUDY
+        global _WORKER_STUDY, _WORKER_TRACE
         _WORKER_STUDY = self._study()
+        _WORKER_TRACE = obs.enabled()
         return [_run_artefact(artefact, scale) for artefact in artefacts]
 
     def _run_parallel(self, artefacts, scale):
@@ -269,6 +353,7 @@ class StudyRunner:
             initargs=(
                 self.seed, self.chaos,
                 str(self.cache.root), self.cache.enabled,
+                obs.enabled(),
             ),
         ) as pool:
             futures = {
@@ -283,6 +368,6 @@ class StudyRunner:
                     # A worker died (OOM, signal): isolate like any failure.
                     rows.append((
                         futures[future], "error", None, traceback.format_exc(),
-                        0.0, "pid-?", 0, 0,
+                        0.0, "pid-lost", 0, 0, 0.0, None,
                     ))
         return rows

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 import repro
+from repro import obs
 from repro.core import cache as _cache
 from repro.faults import ChaosConfig
 from repro.geo import CountryRegistry, default_country_registry
@@ -45,12 +46,16 @@ def _disk_key(kind: str, **parts) -> str:
 
 def get_world(seed: int = DEFAULT_SEED) -> AiraloWorld:
     if seed not in _worlds:
-        store = _cache.get_default_cache()
-        key = _disk_key("world", seed=seed)
-        world = store.load(key)
-        if world is None:
-            world = build_airalo_world(seed=seed)
-            store.store(key, world)
+        with obs.span("input.world", seed=seed) as span:
+            store = _cache.get_default_cache()
+            key = _disk_key("world", seed=seed)
+            world = store.load(key)
+            if world is None:
+                span.set(source="build")
+                world = build_airalo_world(seed=seed)
+                store.store(key, world)
+            else:
+                span.set(source="disk")
         _worlds[seed] = world
     return _worlds[seed]
 
@@ -62,12 +67,19 @@ def get_device_dataset(
 ) -> MeasurementDataset:
     key = (seed, scale, chaos)
     if key not in _device_datasets:
-        store = _cache.get_default_cache()
-        disk_key = _disk_key("device-dataset", seed=seed, scale=scale, chaos=chaos)
-        dataset = store.load(disk_key)
-        if dataset is None:
-            dataset = get_world(seed).run_device_campaign(scale=scale, chaos=chaos)
-            store.store(disk_key, dataset)
+        with obs.span(
+            "input.device_dataset", seed=seed, scale=scale,
+            chaos=chaos is not None and chaos.enabled,
+        ) as span:
+            store = _cache.get_default_cache()
+            disk_key = _disk_key("device-dataset", seed=seed, scale=scale, chaos=chaos)
+            dataset = store.load(disk_key)
+            if dataset is None:
+                span.set(source="build")
+                dataset = get_world(seed).run_device_campaign(scale=scale, chaos=chaos)
+                store.store(disk_key, dataset)
+            else:
+                span.set(source="disk")
         _device_datasets[key] = dataset
     return _device_datasets[key]
 
@@ -77,12 +89,19 @@ def get_web_dataset(
 ) -> MeasurementDataset:
     key = (seed, chaos)
     if key not in _web_datasets:
-        store = _cache.get_default_cache()
-        disk_key = _disk_key("web-dataset", seed=seed, chaos=chaos)
-        dataset = store.load(disk_key)
-        if dataset is None:
-            dataset = get_world(seed).run_web_campaign(chaos=chaos)
-            store.store(disk_key, dataset)
+        with obs.span(
+            "input.web_dataset", seed=seed,
+            chaos=chaos is not None and chaos.enabled,
+        ) as span:
+            store = _cache.get_default_cache()
+            disk_key = _disk_key("web-dataset", seed=seed, chaos=chaos)
+            dataset = store.load(disk_key)
+            if dataset is None:
+                span.set(source="build")
+                dataset = get_world(seed).run_web_campaign(chaos=chaos)
+                store.store(disk_key, dataset)
+            else:
+                span.set(source="disk")
         _web_datasets[key] = dataset
     return _web_datasets[key]
 
@@ -97,14 +116,18 @@ def get_countries() -> CountryRegistry:
 def get_market(step_days: int = 7) -> Tuple[EsimDB, CrawlDataset]:
     """The aggregator plus a Feb-May crawl sampled every ``step_days``."""
     if step_days not in _market:
-        store = _cache.get_default_cache()
-        disk_key = _disk_key("market-crawl", step_days=step_days)
-        pair = store.load(disk_key)
-        if pair is None:
-            esimdb = EsimDB(build_provider_universe(), get_countries())
-            crawl = MarketCrawler(esimdb).crawl_daily(0, 120, step=step_days)
-            pair = (esimdb, crawl)
-            store.store(disk_key, pair)
+        with obs.span("input.market", step_days=step_days) as span:
+            store = _cache.get_default_cache()
+            disk_key = _disk_key("market-crawl", step_days=step_days)
+            pair = store.load(disk_key)
+            if pair is None:
+                span.set(source="build")
+                esimdb = EsimDB(build_provider_universe(), get_countries())
+                crawl = MarketCrawler(esimdb).crawl_daily(0, 120, step=step_days)
+                pair = (esimdb, crawl)
+                store.store(disk_key, pair)
+            else:
+                span.set(source="disk")
         _market[step_days] = pair
     return _market[step_days]
 

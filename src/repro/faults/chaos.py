@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.faults.retry import BackoffPolicy
 
 #: 3GPP TS 24.301 EMM cause codes for the injected attach rejects.
@@ -151,6 +152,7 @@ class FaultPlan:
     def _note(self, kind: FaultKind, day: int, detail: str = "") -> FaultEvent:
         event = FaultEvent(kind=kind, scope=self.scope, day=day, detail=detail)
         self.events.append(event)
+        obs.event(f"fault.{kind.value}", scope=self.scope, day=day, detail=detail)
         return event
 
     # -- injection points ---------------------------------------------------
@@ -197,7 +199,12 @@ class FaultPlan:
 
     def backoff_delay_s(self, attempt: int) -> float:
         """Simulated backoff before retry ``attempt`` (accounted, not slept)."""
-        return self.config.backoff.delay_s(attempt, self._rng)
+        delay = self.config.backoff.delay_s(attempt, self._rng)
+        obs.event(
+            "retry.backoff", scope=self.scope, attempt=attempt,
+            delay_s=round(delay, 6),
+        )
+        return delay
 
 
 class FaultInjector:

@@ -14,6 +14,8 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
+
 
 @dataclass(frozen=True)
 class BackoffPolicy:
@@ -79,6 +81,7 @@ class CircuitBreaker:
             self._reopen_day = day + self.quarantine_days + 1
             self.trip_days.append(day)
             self.consecutive_failures = 0
+            obs.event("breaker.open", day=day, threshold=self.threshold)
             return True
         return False
 

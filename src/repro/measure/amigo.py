@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.cellular.attach import AttachReject, SessionFactory
 from repro.cellular.core import PDNSession
 from repro.cellular.esim import SIMProfile
@@ -273,6 +274,7 @@ class MeasurementEndpoint:
                 chaos.breaker.record_success()
                 return True
             except (AttachReject, SimFlipError) as error:
+                obs.counter("campaign.attach.retry").inc()
                 delay = chaos.plan.backoff_delay_s(attempt)
                 logger.debug(
                     "%s day %d: attach attempt %d failed (%s); backing off %.1fs",
@@ -325,6 +327,7 @@ class MeasurementEndpoint:
             except TransientNetworkError as error:
                 if cell is not None:
                     cell.retried += 1
+                obs.counter("campaign.test.retry").inc()
                 delay = chaos.plan.backoff_delay_s(attempt)
                 logger.debug(
                     "%s day %d: %s attempt %d failed (%s); backing off %.1fs",
@@ -345,6 +348,7 @@ class MeasurementEndpoint:
     ) -> None:
         """Feed a final (post-retry) failure to the circuit breaker."""
         if chaos.breaker.record_failure(day) and health is not None:
+            obs.counter("campaign.quarantine").inc()
             health.quarantines.append(
                 QuarantineEvent(
                     country_iso3=self.deployment.country_iso3,
@@ -475,10 +479,13 @@ class AmigoControlServer:
             plan = plans[country]
             for test, (sim_count, esim_count) in plan.items():
                 health.cell(country, test).planned += sim_count + esim_count
-            if injector is None:
-                self._run_clean(endpoint, plan, dataset, health)
-            else:
-                self._run_resilient(endpoint, plan, injector, dataset, health)
+            with obs.span(
+                "campaign.endpoint", country=country, imei=endpoint.device.imei,
+            ):
+                if injector is None:
+                    self._run_clean(endpoint, plan, dataset, health)
+                else:
+                    self._run_resilient(endpoint, plan, injector, dataset, health)
         return dataset
 
     # -- campaign drivers ---------------------------------------------------

@@ -39,6 +39,8 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
+
 #: Query kind -> the MeasurementDataset attribute holding its records.
 KIND_FIELDS: Dict[str, str] = {
     "traceroute": "traceroutes",
@@ -141,6 +143,9 @@ class KindIndex:
             for position, record in enumerate(self._records):
                 table.setdefault(extract(record), []).append(position)
             self._by_dimension[dimension] = table
+            obs.counter("query.index.build").inc()
+        else:
+            obs.counter("query.index.reuse").inc()
         return self._by_dimension[dimension]
 
     # -- lookups ------------------------------------------------------------

@@ -11,8 +11,8 @@ weathers injected faults: unreadable uploads, attach rejects and probe
 timeouts all burn attempts from the volunteer's (enlarged) retry budget,
 and the dataset's health report accounts for what survived.
 
-Logger: ``repro.measure.webcampaign`` (rejected uploads at INFO,
-exhausted volunteers at WARNING).
+Logger: ``repro.measure.webcampaign`` (per-attempt retry chatter at
+DEBUG, one WARNING per volunteer that exhausts their retry budget).
 """
 
 from __future__ import annotations
@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.cellular.attach import SessionFactory
 from repro.cellular.esim import SIMProfile
 from repro.cellular.mno import OperatorRegistry
@@ -136,6 +137,18 @@ class WebCampaignRunner:
         rng: random.Random,
         plan: Optional[FaultPlan] = None,
     ) -> MeasurementDataset:
+        with obs.span(
+            "campaign.volunteer",
+            country=volunteer.country_iso3, volunteer=volunteer.name,
+        ):
+            return self._run_volunteer_inner(volunteer, rng, plan)
+
+    def _run_volunteer_inner(
+        self,
+        volunteer: WebVolunteer,
+        rng: random.Random,
+        plan: Optional[FaultPlan] = None,
+    ) -> MeasurementDataset:
         dataset = MeasurementDataset()
         cell = dataset.health.cell(volunteer.country_iso3, "web")
         cell.planned += volunteer.planned_measurements
@@ -171,8 +184,9 @@ class WebCampaignRunner:
             except UploadRejected as error:
                 self.rejected_uploads += 1
                 cell.retried += 1
-                logger.info("%s day %d: upload rejected (%s)",
-                            volunteer.name, day, error)
+                obs.counter("web.upload.rejected").inc()
+                logger.debug("%s day %d: upload rejected (%s)",
+                             volunteer.name, day, error)
                 continue
 
             if plan is not None and plan.test_fault("web", day) is not None:
@@ -188,7 +202,7 @@ class WebCampaignRunner:
         if completed < volunteer.planned_measurements:
             missing = volunteer.planned_measurements - completed
             cell.dropped += missing
-            logger.info(
+            logger.warning(
                 "%s completed %d/%d measurements before exhausting retries",
                 volunteer.name, completed, volunteer.planned_measurements,
             )

@@ -1,0 +1,86 @@
+"""``repro.obs`` — the zero-dependency telemetry sidecar.
+
+Hierarchical spans, a metrics registry (counters / gauges / fixed-bucket
+histograms) and a per-run JSONL trace sink, instrumented through every
+layer of the pipeline. Off by default: the :class:`NullRecorder`
+answers every instrumentation point with shared no-op singletons, and a
+traced run exports byte-identical artefacts to an untraced one —
+timestamps live only in the trace file.
+
+Typical use::
+
+    from repro import obs
+    from repro.core.runner import StudyRunner
+
+    runner = StudyRunner(seed=2024, jobs=4, trace_dir="traces/")
+    report = runner.run_all(scale=0.15)
+    print(report.trace_path)          # traces/run_all-....jsonl
+
+or, instrumenting by hand::
+
+    with obs.use_recorder(obs.TraceRecorder()) as rec:
+        with obs.span("my.stage", shard=3):
+            obs.counter("my.items").inc()
+            obs.event("my.retry", attempt=1)
+    obs.write_trace(rec, "trace.jsonl")
+
+See ``docs/OBSERVABILITY.md`` for naming conventions and the trace
+schema, and ``python -m repro trace {summary,tree,slowest}`` for the
+terminal views.
+"""
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    TraceRecorder,
+    counter,
+    enabled,
+    event,
+    gauge,
+    get_recorder,
+    histogram,
+    set_recorder,
+    span,
+    use_recorder,
+)
+from repro.obs.render import coverage, slowest, summary, tree
+from repro.obs.sink import TraceData, load_trace, write_trace
+from repro.obs.spans import Span, SpanEvent
+
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "TraceRecorder",
+    "Span",
+    "SpanEvent",
+    "TraceData",
+    "counter",
+    "coverage",
+    "enabled",
+    "event",
+    "gauge",
+    "get_recorder",
+    "histogram",
+    "load_trace",
+    "set_recorder",
+    "slowest",
+    "span",
+    "summary",
+    "tree",
+    "use_recorder",
+    "write_trace",
+]

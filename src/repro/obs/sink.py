@@ -1,0 +1,112 @@
+"""The per-run trace file: JSON-lines, written alongside artefacts.
+
+Format — one JSON object per line, discriminated by ``type``:
+
+* ``{"type": "meta", "trace_id": ..., "created_unix": ..., "attrs": {...}}``
+  — exactly one, first;
+* ``{"type": "span", "name": ..., "span_id": ..., "parent_id": ...,
+  "start_unix": ..., "duration_s": ..., "status": ..., "attrs": {...},
+  "events": [...]}`` — one per finished span, completion order;
+* ``{"type": "event", ...}`` — trace-level events emitted outside any span;
+* ``{"type": "metric", "metric": {...}}`` — one per instrument, sorted
+  by kind then name.
+
+Timestamps live *only* here — never in artefact bytes — so a traced
+``run_all`` exports byte-identical results to an untraced one.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.recorder import TraceRecorder
+
+PathLike = Union[str, "pathlib.Path"]
+
+
+@dataclass
+class TraceData:
+    """A trace file, parsed back into its three record kinds."""
+
+    trace_id: str = ""
+    created_unix: float = 0.0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
+
+    def roots(self) -> List[Dict[str, Any]]:
+        """Spans with no parent in the trace (normally exactly one)."""
+        known = {span["span_id"] for span in self.spans}
+        return [
+            span for span in self.spans
+            if span.get("parent_id") is None or span["parent_id"] not in known
+        ]
+
+    def children_of(self, span_id: Optional[str]) -> List[Dict[str, Any]]:
+        return [span for span in self.spans if span.get("parent_id") == span_id]
+
+
+def write_trace(
+    recorder: TraceRecorder,
+    path: PathLike,
+    attrs: Optional[Dict[str, Any]] = None,
+) -> pathlib.Path:
+    """Serialize ``recorder`` to ``path`` as JSONL; returns the path."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(
+            {
+                "type": "meta",
+                "trace_id": recorder.trace_id,
+                "created_unix": time.time(),
+                "attrs": attrs or {},
+            },
+            sort_keys=True,
+        )
+    ]
+    for span in recorder.spans:
+        lines.append(
+            json.dumps({"type": "span", **span.to_jsonable()}, sort_keys=True)
+        )
+    for event in recorder.orphan_events:
+        lines.append(
+            json.dumps({"type": "event", **event.to_jsonable()}, sort_keys=True)
+        )
+    for metric in recorder.metrics.to_jsonable():
+        lines.append(json.dumps({"type": "metric", "metric": metric}, sort_keys=True))
+    target.write_text("\n".join(lines) + "\n")
+    return target
+
+
+def load_trace(path: PathLike) -> TraceData:
+    """Parse a trace file; unknown line types are ignored (forward compat)."""
+    trace = TraceData()
+    text = pathlib.Path(path).read_text()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"{path}:{line_number}: not a JSONL trace line ({error})"
+            ) from None
+        kind = record.get("type")
+        if kind == "meta":
+            trace.trace_id = record.get("trace_id", "")
+            trace.created_unix = record.get("created_unix", 0.0)
+            trace.attrs = record.get("attrs", {})
+        elif kind == "span":
+            trace.spans.append(record)
+        elif kind == "event":
+            trace.events.append(record)
+        elif kind == "metric":
+            trace.metrics.append(record["metric"])
+    return trace

@@ -1,0 +1,161 @@
+"""Hierarchical spans: the trace's unit of attributed wall time.
+
+A :class:`Span` measures one named stretch of work. Spans nest: entering
+a span pushes it onto its recorder's stack, so any span (or event)
+started while it is open becomes its child. Durations come from
+``time.perf_counter`` (monotonic); the absolute ``start_unix`` stamp is
+``time.time`` so spans produced by different worker processes on the
+same host line up on one timeline after re-parenting.
+
+Used via the module-level API, never constructed directly::
+
+    from repro import obs
+
+    with obs.span("campaign.endpoint", country="JPN") as sp:
+        ...
+        sp.set(records=42)
+        obs.event("retry.backoff", delay_s=1.5)   # lands on this span
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+#: Span status values (set on exit).
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+class SpanEvent:
+    """A point-in-time annotation attached to a span (e.g. one fault)."""
+
+    __slots__ = ("name", "time_unix", "attrs")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.time_unix = time.time()
+        self.attrs = attrs
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {"name": self.name, "time_unix": self.time_unix, "attrs": self.attrs}
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "SpanEvent":
+        event = cls.__new__(cls)
+        event.name = data["name"]
+        event.time_unix = data.get("time_unix", 0.0)
+        event.attrs = data.get("attrs", {})
+        return event
+
+
+class Span:
+    """One timed, attributed stretch of work inside a trace.
+
+    Context-manager protocol: ``__enter__`` stamps the clocks and pushes
+    the span onto the recorder's stack (fixing its parent), ``__exit__``
+    pops it, computes the monotonic duration and hands the finished span
+    to the recorder. Exceptions propagate but mark ``status="error"``.
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "start_unix", "duration_s",
+        "attrs", "events", "status", "_recorder", "_t0",
+    )
+
+    def __init__(
+        self,
+        recorder: Any,
+        name: str,
+        span_id: str,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id: Optional[str] = None
+        self.start_unix = 0.0
+        self.duration_s = 0.0
+        self.attrs = attrs
+        self.events: List[SpanEvent] = []
+        self.status = STATUS_OK
+        self._recorder = recorder
+        self._t0 = 0.0
+
+    # -- annotation ---------------------------------------------------------
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) key/value attributes."""
+        self.attrs.update(attrs)
+        return self
+
+    def add_event(self, name: str, **attrs: Any) -> SpanEvent:
+        """Attach a point-in-time event to this span."""
+        event = SpanEvent(name, attrs)
+        self.events.append(event)
+        return event
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.start_unix = time.time()
+        self._t0 = time.perf_counter()
+        self._recorder._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.status = STATUS_ERROR
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._recorder._pop(self)
+        return False
+
+    # -- serialization ------------------------------------------------------
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix": self.start_unix,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attrs": self.attrs,
+            "events": [event.to_jsonable() for event in self.events],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "Span":
+        """Rehydrate an exported span (cross-process adoption, trace files)."""
+        span = cls(None, data["name"], data["span_id"], dict(data.get("attrs", {})))
+        span.parent_id = data.get("parent_id")
+        span.start_unix = data.get("start_unix", 0.0)
+        span.duration_s = data.get("duration_s", 0.0)
+        span.status = data.get("status", STATUS_OK)
+        span.events = [
+            SpanEvent.from_jsonable(event) for event in data.get("events", [])
+        ]
+        return span
+
+
+class NullSpan:
+    """The do-nothing span the :class:`~repro.obs.recorder.NullRecorder`
+    hands out: a process-wide singleton, so a disabled instrumentation
+    point costs one attribute check and no allocation."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = NullSpan()

@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.cellular import (
     AgreementRegistry,
     BandwidthPolicy,
@@ -185,20 +186,24 @@ class AiraloWorld:
         """
         if scale <= 0:
             raise ValueError("scale must be positive")
-        rng = self.rng(seed_salt)
-        server = AmigoControlServer(self.resources, self.factory, chaos=chaos)
-        plans: Dict[str, Dict[str, Tuple[int, int]]] = {}
-        for entry in pd.DEVICE_CAMPAIGN:
-            server.register_endpoint(
-                self.device_deployment(entry, rng),
-                random.Random(f"{self.seed}:{seed_salt}:{entry.country_iso3}"),
-            )
-            plan = entry.as_test_plan()
-            plans[entry.country_iso3] = {
-                test: (_scaled(a, scale), _scaled(b, scale))
-                for test, (a, b) in plan.items()
-            }
-        return server.run_campaign(plans)
+        with obs.span(
+            "campaign.device", scale=scale, seed=self.seed,
+            chaos=chaos is not None and chaos.enabled,
+        ):
+            rng = self.rng(seed_salt)
+            server = AmigoControlServer(self.resources, self.factory, chaos=chaos)
+            plans: Dict[str, Dict[str, Tuple[int, int]]] = {}
+            for entry in pd.DEVICE_CAMPAIGN:
+                server.register_endpoint(
+                    self.device_deployment(entry, rng),
+                    random.Random(f"{self.seed}:{seed_salt}:{entry.country_iso3}"),
+                )
+                plan = entry.as_test_plan()
+                plans[entry.country_iso3] = {
+                    test: (_scaled(a, scale), _scaled(b, scale))
+                    for test, (a, b) in plan.items()
+                }
+            return server.run_campaign(plans)
 
     # -- web campaign --------------------------------------------------------------
 
@@ -226,16 +231,20 @@ class AiraloWorld:
     def run_web_campaign(
         self, seed_salt: int = 2, chaos: Optional[ChaosConfig] = None
     ) -> MeasurementDataset:
-        rng = self.rng(seed_salt)
-        runner = WebCampaignRunner(
-            fabric=self.fabric,
-            fastcom=self.fastcom,
-            dns_services=self.resources.dns_services,
-            operators=self.operators,
-            factory=self.factory,
-            chaos=chaos,
-        )
-        return runner.run(self.web_volunteers(rng), rng)
+        with obs.span(
+            "campaign.web", seed=self.seed,
+            chaos=chaos is not None and chaos.enabled,
+        ):
+            rng = self.rng(seed_salt)
+            runner = WebCampaignRunner(
+                fabric=self.fabric,
+                fastcom=self.fastcom,
+                dns_services=self.resources.dns_services,
+                operators=self.operators,
+                factory=self.factory,
+                chaos=chaos,
+            )
+            return runner.run(self.web_volunteers(rng), rng)
 
 
 def _scaled(count: int, scale: float) -> int:
@@ -251,6 +260,11 @@ def _scaled(count: int, scale: float) -> int:
 
 def build_airalo_world(seed: int = 2024) -> AiraloWorld:
     """Construct the fully calibrated world (deterministic per seed)."""
+    with obs.span("world.build", seed=seed):
+        return _build_world(seed)
+
+
+def _build_world(seed: int) -> AiraloWorld:
     countries = default_country_registry()
     cities = default_city_registry()
     geoip = GeoIPDatabase()
@@ -289,12 +303,14 @@ def build_airalo_world(seed: int = 2024) -> AiraloWorld:
     operators.add(umobile)
 
     # --- AS registry + router prefixes ----------------------------------------
-    _register_ases(as_registry, operators, addressbook, router_pool, cities)
+    with obs.span("world.as_registry"):
+        _register_ases(as_registry, operators, addressbook, router_pool, cities)
 
     # --- PGW sites --------------------------------------------------------------
-    pgw_sites, native_site_ids = _build_pgw_sites(
-        cities, geoip, cgnat_pool, operators
-    )
+    with obs.span("world.pgw_sites"):
+        pgw_sites, native_site_ids = _build_pgw_sites(
+            cities, geoip, cgnat_pool, operators
+        )
 
     # --- roaming agreements -------------------------------------------------------
     agreements = AgreementRegistry()
@@ -317,7 +333,8 @@ def build_airalo_world(seed: int = 2024) -> AiraloWorld:
     ipx = _build_ipx(agreements)
 
     # --- inter-domain topology -----------------------------------------------------
-    _build_topology(topology, operators)
+    with obs.span("world.topology"):
+        _build_topology(topology, operators)
 
     # --- latency fabric ---------------------------------------------------------
     latency = LatencyModel()
@@ -332,10 +349,11 @@ def build_airalo_world(seed: int = 2024) -> AiraloWorld:
     )
 
     # --- services -----------------------------------------------------------------
-    sp_targets = _build_sps(cities, addressbook, router_pool, geoip)
-    cdns = _build_cdns(cities, router_pool, geoip)
-    dns_services = _build_dns(cities, operators, router_pool, geoip)
-    ookla, fastcom = _build_speedtests(cities, router_pool, geoip)
+    with obs.span("world.services"):
+        sp_targets = _build_sps(cities, addressbook, router_pool, geoip)
+        cdns = _build_cdns(cities, router_pool, geoip)
+        dns_services = _build_dns(cities, operators, router_pool, geoip)
+        ookla, fastcom = _build_speedtests(cities, router_pool, geoip)
 
     resources = TestbedResources(
         fabric=fabric,

@@ -190,6 +190,46 @@ def test_run_all_parallel_matches_serial(cli_cache, tmp_path, capsys):
         ).read_bytes()
 
 
+def test_run_all_trace_and_trace_views(cli_cache, tmp_path, capsys):
+    import json
+
+    trace_dir = tmp_path / "traces"
+    report_path = tmp_path / "report.json"
+    assert main([
+        "run-all", "--scale", "0.05", "--artefacts", "T2",
+        "--cache-dir", str(cli_cache), "--trace", str(trace_dir),
+        "--json", str(report_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "(trace written to " in out
+    data = json.loads(report_path.read_text())
+    trace_path = data["trace_path"]
+    assert trace_path and trace_path.endswith(".jsonl")
+
+    assert main(["trace", "summary", trace_path]) == 0
+    out = capsys.readouterr().out
+    assert "run_all" in out
+    assert "attributed to named child spans" in out
+
+    assert main(["trace", "tree", trace_path, "--depth", "1"]) == 0
+    assert "artefact" in capsys.readouterr().out
+
+    assert main(["trace", "slowest", trace_path, "--top", "3"]) == 0
+    assert "run_all" in capsys.readouterr().out
+
+
+def test_trace_missing_file_errors(capsys):
+    assert main(["trace", "summary", "/nonexistent/trace.jsonl"]) == 2
+    assert "cannot read trace" in capsys.readouterr().err
+
+
+def test_trace_unparseable_file_errors(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    assert main(["trace", "summary", str(bad)]) == 2
+    assert "bad.jsonl:1" in capsys.readouterr().err
+
+
 def test_cache_info_and_clear(cli_cache, capsys):
     assert main([
         "run-all", "--scale", "0.05", "--artefacts", "T2",

@@ -42,3 +42,23 @@ def test_run_all_serial_matches_golden(golden):
 def test_run_all_parallel_matches_golden(golden):
     report = StudyRunner(seed=golden["seed"], jobs=2).run_all(scale=golden["scale"])
     _assert_matches_golden(report, golden)
+
+
+# Telemetry is a sidecar: with tracing on, timestamps go to the trace
+# file and the artefact bytes must not move — serial or sharded.
+
+
+def test_run_all_serial_traced_matches_golden(golden, tmp_path):
+    report = StudyRunner(
+        seed=golden["seed"], jobs=1, trace_dir=tmp_path
+    ).run_all(scale=golden["scale"])
+    _assert_matches_golden(report, golden)
+    assert pathlib.Path(report.trace_path).is_file()
+
+
+def test_run_all_parallel_traced_matches_golden(golden, tmp_path):
+    report = StudyRunner(
+        seed=golden["seed"], jobs=2, trace_dir=tmp_path
+    ).run_all(scale=golden["scale"])
+    _assert_matches_golden(report, golden)
+    assert pathlib.Path(report.trace_path).is_file()

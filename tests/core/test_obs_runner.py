@@ -1,0 +1,139 @@
+"""Telemetry through the study runner: traces, re-parenting, byte-identity.
+
+The telemetry layer's contract with the runner:
+
+* ``trace_dir=`` writes exactly one JSONL trace per ``run_all`` with a
+  single ``run_all`` root span that owns every artefact span — including
+  spans recorded inside pool workers and shipped back over pickle;
+* artefact bytes are identical whether tracing is on or off (the golden
+  test pins the absolute bytes; here we pin traced == untraced);
+* the summary view attributes >= 95% of root wall time to named child
+  spans (the acceptance bar for instrumentation coverage).
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.runner import StudyRunner
+from repro.experiments import common
+from repro.experiments.export import jsonable
+
+SCALE = 0.05
+SUBSET = ["T2", "F11"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    # Runner tests must never leak a recorder into the process default.
+    before = obs.get_recorder()
+    yield
+    assert obs.get_recorder() is before
+
+
+def test_untraced_run_has_no_trace_path():
+    report = StudyRunner(seed=2024, jobs=1).run_all(scale=SCALE, artefacts=SUBSET)
+    assert report.trace_path is None
+    assert json.loads(json.dumps(report.to_jsonable()))["trace_path"] is None
+
+
+def test_traced_serial_run_writes_one_rooted_trace(tmp_path):
+    runner = StudyRunner(seed=2024, jobs=1, trace_dir=tmp_path)
+    report = runner.run_all(scale=SCALE, artefacts=SUBSET)
+    assert not report.failed()
+    assert report.trace_path is not None
+    assert report.trace_path.endswith(f"run_all-seed2024-scale{SCALE:g}-jobs1.jsonl")
+    assert report.to_jsonable()["trace_path"] == report.trace_path
+
+    trace = obs.load_trace(report.trace_path)
+    assert trace.attrs == {"seed": 2024, "scale": SCALE, "jobs": 1}
+    roots = trace.roots()
+    assert [span["name"] for span in roots] == ["run_all"]
+    artefact_spans = trace.children_of(roots[0]["span_id"])
+    ids = sorted(
+        span["attrs"]["id"] for span in artefact_spans
+        if span["name"] == "artefact"
+    )
+    assert ids == sorted(SUBSET)
+
+
+def test_traced_parallel_run_reparents_worker_spans(tmp_path):
+    runner = StudyRunner(seed=2024, jobs=2, trace_dir=tmp_path)
+    report = runner.run_all(scale=SCALE, artefacts=SUBSET)
+    assert not report.failed()
+    trace = obs.load_trace(report.trace_path)
+    roots = trace.roots()
+    assert [span["name"] for span in roots] == ["run_all"]
+    artefact_spans = [
+        span for span in trace.children_of(roots[0]["span_id"])
+        if span["name"] == "artefact"
+    ]
+    assert sorted(s["attrs"]["id"] for s in artefact_spans) == sorted(SUBSET)
+    # Worker span ids embed the producing PID: no collisions after adoption.
+    all_ids = [span["span_id"] for span in trace.spans]
+    assert len(all_ids) == len(set(all_ids))
+
+
+def test_traced_results_are_byte_identical_to_untraced(tmp_path):
+    def exported(**kwargs):
+        report = StudyRunner(seed=2024, jobs=1, **kwargs).run_all(
+            scale=SCALE, artefacts=SUBSET
+        )
+        assert not report.failed()
+        return {
+            artefact: json.dumps(jsonable(result), sort_keys=True)
+            for artefact, result in report.results.items()
+        }
+
+    assert exported() == exported(trace_dir=tmp_path)
+
+
+def test_external_recorder_collects_without_a_trace_file():
+    recorder = obs.TraceRecorder()
+    with obs.use_recorder(recorder):
+        report = StudyRunner(seed=2024, jobs=1).run_all(
+            scale=SCALE, artefacts=SUBSET
+        )
+    assert report.trace_path is None
+    names = {span.name for span in recorder.spans}
+    assert {"run_all", "artefact"} <= names
+
+
+def test_trace_summary_attributes_95_percent_of_wall_time(tmp_path):
+    report = StudyRunner(seed=2024, jobs=1, trace_dir=tmp_path).run_all(scale=SCALE)
+    assert not report.failed()
+    trace = obs.load_trace(report.trace_path)
+    share = obs.coverage(trace)
+    assert share is not None and share >= 0.95
+    assert "attributed to named child spans:" in obs.summary(trace)
+
+
+def test_ledger_reports_cache_hit_latency(tmp_path):
+    runner = StudyRunner(seed=2024, jobs=1, warm=False)
+    # Guarantee the inputs are on disk, then drop the in-memory layer so
+    # the artefact itself performs the (hitting) disk loads.
+    runner.warm_inputs(SCALE, ["T2"])
+    common.clear_caches()
+    report = runner.run_all(scale=SCALE, artefacts=["T2"])
+    (run,) = report.runs
+    assert run.status == "ok"
+    assert run.cache_hits > 0
+    assert run.cache_hit_s > 0.0
+    row = report.to_jsonable()["runs"][0]
+    assert row["cache_hit_s"] == run.cache_hit_s
+    assert row["worker"].startswith("pid-")
+
+
+def test_traced_run_records_cache_metrics(tmp_path):
+    runner = StudyRunner(seed=2024, jobs=1, warm=False, trace_dir=tmp_path)
+    runner.warm_inputs(SCALE, ["T2"])
+    common.clear_caches()
+    report = runner.run_all(scale=SCALE, artefacts=["T2"])
+    trace = obs.load_trace(report.trace_path)
+    counters = {
+        m["name"]: m["value"] for m in trace.metrics if m["type"] == "counter"
+    }
+    assert counters.get("cache.hit", 0) > 0
+    histograms = {m["name"] for m in trace.metrics if m["type"] == "histogram"}
+    assert "cache.load_s" in histograms

@@ -1,0 +1,120 @@
+"""CampaignHealth ledger vs emitted fault telemetry, under chaos.
+
+Every injected fault emits exactly one span event (``fault.<kind>``)
+from :class:`repro.faults.FaultPlan`, every backoff one ``retry.backoff``
+and every breaker trip one ``breaker.open``. The health ledger counts
+the same incidents through a completely different path (the campaign
+drivers), so agreement between the two is a strong end-to-end check on
+both — and the whole thing must replay identically from the same seeds.
+"""
+
+import pytest
+
+from repro import obs
+from repro.faults import ChaosConfig
+from repro.worlds import build_airalo_world
+
+SCALE = 0.05
+SEED = 2024
+CHAOS_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def traced_campaign():
+    chaos = ChaosConfig.paper_plausible(seed=CHAOS_SEED)
+    recorder = obs.TraceRecorder()
+    with obs.use_recorder(recorder):
+        world = build_airalo_world(seed=SEED)
+        dataset = world.run_device_campaign(scale=SCALE, chaos=chaos)
+    return recorder, dataset
+
+
+def _event_count(recorder, name):
+    return len(recorder.span_events(name))
+
+
+def test_attach_fault_events_match_ledger(traced_campaign):
+    recorder, dataset = traced_campaign
+    health = dataset.health
+    attach_faults = (
+        _event_count(recorder, "fault.attach-reject")
+        + _event_count(recorder, "fault.sim-flip")
+    )
+    assert attach_faults > 0
+    # Each injected attach fault either burned a retry or became the
+    # final give-up on that attach.
+    assert attach_faults == health.attach_retries + health.attach_failures
+
+
+def test_test_fault_events_match_ledger(traced_campaign):
+    recorder, dataset = traced_campaign
+    health = dataset.health
+    test_faults = (
+        _event_count(recorder, "fault.service-outage")
+        + _event_count(recorder, "fault.probe-timeout")
+    )
+    assert test_faults > 0
+    assert test_faults == health.retried_total
+
+
+def test_breaker_events_match_quarantine_ledger(traced_campaign):
+    recorder, dataset = traced_campaign
+    assert _event_count(recorder, "breaker.open") == len(dataset.health.quarantines)
+
+
+def test_every_fault_burned_exactly_one_backoff(traced_campaign):
+    recorder, _dataset = traced_campaign
+    faults = sum(
+        _event_count(recorder, f"fault.{kind}")
+        for kind in (
+            "attach-reject", "sim-flip", "service-outage", "probe-timeout",
+        )
+    )
+    assert _event_count(recorder, "retry.backoff") == faults
+
+
+def test_fault_events_land_on_endpoint_spans(traced_campaign):
+    recorder, _dataset = traced_campaign
+    endpoint_spans = [s for s in recorder.spans if s.name == "campaign.endpoint"]
+    assert endpoint_spans
+    on_endpoints = sum(
+        1 for span in endpoint_spans for event in span.events
+        if event.name.startswith("fault.")
+    )
+    total = sum(
+        1 for event in recorder.span_events() if event.name.startswith("fault.")
+    )
+    assert on_endpoints == total  # none leaked to outer spans or orphans
+
+
+def test_web_retry_chatter_is_debug_and_exhaustion_warns(caplog):
+    import logging
+
+    # 90% malformed uploads: plenty of per-attempt retry chatter and
+    # volunteers guaranteed to exhaust their attempt budget.
+    chaos = ChaosConfig(enabled=True, seed=1, malformed_upload_rate=0.9)
+    world = build_airalo_world(seed=SEED)
+    with caplog.at_level(logging.DEBUG, logger="repro.measure.webcampaign"):
+        dataset = world.run_web_campaign(chaos=chaos)
+    assert dataset.health.dropped_total > 0
+    rejected = [r for r in caplog.records if "upload rejected" in r.message]
+    assert rejected
+    assert all(r.levelno == logging.DEBUG for r in rejected)
+    exhausted = [r for r in caplog.records if "exhausting retries" in r.message]
+    assert exhausted
+    assert all(r.levelno == logging.WARNING for r in exhausted)
+
+
+def test_chaos_telemetry_replays_identically():
+    def run():
+        chaos = ChaosConfig.paper_plausible(seed=CHAOS_SEED)
+        recorder = obs.TraceRecorder()
+        with obs.use_recorder(recorder):
+            world = build_airalo_world(seed=SEED)
+            world.run_device_campaign(scale=SCALE, chaos=chaos)
+        return [
+            (event.name, sorted(event.attrs.items()))
+            for event in recorder.span_events()
+        ]
+
+    assert run() == run()

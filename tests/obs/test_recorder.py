@@ -1,0 +1,222 @@
+"""Unit tests for the telemetry core: spans, metrics, recorders."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM
+from repro.obs.spans import NULL_SPAN
+
+
+# -- the disabled (sidecar-off) path -----------------------------------------
+
+
+def test_null_recorder_is_the_default():
+    assert not obs.enabled()
+    assert isinstance(obs.get_recorder(), obs.NullRecorder)
+
+
+def test_disabled_instrumentation_returns_shared_singletons():
+    assert obs.span("anything", key="value") is NULL_SPAN
+    assert obs.counter("anything") is NULL_COUNTER
+    assert obs.gauge("anything") is NULL_GAUGE
+    assert obs.histogram("anything") is NULL_HISTOGRAM
+    obs.event("anything", key="value")  # no-op, no error
+
+
+def test_null_span_supports_the_full_span_surface():
+    with obs.span("outer") as span:
+        assert span.set(records=3) is span
+        span.add_event("retry")
+
+
+# -- recorder installation ----------------------------------------------------
+
+
+def test_use_recorder_restores_previous():
+    recorder = obs.TraceRecorder()
+    before = obs.get_recorder()
+    with obs.use_recorder(recorder) as active:
+        assert active is recorder
+        assert obs.enabled()
+    assert obs.get_recorder() is before
+
+
+def test_set_recorder_none_installs_null():
+    previous = obs.set_recorder(obs.TraceRecorder())
+    try:
+        assert obs.enabled()
+        obs.set_recorder(None)
+        assert not obs.enabled()
+    finally:
+        obs.set_recorder(previous)
+
+
+# -- span mechanics -----------------------------------------------------------
+
+
+def test_spans_nest_and_record_parentage():
+    recorder = obs.TraceRecorder()
+    with obs.use_recorder(recorder):
+        with obs.span("outer", layer="runner") as outer:
+            with obs.span("inner") as inner:
+                assert recorder.current_span() is inner
+            assert recorder.current_span() is outer
+    assert [span.name for span in recorder.spans] == ["inner", "outer"]
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert outer.attrs == {"layer": "runner"}
+    assert inner.duration_s >= 0.0
+    assert outer.duration_s >= inner.duration_s
+
+
+def test_span_ids_are_unique_across_recorders_in_one_process():
+    # Every artefact gets its own recorder; adopted spans from two
+    # same-PID recorders must never collide.
+    first, second = obs.TraceRecorder(), obs.TraceRecorder()
+    with obs.use_recorder(first):
+        with obs.span("a") as span_a:
+            pass
+    with obs.use_recorder(second):
+        with obs.span("b") as span_b:
+            pass
+    assert span_a.span_id != span_b.span_id
+
+
+def test_exception_marks_span_status_and_propagates():
+    recorder = obs.TraceRecorder()
+    with obs.use_recorder(recorder):
+        with pytest.raises(ValueError):
+            with obs.span("doomed"):
+                raise ValueError("boom")
+    (span,) = recorder.spans
+    assert span.status == "error"
+    assert span.attrs["error"] == "ValueError"
+
+
+def test_events_attach_to_innermost_open_span():
+    recorder = obs.TraceRecorder()
+    with obs.use_recorder(recorder):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                obs.event("fault.attach-reject", day=3)
+        obs.event("loose")  # no span open any more? outer closed after inner
+    inner = next(s for s in recorder.spans if s.name == "inner")
+    assert [e.name for e in inner.events] == ["fault.attach-reject"]
+    assert inner.events[0].attrs == {"day": 3}
+    assert [e.name for e in recorder.orphan_events] == ["loose"]
+
+
+def test_span_events_collects_and_filters_across_spans():
+    recorder = obs.TraceRecorder()
+    with obs.use_recorder(recorder):
+        with obs.span("one"):
+            obs.event("fault.sim-flip")
+            obs.event("retry.backoff")
+        with obs.span("two"):
+            obs.event("retry.backoff")
+    assert len(recorder.span_events()) == 3
+    assert len(recorder.span_events("retry.backoff")) == 2
+    assert len(recorder.span_events("fault.sim-flip")) == 1
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+def test_counter_gauge_histogram_basics():
+    recorder = obs.TraceRecorder()
+    with obs.use_recorder(recorder):
+        obs.counter("hits").inc()
+        obs.counter("hits").inc(4)
+        obs.gauge("depth").set(7.5)
+        histogram = obs.histogram("lat")
+        histogram.observe(0.0002)
+        histogram.observe(2.0)
+    assert recorder.metrics.counters() == {"hits": 5}
+    assert recorder.metrics.gauge("depth").value == 7.5
+    assert histogram.count == 2
+    assert histogram.mean() == pytest.approx(1.0001)
+    # 0.0002 lands in the 0.0005 bucket, 2.0 in the 5.0 bucket.
+    assert histogram.counts[1] == 1
+    assert histogram.quantile(1.0) == 5.0
+
+
+def test_histogram_overflow_and_validation():
+    histogram = obs.Histogram("h", buckets=(1.0, 2.0))
+    histogram.observe(99.0)
+    assert histogram.counts == [0, 0, 1]
+    assert histogram.quantile(0.5) == float("inf")
+    with pytest.raises(ValueError):
+        obs.Histogram("bad", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        obs.Histogram("empty", buckets=())
+
+
+def test_registry_merge_adds_counters_and_histogram_cells():
+    worker = obs.TraceRecorder()
+    worker.counter("cache.hit").inc(3)
+    worker.gauge("depth").set(2.0)
+    worker.histogram("lat").observe(0.01)
+
+    parent = obs.TraceRecorder()
+    parent.counter("cache.hit").inc(1)
+    parent.gauge("depth").set(9.0)
+    parent.histogram("lat").observe(0.2)
+
+    parent.metrics.merge_jsonable(worker.metrics.to_jsonable())
+    assert parent.metrics.counters() == {"cache.hit": 4}
+    assert parent.metrics.gauge("depth").value == 2.0  # last write wins
+    merged = parent.metrics.histogram("lat")
+    assert merged.count == 2
+    assert merged.sum == pytest.approx(0.21)
+
+
+def test_registry_merge_rejects_bucket_mismatch():
+    left = obs.MetricsRegistry()
+    left.histogram("lat", buckets=(1.0, 2.0))
+    right = obs.MetricsRegistry()
+    right.histogram("lat", buckets=(5.0, 6.0)).observe(1.0)
+    with pytest.raises(ValueError, match="bucket mismatch"):
+        left.merge_jsonable(right.to_jsonable())
+
+
+def test_operation_count_sizes_the_benchmark_cost_model():
+    registry = obs.MetricsRegistry()
+    registry.counter("a").inc(10)
+    registry.gauge("g").set(1.0)
+    registry.histogram("h").observe(0.5)
+    registry.histogram("h").observe(0.5)
+    assert registry.operation_count() == 13
+
+
+# -- cross-process export / adoption ------------------------------------------
+
+
+def test_adopt_reparents_worker_roots_and_keeps_inner_ancestry():
+    worker = obs.TraceRecorder()
+    with obs.use_recorder(worker):
+        with obs.span("artefact", id="T2") as worker_root:
+            with obs.span("input.world") as worker_child:
+                pass
+        worker.counter("cache.hit").inc(2)
+
+    parent = obs.TraceRecorder()
+    with obs.use_recorder(parent):
+        with obs.span("run_all") as root:
+            parent.adopt(worker.export(), parent_id=root.span_id)
+
+    by_name = {span.name: span for span in parent.spans}
+    assert by_name["artefact"].parent_id == root.span_id
+    assert by_name["input.world"].parent_id == worker_root.span_id
+    assert worker_child.span_id in {s.span_id for s in parent.spans}
+    assert parent.metrics.counters() == {"cache.hit": 2}
+
+
+def test_export_is_plain_jsonable_data():
+    import json
+
+    recorder = obs.TraceRecorder()
+    with obs.use_recorder(recorder):
+        with obs.span("stage", shard=1):
+            obs.event("tick", n=1)
+        obs.counter("ops").inc()
+    json.dumps(recorder.export())  # must not raise
