@@ -1,0 +1,101 @@
+"""Benchmark the cross-run history store and the regression engine.
+
+The history store is on the ``run-all`` hot path (one append per run)
+and the regression gate runs in CI on every push, so both carry time
+budgets:
+
+* appending 200 synthetic runs — a couple of months of nightly CI at
+  several runs a day — must stay under :data:`APPEND_BUDGET_S`;
+* loading those 200 runs back and computing a rolling-baseline verdict
+  for the latest one must stay under :data:`DETECT_BUDGET_S`;
+* the store is one JSON line per run: bytes on disk must grow O(runs),
+  bounded by :data:`MAX_BYTES_PER_RUN` for a realistic artefact count.
+"""
+
+import time
+
+from repro.obs.history import ArtefactStats, HistoryStore, RunRecord
+from repro.obs.regress import detect
+
+from benchmarks._harness import report
+
+RUNS = 200
+ARTEFACTS_PER_RUN = 30
+APPEND_BUDGET_S = 2.0
+DETECT_BUDGET_S = 1.0
+MAX_BYTES_PER_RUN = 16_384
+
+
+def _synthetic_record(index: int) -> RunRecord:
+    artefacts = {
+        f"T{artefact}": ArtefactStats(
+            status="ok",
+            wall_s=0.05 + 0.001 * (artefact % 7),
+            cache_hits=8,
+            cache_misses=2,
+            cache_hit_s=0.004,
+            fingerprint=f"result-{artefact:02d}feedfacecafe",
+        )
+        for artefact in range(ARTEFACTS_PER_RUN)
+    }
+    return RunRecord(
+        run_id=f"20260101T{index:06d}-bench",
+        created_unix=1_767_000_000.0 + 60.0 * index,
+        seed=2024,
+        scale=0.05,
+        jobs=1,
+        host="bench-host",
+        total_wall_s=sum(s.wall_s for s in artefacts.values()),
+        warm_wall_s=0.3,
+        artefacts=artefacts,
+        metrics={"cache.ledger.hits": 8.0 * ARTEFACTS_PER_RUN},
+    )
+
+
+def _append_all(store: HistoryStore) -> float:
+    started = time.perf_counter()
+    for index in range(RUNS):
+        store.append(_synthetic_record(index))
+    return time.perf_counter() - started
+
+
+def test_bench_history_append_and_detect(benchmark, tmp_path_factory):
+    root = tmp_path_factory.mktemp("history-bench")
+    store = HistoryStore(root)
+
+    append_s = _append_all(store)
+    assert append_s < APPEND_BUDGET_S, (
+        f"appending {RUNS} runs took {append_s:.2f}s "
+        f"(budget {APPEND_BUDGET_S:.1f}s)"
+    )
+
+    size = store.path.stat().st_size
+    per_run = size / RUNS
+    assert per_run < MAX_BYTES_PER_RUN, (
+        f"{per_run:.0f} bytes/run on disk exceeds {MAX_BYTES_PER_RUN}"
+    )
+
+    # pytest-benchmark ledger entry: the full load + rolling-baseline
+    # verdict for the newest run, exactly what `repro regress` does.
+    def load_and_detect():
+        return detect(store)
+
+    started = time.perf_counter()
+    regression = benchmark.pedantic(load_and_detect, rounds=1, iterations=1)
+    detect_s = time.perf_counter() - started
+    assert regression.ok(), regression.render()
+    assert detect_s < DETECT_BUDGET_S, (
+        f"load+detect over {RUNS} runs took {detect_s:.2f}s "
+        f"(budget {DETECT_BUDGET_S:.1f}s)"
+    )
+
+    lines = [
+        f"append {RUNS} runs      : {append_s:6.3f}s "
+        f"({append_s / RUNS * 1e3:.2f} ms/run, budget {APPEND_BUDGET_S:.1f}s)",
+        f"store size            : {size / 1024:6.1f} KiB "
+        f"({per_run:.0f} bytes/run, {ARTEFACTS_PER_RUN} artefacts/run)",
+        f"load + detect         : {detect_s:6.3f}s "
+        f"(rolling baseline over {len(regression.baseline_ids)} runs, "
+        f"budget {DETECT_BUDGET_S:.1f}s)",
+    ]
+    report("HISTORY", "\n".join(lines))

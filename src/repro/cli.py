@@ -12,7 +12,12 @@ Exposes the reproduction from the shell::
     python -m repro chaos --attach-reject 0.1 # campaign under injected faults
     python -m repro run-all --jobs 4          # every artefact, sharded
     python -m repro run-all --trace traces/   # ... with a JSONL trace file
+    python -m repro run-all --history runs/   # ... appending to the run history
     python -m repro trace summary traces/run_all-seed2024-scale0.15-jobs4.jsonl
+    python -m repro trace metrics traces/*.jsonl
+    python -m repro history list --history runs/
+    python -m repro regress --history runs/ --fail-on-regression
+    python -m repro report --html report.html --history runs/
     python -m repro cache info                # the persistent artifact store
 """
 
@@ -214,7 +219,10 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 
     if args.cache_dir or args.no_cache:
         cache_mod.configure(root=args.cache_dir, enabled=not args.no_cache)
-    runner = StudyRunner(seed=args.seed, jobs=args.jobs, trace_dir=args.trace)
+    runner = StudyRunner(
+        seed=args.seed, jobs=args.jobs, trace_dir=args.trace,
+        history_dir=args.history,
+    )
     try:
         report = runner.run_all(scale=args.scale, artefacts=args.artefacts or None)
     except KeyError as error:
@@ -223,6 +231,8 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     print(report.summary_table())
     if report.trace_path:
         print(f"(trace written to {report.trace_path})")
+    if report.history_run_id:
+        print(f"(history run {report.history_run_id} appended to {args.history})")
     if args.render_dir:
         study = ThickMnaStudy(seed=args.seed)
         render_dir = pathlib.Path(args.render_dir)
@@ -238,24 +248,57 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return 0 if not report.failed() else 1
 
 
+def _expand_trace_files(patterns: List[str]) -> List[str]:
+    """Resolve trace-file arguments, expanding any unshelled globs."""
+    import glob as glob_mod
+
+    files: List[str] = []
+    for pattern in patterns:
+        if any(char in pattern for char in "*?["):
+            matches = sorted(glob_mod.glob(pattern))
+            if not matches:
+                raise FileNotFoundError(f"no trace files match {pattern!r}")
+            files.extend(matches)
+        else:
+            files.append(pattern)
+    return files
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro import obs
 
     try:
-        trace = obs.load_trace(args.file)
-    except OSError as error:
-        print(f"cannot read trace: {error}", file=sys.stderr)
-        return 2
-    except ValueError as error:
+        files = _expand_trace_files(args.files)
+    except FileNotFoundError as error:
         print(str(error), file=sys.stderr)
         return 2
-    if args.view == "summary":
-        print(obs.summary(trace))
-    elif args.view == "tree":
-        print(obs.tree(trace, max_depth=args.depth))
-    else:
-        print(obs.slowest(trace, top=args.top))
-    return 0
+    status = 0
+    for index, file in enumerate(files):
+        try:
+            trace = obs.load_trace(file)
+        except OSError as error:
+            print(f"cannot read trace: {error}", file=sys.stderr)
+            status = 2
+            continue
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            status = 2
+            continue
+        if len(files) > 1:
+            if index:
+                print()
+            print(f"== {file} ==")
+        if args.view == "summary":
+            print(obs.summary(trace))
+        elif args.view == "tree":
+            print(obs.tree(trace, max_depth=args.depth))
+        elif args.view == "metrics":
+            print(obs.metrics_view(trace))
+        elif args.view == "critical":
+            print(obs.render_critical(trace))
+        else:
+            print(obs.slowest(trace, top=args.top))
+    return status
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -276,6 +319,131 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"total size : {info['total_bytes'] / 1e6:.1f} MB")
     for entry in info["entries"]:
         print(f"  {entry['key']:50} {entry['size_bytes'] / 1e6:8.2f} MB")
+    return 0
+
+
+def _history_store(args: argparse.Namespace):
+    from repro.obs.history import HistoryStore
+
+    return HistoryStore(args.history)
+
+
+def _fmt_run_wall(seconds: float) -> str:
+    return f"{seconds:.2f}s" if seconds >= 1.0 else f"{seconds * 1000:.0f}ms"
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    import time as time_mod
+
+    store = _history_store(args)
+    records = store.load()
+    if not records:
+        print(f"no runs recorded under {store.root}", file=sys.stderr)
+        return 2
+
+    if args.action == "list":
+        print(f"{'run id':24} {'recorded (UTC)':19} {'key':26} "
+              f"{'ok':>5} {'wall':>8}")
+        for record in records:
+            stamp = time_mod.strftime(
+                "%Y-%m-%d %H:%M:%S", time_mod.gmtime(record.created_unix)
+            )
+            ok = sum(
+                1 for stats in record.artefacts.values() if stats.status == "ok"
+            )
+            print(f"{record.run_id:24} {stamp:19} {record.group_key():26} "
+                  f"{ok:2d}/{len(record.artefacts):2d} "
+                  f"{_fmt_run_wall(record.total_wall_s):>8}")
+        return 0
+
+    if args.action == "show":
+        record = store.get(args.run_id) if args.run_id else records[-1]
+        if record is None:
+            print(f"unknown run id {args.run_id!r} in {store.root}",
+                  file=sys.stderr)
+            return 2
+        print(f"run {record.run_id} ({record.group_key()}) on {record.host}")
+        print(f"  recorded : {time_mod.strftime('%Y-%m-%d %H:%M:%S UTC', time_mod.gmtime(record.created_unix))}")
+        print(f"  status   : {'ok' if record.ok else 'FAILED'}, "
+              f"total {_fmt_run_wall(record.total_wall_s)} "
+              f"(warm-up {_fmt_run_wall(record.warm_wall_s)})")
+        if record.trace_path:
+            print(f"  trace    : {record.trace_path}")
+        print(f"  {'artefact':9} {'status':7} {'wall':>8} {'hit':>4} "
+              f"{'miss':>4} {'fingerprint':20}")
+        for artefact_id in sorted(record.artefacts):
+            stats = record.artefacts[artefact_id]
+            print(f"  {artefact_id:9} {stats.status:7} "
+                  f"{_fmt_run_wall(stats.wall_s):>8} {stats.cache_hits:4d} "
+                  f"{stats.cache_misses:4d} {stats.fingerprint[-20:]:20}")
+        return 0
+
+    # compare
+    first = store.get(args.run_id)
+    second = store.get(args.other_run_id)
+    for run_id, record in ((args.run_id, first), (args.other_run_id, second)):
+        if record is None:
+            print(f"unknown run id {run_id!r} in {store.root}", file=sys.stderr)
+            return 2
+    print(f"comparing {first.run_id} ({first.group_key()}) -> "
+          f"{second.run_id} ({second.group_key()})")
+    artefact_ids = sorted(set(first.artefacts) | set(second.artefacts))
+    print(f"  {'artefact':9} {'wall A':>8} {'wall B':>8} {'delta':>8} result")
+    for artefact_id in artefact_ids:
+        a = first.artefacts.get(artefact_id)
+        b = second.artefacts.get(artefact_id)
+        if a is None or b is None:
+            print(f"  {artefact_id:9} {'-':>8} {'-':>8} {'-':>8} "
+                  f"only in run {'B' if a is None else 'A'}")
+            continue
+        delta = b.wall_s - a.wall_s
+        if a.status != "ok" or b.status != "ok":
+            result = f"status {a.status} -> {b.status}"
+        elif a.fingerprint and b.fingerprint:
+            result = (
+                "identical" if a.fingerprint == b.fingerprint else "DIFFERENT"
+            )
+        else:
+            result = "-"
+        print(f"  {artefact_id:9} {_fmt_run_wall(a.wall_s):>8} "
+              f"{_fmt_run_wall(b.wall_s):>8} {delta * 1000:+7.0f}ms {result}")
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from repro.obs.regress import RegressionConfig, detect
+
+    store = _history_store(args)
+    try:
+        config = RegressionConfig(
+            baseline_window=args.window,
+            latency_threshold=args.latency_threshold,
+            hit_rate_drop=args.hit_rate_drop,
+        )
+        report = detect(
+            store, run_id=args.run, against=args.against, config=config
+        )
+    except (KeyError, ValueError) as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+    print(report.render())
+    if not report.ok() and args.fail_on_regression:
+        return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.regress import RegressionConfig
+    from repro.obs.report import write_html
+
+    store = _history_store(args)
+    config = RegressionConfig(
+        latency_threshold=args.latency_threshold,
+        hit_rate_drop=args.hit_rate_drop,
+    )
+    target = write_html(store, args.html, limit=args.limit, config=config)
+    runs = len(store.load())
+    print(f"wrote {target} ({runs} recorded run(s))")
     return 0
 
 
@@ -385,16 +553,78 @@ def build_parser() -> argparse.ArgumentParser:
     run_all_parser.add_argument("--trace", default=None, metavar="DIR",
                                 help="record telemetry and write a JSONL trace "
                                      "file into DIR (see 'repro trace')")
+    run_all_parser.add_argument("--history", default=None, metavar="DIR",
+                                help="append one RunRecord to the cross-run "
+                                     "history store in DIR (see 'repro "
+                                     "history' and 'repro regress')")
 
     trace_parser = sub.add_parser(
-        "trace", help="inspect a JSONL trace written by run-all --trace"
+        "trace", help="inspect JSONL traces written by run-all --trace"
     )
-    trace_parser.add_argument("view", choices=("summary", "tree", "slowest"))
-    trace_parser.add_argument("file", help="path to the .jsonl trace file")
+    trace_parser.add_argument(
+        "view", choices=("summary", "tree", "slowest", "metrics", "critical")
+    )
+    trace_parser.add_argument("files", nargs="+", metavar="FILE",
+                              help="one or more .jsonl trace files (globs ok)")
     trace_parser.add_argument("--top", type=int, default=15,
                               help="spans to list (slowest view)")
     trace_parser.add_argument("--depth", type=int, default=None,
                               help="maximum depth (tree view)")
+
+    history_parser = sub.add_parser(
+        "history", help="inspect the cross-run history store"
+    )
+    history_sub = history_parser.add_subparsers(dest="action", required=True)
+    list_parser = history_sub.add_parser("list", help="one line per recorded run")
+    show_parser = history_sub.add_parser(
+        "show", help="one run's per-artefact record"
+    )
+    compare_parser = history_sub.add_parser(
+        "compare", help="two runs side by side"
+    )
+    for action_parser in (list_parser, show_parser, compare_parser):
+        action_parser.add_argument(
+            "--history", default=None, metavar="DIR",
+            help="history store root (default ~/.cache/repro-airalo/history "
+                 "or $REPRO_HISTORY_DIR)",
+        )
+    show_parser.add_argument("run_id", nargs="?", default=None,
+                             help="run id or unique prefix (default: latest)")
+    compare_parser.add_argument("run_id", help="baseline run id")
+    compare_parser.add_argument("other_run_id", help="candidate run id")
+
+    regress_parser = sub.add_parser(
+        "regress",
+        help="judge a recorded run against its rolling baseline",
+    )
+    regress_parser.add_argument("--history", default=None, metavar="DIR",
+                                help="history store root")
+    regress_parser.add_argument("--run", default=None, metavar="RUN_ID",
+                                help="candidate run (default: latest)")
+    regress_parser.add_argument("--against", default=None, metavar="RUN_ID",
+                                help="pin the baseline to one specific run")
+    regress_parser.add_argument("--fail-on-regression", action="store_true",
+                                help="exit non-zero when any verdict fires "
+                                     "(the CI gate)")
+    regress_parser.add_argument("--window", type=int, default=10,
+                                help="rolling baseline window (default 10)")
+    regress_parser.add_argument("--latency-threshold", type=float, default=0.5,
+                                help="relative wall-time excess to flag "
+                                     "(default 0.5 = 50%%)")
+    regress_parser.add_argument("--hit-rate-drop", type=float, default=0.15,
+                                help="absolute cache-hit-rate drop to flag")
+
+    report_parser = sub.add_parser(
+        "report", help="render the static HTML history dashboard"
+    )
+    report_parser.add_argument("--html", required=True, metavar="OUT",
+                               help="output HTML file")
+    report_parser.add_argument("--history", default=None, metavar="DIR",
+                               help="history store root")
+    report_parser.add_argument("--limit", type=int, default=12,
+                               help="runs per trend table (default 12)")
+    report_parser.add_argument("--latency-threshold", type=float, default=0.5)
+    report_parser.add_argument("--hit-rate-drop", type=float, default=0.15)
 
     cache_parser = sub.add_parser("cache", help="inspect the persistent artifact cache")
     cache_parser.add_argument("action", choices=("info", "clear"))
@@ -421,6 +651,9 @@ _HANDLERS = {
     "market": _cmd_market,
     "run-all": _cmd_run_all,
     "trace": _cmd_trace,
+    "history": _cmd_history,
+    "regress": _cmd_regress,
+    "report": _cmd_report,
     "cache": _cmd_cache,
 }
 

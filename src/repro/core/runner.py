@@ -69,6 +69,8 @@ class RunReport:
     results: Dict[str, Any] = field(default_factory=dict)
     #: Where the JSONL trace was written (None when tracing was off).
     trace_path: Optional[str] = None
+    #: History-store run id (None when ``--history`` was off).
+    history_run_id: Optional[str] = None
 
     def ok(self) -> List[ArtefactRun]:
         return [run for run in self.runs if run.status == "ok"]
@@ -108,9 +110,11 @@ class RunReport:
             "seed": self.seed,
             "scale": self.scale,
             "jobs": self.jobs,
+            "ok": not self.failed(),
             "total_wall_s": self.total_wall_s,
             "warm_wall_s": self.warm_wall_s,
             "trace_path": self.trace_path,
+            "history_run_id": self.history_run_id,
             "runs": [jsonable(run) for run in self.runs],
             "results": {key: jsonable(value) for key, value in self.results.items()},
         }
@@ -212,6 +216,12 @@ class StudyRunner:
     into that directory (``report.trace_path``). Alternatively install a
     recorder yourself with :func:`repro.obs.use_recorder` before calling
     ``run_all`` — spans land there and no file is written.
+
+    ``history_dir`` gives runs a memory: every completed ``run_all``
+    appends one :class:`~repro.obs.history.RunRecord` — built from the
+    very RunReport ledger this runner returns — to the cross-run
+    history store in that directory (``report.history_run_id``), where
+    ``python -m repro regress`` and ``repro report`` pick it up.
     """
 
     def __init__(
@@ -222,6 +232,7 @@ class StudyRunner:
         cache: Optional[cache_mod.ArtifactCache] = None,
         warm: bool = True,
         trace_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+        history_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -231,6 +242,9 @@ class StudyRunner:
         self.cache = cache if cache is not None else cache_mod.get_default_cache()
         self.warm = warm
         self.trace_dir = pathlib.Path(trace_dir) if trace_dir is not None else None
+        self.history_dir = (
+            pathlib.Path(history_dir) if history_dir is not None else None
+        )
 
     def _study(self):
         from repro.core.study import ThickMnaStudy
@@ -269,21 +283,42 @@ class StudyRunner:
         artefacts: Optional[Sequence[str]] = None,
     ) -> RunReport:
         """Run ``artefacts`` (default: all), return the ledger + results."""
+        recorder: Optional[obs.TraceRecorder] = None
         if self.trace_dir is None:
-            return self._run_all_inner(scale, artefacts)
-        recorder = obs.TraceRecorder(trace_id=f"run_all-seed{self.seed}")
-        with obs.use_recorder(recorder):
             report = self._run_all_inner(scale, artefacts)
-        self.trace_dir.mkdir(parents=True, exist_ok=True)
-        path = self.trace_dir / (
-            f"run_all-seed{report.seed}-scale{report.scale:g}"
-            f"-jobs{report.jobs}.jsonl"
-        )
-        obs.write_trace(
-            recorder, path,
-            attrs={"seed": report.seed, "scale": report.scale, "jobs": report.jobs},
-        )
-        report.trace_path = str(path)
+            active = obs.get_recorder()
+            if isinstance(active, obs.TraceRecorder):
+                recorder = active  # externally installed: still snapshot
+        else:
+            recorder = obs.TraceRecorder(trace_id=f"run_all-seed{self.seed}")
+            with obs.use_recorder(recorder):
+                report = self._run_all_inner(scale, artefacts)
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+            path = self.trace_dir / (
+                f"run_all-seed{report.seed}-scale{report.scale:g}"
+                f"-jobs{report.jobs}.jsonl"
+            )
+            obs.write_trace(
+                recorder, path,
+                attrs={
+                    "seed": report.seed, "scale": report.scale,
+                    "jobs": report.jobs,
+                },
+            )
+            report.trace_path = str(path)
+        if self.history_dir is not None:
+            from repro.obs import history as history_mod
+
+            metrics = (
+                {
+                    name: float(value)
+                    for name, value in recorder.metrics.counters().items()
+                }
+                if recorder is not None else None
+            )
+            record = history_mod.record_from_report(report, metrics=metrics)
+            history_mod.HistoryStore(self.history_dir).append(record)
+            report.history_run_id = record.run_id
         return report
 
     def _run_all_inner(

@@ -29,6 +29,20 @@ schema, and ``python -m repro trace {summary,tree,slowest}`` for the
 terminal views.
 """
 
+from repro.obs.critical import (
+    CriticalStep,
+    Phase,
+    critical_path,
+    phase_attribution,
+    render_critical,
+)
+from repro.obs.history import (
+    ArtefactStats,
+    HistoryStore,
+    RunRecord,
+    default_history_root,
+    record_from_report,
+)
 from repro.obs.metrics import (
     LATENCY_BUCKETS_S,
     Counter,
@@ -51,36 +65,62 @@ from repro.obs.recorder import (
     span,
     use_recorder,
 )
-from repro.obs.render import coverage, slowest, summary, tree
+from repro.obs.regress import (
+    RegressionConfig,
+    RegressionReport,
+    Verdict,
+    compare,
+    detect,
+)
+from repro.obs.render import coverage, metrics_view, slowest, summary, tree
+from repro.obs.report import render_html, write_html
 from repro.obs.sink import TraceData, load_trace, write_trace
 from repro.obs.spans import Span, SpanEvent
 
 __all__ = [
     "LATENCY_BUCKETS_S",
+    "ArtefactStats",
     "Counter",
+    "CriticalStep",
     "Gauge",
     "Histogram",
+    "HistoryStore",
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
+    "Phase",
     "Recorder",
+    "RegressionConfig",
+    "RegressionReport",
+    "RunRecord",
     "TraceRecorder",
     "Span",
     "SpanEvent",
     "TraceData",
+    "Verdict",
+    "compare",
     "counter",
     "coverage",
+    "critical_path",
+    "default_history_root",
+    "detect",
     "enabled",
     "event",
     "gauge",
     "get_recorder",
     "histogram",
     "load_trace",
+    "metrics_view",
+    "phase_attribution",
+    "record_from_report",
+    "render_critical",
+    "render_html",
     "set_recorder",
     "slowest",
     "span",
     "summary",
     "tree",
     "use_recorder",
+    "write_html",
     "write_trace",
 ]

@@ -1,0 +1,303 @@
+"""The cross-run history store: one :class:`RunRecord` per ``run_all``.
+
+PR 4 gave every run a trace; this module gives the traces (and the
+runner's ledger) a memory. Each completed ``run_all`` appends one
+compact JSON line — seed/scale/jobs/host, per-artefact wall and
+cache-hit accounting, a metrics snapshot, result fingerprints and the
+trace path — to ``history.jsonl`` inside a history directory. The
+regression engine (:mod:`repro.obs.regress`) and the HTML report
+(``python -m repro report``) read it back to turn isolated snapshots
+into longitudinal trend data.
+
+Design rules mirror :mod:`repro.core.cache`:
+
+* **Atomic appends.** A record is serialized to one ``\\n``-terminated
+  line and written with a single ``os.write`` on an ``O_APPEND`` file
+  descriptor, so two concurrent ``run-all --history`` invocations can
+  never interleave bytes within each other's records.
+* **Corruption tolerance.** Loads skip anything they cannot use — a
+  truncated final line from a killed writer, garbage bytes, records
+  with an unknown (newer) schema version — and keep every record that
+  parses. The store can always be appended to; it never needs repair.
+* **Versioned schema.** Every record carries ``schema``; readers accept
+  records up to their own :data:`SCHEMA_VERSION` and skip newer ones
+  instead of misinterpreting them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+#: Bump when a reader can no longer interpret older records.
+SCHEMA_VERSION = 1
+
+ENV_HISTORY_DIR = "REPRO_HISTORY_DIR"
+
+_HISTORY_FILE = "history.jsonl"
+
+PathLike = Union[str, "pathlib.Path"]
+
+
+def default_history_root() -> pathlib.Path:
+    """``$REPRO_HISTORY_DIR`` if set, else ``~/.cache/repro-airalo/history``."""
+    override = os.environ.get(ENV_HISTORY_DIR)
+    if override:
+        return pathlib.Path(override).expanduser()
+    from repro.core.cache import default_cache_root
+
+    return default_cache_root() / "history"
+
+
+@dataclass
+class ArtefactStats:
+    """Per-artefact slice of one run: what the ledger knew, plus the
+    content fingerprint of the exported result."""
+
+    status: str = "ok"
+    wall_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_s: float = 0.0
+    #: ``fingerprint("result", ...)`` of the exported JSON; empty when
+    #: the artefact failed (there is no result to fingerprint).
+    fingerprint: str = ""
+
+    def cache_hit_rate(self) -> Optional[float]:
+        """Hit fraction of this artefact's cache lookups (None: no lookups)."""
+        lookups = self.cache_hits + self.cache_misses
+        if not lookups:
+            return None
+        return self.cache_hits / lookups
+
+
+@dataclass
+class RunRecord:
+    """One ``run_all``, compacted to a single history line."""
+
+    run_id: str
+    schema: int = SCHEMA_VERSION
+    created_unix: float = 0.0
+    seed: int = 0
+    scale: float = 0.0
+    jobs: int = 1
+    host: str = ""
+    ok: bool = True
+    total_wall_s: float = 0.0
+    warm_wall_s: float = 0.0
+    artefacts: Dict[str, ArtefactStats] = field(default_factory=dict)
+    #: Counter snapshot (e.g. ``cache.hit``) when a recorder was live,
+    #: plus the ledger-derived ``cache.*`` aggregates always.
+    metrics: Dict[str, float] = field(default_factory=dict)
+    trace_path: Optional[str] = None
+
+    def group_key(self) -> str:
+        """Comparability key: only runs of the same workload are baselined
+        against each other."""
+        return f"seed{self.seed}-scale{self.scale:g}-jobs{self.jobs}"
+
+    def cache_hit_rate(self) -> Optional[float]:
+        hits = sum(a.cache_hits for a in self.artefacts.values())
+        misses = sum(a.cache_misses for a in self.artefacts.values())
+        if not hits + misses:
+            return None
+        return hits / (hits + misses)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        data = asdict(self)
+        return data
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "RunRecord":
+        artefacts = {
+            str(artefact_id): ArtefactStats(
+                status=stats.get("status", "ok"),
+                wall_s=stats.get("wall_s", 0.0),
+                cache_hits=stats.get("cache_hits", 0),
+                cache_misses=stats.get("cache_misses", 0),
+                cache_hit_s=stats.get("cache_hit_s", 0.0),
+                fingerprint=stats.get("fingerprint", ""),
+            )
+            for artefact_id, stats in data.get("artefacts", {}).items()
+        }
+        return cls(
+            run_id=data["run_id"],
+            schema=data.get("schema", SCHEMA_VERSION),
+            created_unix=data.get("created_unix", 0.0),
+            seed=data.get("seed", 0),
+            scale=data.get("scale", 0.0),
+            jobs=data.get("jobs", 1),
+            host=data.get("host", ""),
+            ok=data.get("ok", True),
+            total_wall_s=data.get("total_wall_s", 0.0),
+            warm_wall_s=data.get("warm_wall_s", 0.0),
+            artefacts=artefacts,
+            metrics=data.get("metrics", {}),
+            trace_path=data.get("trace_path"),
+        )
+
+
+def new_run_id(now: Optional[float] = None) -> str:
+    """A unique, sortable run id: UTC stamp plus a random suffix."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(now or time.time()))
+    return f"{stamp}-{uuid.uuid4().hex[:8]}"
+
+
+def record_from_report(
+    report: Any,
+    metrics: Optional[Dict[str, float]] = None,
+    host: Optional[str] = None,
+    now: Optional[float] = None,
+) -> RunRecord:
+    """Compact a :class:`~repro.core.runner.RunReport` into a RunRecord.
+
+    The RunReport ledger is the single source: per-artefact wall and
+    cache accounting come straight from its rows, and each successful
+    result is fingerprinted through the same canonicalisation the
+    artifact cache keys use (:func:`repro.core.cache.fingerprint` over
+    the exported JSON), so a byte-level change in any exported series
+    shows up as a fingerprint change in the history.
+    """
+    from repro.core.cache import fingerprint
+    from repro.experiments.export import jsonable
+
+    created = now if now is not None else time.time()
+    artefacts: Dict[str, ArtefactStats] = {}
+    for run in report.runs:
+        digest = ""
+        if run.artefact_id in report.results:
+            digest = fingerprint(
+                "result",
+                artefact=run.artefact_id,
+                data=jsonable(report.results[run.artefact_id]),
+            )
+        artefacts[run.artefact_id] = ArtefactStats(
+            status=run.status,
+            wall_s=run.wall_s,
+            cache_hits=run.cache_hits,
+            cache_misses=run.cache_misses,
+            cache_hit_s=run.cache_hit_s,
+            fingerprint=digest,
+        )
+    snapshot: Dict[str, float] = dict(metrics or {})
+    snapshot.setdefault(
+        "cache.ledger.hits", sum(run.cache_hits for run in report.runs)
+    )
+    snapshot.setdefault(
+        "cache.ledger.misses", sum(run.cache_misses for run in report.runs)
+    )
+    return RunRecord(
+        run_id=new_run_id(created),
+        created_unix=created,
+        seed=report.seed,
+        scale=report.scale,
+        jobs=report.jobs,
+        host=host if host is not None else platform.node(),
+        ok=not report.failed(),
+        total_wall_s=report.total_wall_s,
+        warm_wall_s=report.warm_wall_s,
+        artefacts=artefacts,
+        metrics=snapshot,
+        trace_path=report.trace_path,
+    )
+
+
+class HistoryStore:
+    """Append-only JSONL store of :class:`RunRecord`\\ s."""
+
+    def __init__(self, root: Optional[PathLike] = None) -> None:
+        self.root = (
+            pathlib.Path(root) if root is not None else default_history_root()
+        )
+        self.path = self.root / _HISTORY_FILE
+
+    # -- append --------------------------------------------------------------
+
+    def append(self, record: RunRecord) -> RunRecord:
+        """Persist ``record`` as one line; atomic against concurrent appends."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record.to_jsonable(), sort_keys=True) + "\n"
+        if self._needs_leading_newline():
+            # A killed writer left a partial line with no terminator; seal
+            # it off so this record starts on a fresh line. Still a single
+            # write: the healthy path always leaves the file \n-terminated.
+            line = "\n" + line
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return record
+
+    def _needs_leading_newline(self) -> bool:
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except OSError:  # missing or empty file
+            return False
+
+    # -- load ----------------------------------------------------------------
+
+    def load(self) -> List[RunRecord]:
+        """Every loadable record, in append order.
+
+        Tolerates anything a crashed or newer writer can leave behind:
+        non-JSON lines (a truncated final line), JSON that is not a
+        record, and records with a schema version newer than this
+        reader. Skipped lines never hide the records around them.
+        """
+        try:
+            text = self.path.read_text()
+        except (FileNotFoundError, NotADirectoryError):
+            return []
+        except OSError:
+            return []
+        records: List[RunRecord] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # truncated or garbage line: keep the rest
+            if not isinstance(data, dict) or "run_id" not in data:
+                continue
+            if data.get("schema", SCHEMA_VERSION) > SCHEMA_VERSION:
+                continue  # written by a newer repro: skip, don't guess
+            try:
+                records.append(RunRecord.from_jsonable(data))
+            except (KeyError, TypeError, AttributeError):
+                continue
+        return records
+
+    def get(self, run_id: str) -> Optional[RunRecord]:
+        """The record with ``run_id`` (unique-prefix match allowed)."""
+        records = self.load()
+        for record in records:
+            if record.run_id == run_id:
+                return record
+        prefixed = [r for r in records if r.run_id.startswith(run_id)]
+        if len(prefixed) == 1:
+            return prefixed[0]
+        return None
+
+    def last(self, key: Optional[str] = None) -> Optional[RunRecord]:
+        """The most recent record (optionally restricted to a group key)."""
+        records = self.load()
+        if key is not None:
+            records = [r for r in records if r.group_key() == key]
+        return records[-1] if records else None
+
+    def runs_for(self, key: str) -> List[RunRecord]:
+        """All records sharing one comparability key, append order."""
+        return [r for r in self.load() if r.group_key() == key]

@@ -78,16 +78,26 @@ def summary(trace: TraceData) -> str:
     if share is not None:
         lines.append(f"attributed to named child spans: {share:.1%}")
 
+    metric_lines = _metric_tables(trace)
+    if metric_lines:
+        lines.append("")
+        lines.extend(metric_lines)
+    return "\n".join(lines)
+
+
+def _metric_tables(trace: TraceData) -> List[str]:
+    """The counter/gauge and histogram tables (shared by two views)."""
     counters = [m for m in trace.metrics if m["type"] == "counter"]
     gauges = [m for m in trace.metrics if m["type"] == "gauge"]
     histograms = [m for m in trace.metrics if m["type"] == "histogram"]
+    lines: List[str] = []
     if counters or gauges:
-        lines.append("")
         lines.append(f"{'counter':36} {'value':>12}")
         for metric in sorted(counters + gauges, key=lambda m: m["name"]):
             lines.append(f"{metric['name']:36} {metric['value']:>12}")
     if histograms:
-        lines.append("")
+        if lines:
+            lines.append("")
         lines.append(
             f"{'histogram':24} {'count':>8} {'mean':>9} {'p50':>9} {'p95':>9} {'max<=':>9}"
         )
@@ -97,6 +107,14 @@ def summary(trace: TraceData) -> str:
                 f"{_fmt_s(_hist_mean(metric)):>9} {_hist_quantile(metric, 0.5):>9} "
                 f"{_hist_quantile(metric, 0.95):>9} {_hist_max_bound(metric):>9}"
             )
+    return lines
+
+
+def metrics_view(trace: TraceData) -> str:
+    """Only the counters/gauges/histograms embedded in a trace file."""
+    lines = _metric_tables(trace)
+    if not lines:
+        return "(no metrics recorded in this trace)"
     return "\n".join(lines)
 
 

@@ -245,6 +245,230 @@ def test_cache_info_and_clear(cli_cache, capsys):
     assert "entries    : 0" in capsys.readouterr().out
 
 
+# -- history / regress / report ----------------------------------------------
+
+
+def _run_all_history(cli_cache, history_dir, *extra):
+    return main([
+        "run-all", "--scale", "0.05", "--artefacts", "T2", "F7",
+        "--cache-dir", str(cli_cache), "--history", str(history_dir), *extra,
+    ])
+
+
+def test_run_all_history_appends_and_reports_run_id(cli_cache, tmp_path, capsys):
+    import json
+
+    history_dir = tmp_path / "hist"
+    report_path = tmp_path / "report.json"
+    assert _run_all_history(cli_cache, history_dir, "--json", str(report_path)) == 0
+    out = capsys.readouterr().out
+    assert "(history run " in out
+
+    data = json.loads(report_path.read_text())
+    assert data["ok"] is True
+    assert data["history_run_id"]
+
+    from repro.obs.history import HistoryStore
+
+    (record,) = HistoryStore(history_dir).load()
+    assert record.run_id == data["history_run_id"]
+    assert set(record.artefacts) == {"T2", "F7"}
+    assert all(s.fingerprint for s in record.artefacts.values())
+
+
+def test_identical_runs_pass_the_regression_gate(cli_cache, tmp_path, capsys):
+    history_dir = tmp_path / "hist"
+    assert _run_all_history(cli_cache, history_dir) == 0
+    assert _run_all_history(cli_cache, history_dir) == 0
+    capsys.readouterr()
+    assert main([
+        "regress", "--history", str(history_dir), "--fail-on-regression",
+    ]) == 0
+    assert "no regressions detected" in capsys.readouterr().out
+
+
+def test_injected_slowdown_fails_the_regression_gate(
+    cli_cache, tmp_path, capsys, monkeypatch
+):
+    import time as time_mod
+
+    import repro.experiments.table2 as table2
+
+    history_dir = tmp_path / "hist"
+    assert _run_all_history(cli_cache, history_dir) == 0
+    assert _run_all_history(cli_cache, history_dir) == 0
+
+    original = table2.run
+
+    def slow_run(**kwargs):
+        time_mod.sleep(0.4)
+        return original(**kwargs)
+
+    monkeypatch.setattr(table2, "run", slow_run)
+    assert _run_all_history(cli_cache, history_dir) == 0
+    capsys.readouterr()
+    assert main([
+        "regress", "--history", str(history_dir), "--fail-on-regression",
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "latency-regression" in out
+    assert "T2" in out
+    # Without the gate flag the verdicts still print but exit 0.
+    assert main(["regress", "--history", str(history_dir)]) == 0
+
+
+def test_forced_fingerprint_change_fails_the_regression_gate(
+    cli_cache, tmp_path, capsys, monkeypatch
+):
+    import repro.experiments.table2 as table2
+
+    history_dir = tmp_path / "hist"
+    assert _run_all_history(cli_cache, history_dir) == 0
+    assert _run_all_history(cli_cache, history_dir) == 0
+
+    monkeypatch.setattr(table2, "run", lambda **kwargs: {"tampered": True})
+    assert _run_all_history(cli_cache, history_dir) == 0
+    capsys.readouterr()
+    assert main([
+        "regress", "--history", str(history_dir), "--fail-on-regression",
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "fingerprint-change" in out
+    assert "T2" in out
+
+
+def test_regress_against_pinned_run(cli_cache, tmp_path, capsys):
+    history_dir = tmp_path / "hist"
+    assert _run_all_history(cli_cache, history_dir) == 0
+    assert _run_all_history(cli_cache, history_dir) == 0
+    capsys.readouterr()
+
+    from repro.obs.history import HistoryStore
+
+    first = HistoryStore(history_dir).load()[0]
+    assert main([
+        "regress", "--history", str(history_dir), "--against", first.run_id,
+    ]) == 0
+    assert first.run_id in capsys.readouterr().out
+
+
+def test_regress_needs_a_baseline(cli_cache, tmp_path, capsys):
+    history_dir = tmp_path / "hist"
+    assert main(["regress", "--history", str(history_dir)]) == 2
+    assert "no runs recorded" in capsys.readouterr().err
+    assert _run_all_history(cli_cache, history_dir) == 0
+    capsys.readouterr()
+    assert main(["regress", "--history", str(history_dir)]) == 2
+    assert "no earlier baseline" in capsys.readouterr().err
+
+
+def test_history_list_show_compare(cli_cache, tmp_path, capsys):
+    history_dir = tmp_path / "hist"
+    assert _run_all_history(cli_cache, history_dir) == 0
+    assert _run_all_history(cli_cache, history_dir) == 0
+    capsys.readouterr()
+
+    assert main(["history", "list", "--history", str(history_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "seed2024-scale0.05-jobs1" in out
+    assert out.count("2/ 2") == 2
+
+    assert main(["history", "show", "--history", str(history_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "T2" in out and "F7" in out and "fingerprint" in out
+
+    from repro.obs.history import HistoryStore
+
+    run_ids = [record.run_id for record in HistoryStore(history_dir).load()]
+    assert main([
+        "history", "compare", *run_ids, "--history", str(history_dir),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "identical" in out and "DIFFERENT" not in out
+
+
+def test_history_empty_store_errors(tmp_path, capsys):
+    assert main(["history", "list", "--history", str(tmp_path / "none")]) == 2
+    assert "no runs recorded" in capsys.readouterr().err
+
+
+def test_report_html_dashboard(cli_cache, tmp_path, capsys):
+    history_dir = tmp_path / "hist"
+    target = tmp_path / "report.html"
+    assert _run_all_history(cli_cache, history_dir) == 0
+    assert _run_all_history(cli_cache, history_dir) == 0
+    capsys.readouterr()
+    assert main([
+        "report", "--html", str(target), "--history", str(history_dir),
+    ]) == 0
+    assert "wrote" in capsys.readouterr().out
+    html = target.read_text()
+    assert "seed2024-scale0.05-jobs1" in html
+    assert "<table>" in html
+
+
+def test_run_all_exits_nonzero_on_artefact_failure(
+    cli_cache, tmp_path, capsys, monkeypatch
+):
+    import json
+
+    import repro.experiments.table2 as table2
+
+    def boom(**kwargs):
+        raise RuntimeError("synthetic failure")
+
+    monkeypatch.setattr(table2, "run", boom)
+    report_path = tmp_path / "report.json"
+    assert main([
+        "run-all", "--scale", "0.05", "--artefacts", "T2", "F7",
+        "--cache-dir", str(cli_cache), "--json", str(report_path),
+        "--history", str(tmp_path / "hist"),
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "FAILED T2" in out
+    data = json.loads(report_path.read_text())
+    assert data["ok"] is False
+
+    from repro.obs.history import HistoryStore
+
+    (record,) = HistoryStore(tmp_path / "hist").load()
+    assert record.ok is False
+    assert record.artefacts["T2"].status == "error"
+
+
+def test_trace_multiple_files_and_metrics_view(cli_cache, tmp_path, capsys):
+    trace_dir = tmp_path / "traces"
+    assert main([
+        "run-all", "--scale", "0.05", "--artefacts", "T2",
+        "--cache-dir", str(cli_cache), "--trace", str(trace_dir),
+    ]) == 0
+    assert main([
+        "run-all", "--scale", "0.05", "--artefacts", "T2", "--jobs", "2",
+        "--cache-dir", str(cli_cache), "--trace", str(trace_dir),
+    ]) == 0
+    capsys.readouterr()
+    traces = sorted(str(path) for path in trace_dir.glob("*.jsonl"))
+    assert len(traces) == 2
+
+    assert main(["trace", "summary", *traces]) == 0
+    out = capsys.readouterr().out
+    for path in traces:
+        assert f"== {path} ==" in out
+    assert out.count("run_all") >= 2
+
+    # Unshelled glob patterns expand too.
+    assert main(["trace", "metrics", str(trace_dir / "*.jsonl")]) == 0
+    out = capsys.readouterr().out
+    assert "counter" in out and "cache." in out
+
+    assert main(["trace", "critical", traces[0]]) == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out
+
+    assert main(["trace", "summary", str(trace_dir / "nope-*.jsonl")]) == 2
+    assert "no trace files match" in capsys.readouterr().err
+
+
 def test_chaos_weather_silent_by_default(capsys):
     assert main(["chaos", "--churn", "0.3", "--scale", "0.03"]) == 0
     captured = capsys.readouterr()

@@ -62,3 +62,22 @@ def test_run_all_parallel_traced_matches_golden(golden, tmp_path):
     ).run_all(scale=golden["scale"])
     _assert_matches_golden(report, golden)
     assert pathlib.Path(report.trace_path).is_file()
+
+
+def test_run_all_traced_with_history_matches_golden(golden, tmp_path):
+    """The history store is observability too: recording a run (with
+    tracing on, so the metrics snapshot is populated) must not move a
+    byte of any artefact."""
+    from repro.obs.history import HistoryStore
+
+    history_dir = tmp_path / "hist"
+    report = StudyRunner(
+        seed=golden["seed"], jobs=1, trace_dir=tmp_path,
+        history_dir=history_dir,
+    ).run_all(scale=golden["scale"])
+    _assert_matches_golden(report, golden)
+    (record,) = HistoryStore(history_dir).load()
+    assert record.run_id == report.history_run_id
+    assert record.trace_path == report.trace_path
+    assert record.metrics  # the traced run's counters were snapshotted
+    assert set(record.artefacts) == set(report.results)

@@ -1,0 +1,81 @@
+"""Critical-path extraction and per-phase attribution over traces."""
+
+from repro.obs.critical import critical_path, phase_attribution, render_critical
+from repro.obs.sink import TraceData
+
+
+def span(name, span_id, parent_id=None, start=0.0, duration=1.0, **attrs):
+    return {
+        "name": name, "span_id": span_id, "parent_id": parent_id,
+        "start_unix": start, "duration_s": duration, "status": "ok",
+        "attrs": attrs, "events": [],
+    }
+
+
+def make_trace():
+    """run_all(10s) -> warm(2s) + two artefacts; T2 finishes last and
+    owns a 3 s cache load."""
+    return TraceData(trace_id="t", spans=[
+        span("run_all", "root", start=0.0, duration=10.0),
+        span("warm_inputs", "warm", "root", start=0.0, duration=2.0),
+        span("artefact", "a-f7", "root", start=2.0, duration=3.0, id="F7"),
+        span("artefact", "a-t2", "root", start=5.0, duration=4.5, id="T2"),
+        span("input.world", "load", "a-t2", start=5.2, duration=3.0),
+    ])
+
+
+def test_critical_path_follows_last_finishing_children():
+    path = critical_path(make_trace())
+    assert [step.name for step in path] == [
+        "run_all", "artefact", "input.world",
+    ]
+    assert path[1].attrs == {"id": "T2"}
+    assert [step.depth for step in path] == [0, 1, 2]
+
+
+def test_critical_path_self_time_subtracts_children():
+    path = critical_path(make_trace())
+    by_name = {step.name: step for step in path}
+    # run_all: 10 s total, children cover 2 + 3 + 4.5.
+    assert by_name["run_all"].self_s == 0.5
+    # The T2 artefact: 4.5 s total, 3 s in the cache load.
+    assert by_name["artefact"].self_s == 1.5
+    assert by_name["input.world"].self_s == 3.0
+
+
+def test_critical_path_empty_trace():
+    assert critical_path(TraceData()) == []
+    assert render_critical(TraceData()) == "(no spans)"
+
+
+def test_critical_path_survives_duplicate_span_ids():
+    # A malformed trace whose descent revisits a span id must terminate.
+    trace = TraceData(spans=[
+        span("a", "1", None, start=0.0, duration=2.0),
+        span("b", "2", "1", start=0.0, duration=1.0),
+        span("a-again", "1", "2", start=0.0, duration=0.5),
+    ])
+    path = critical_path(trace)
+    assert [step.name for step in path] == ["a", "b"]  # no infinite loop
+
+
+def test_phase_attribution_groups_roots_children():
+    phases = phase_attribution(make_trace())
+    by_name = {phase.name: phase for phase in phases}
+    assert by_name["artefact"].count == 2
+    assert by_name["artefact"].total_s == 7.5
+    assert by_name["artefact"].share == 0.75
+    assert by_name["warm_inputs"].total_s == 2.0
+    assert abs(by_name["(unattributed)"].total_s - 0.5) < 1e-9
+    # Sorted by descending total, remainder last.
+    assert [phase.name for phase in phases] == [
+        "artefact", "warm_inputs", "(unattributed)",
+    ]
+
+
+def test_render_critical_mentions_phases_and_path():
+    text = render_critical(make_trace())
+    assert "critical path (3 spans):" in text
+    assert "artefact [id=T2]" in text
+    assert "warm_inputs" in text
+    assert "share" in text

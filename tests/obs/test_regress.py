@@ -1,0 +1,200 @@
+"""The regression engine: baselines, verdict kinds, and the detect API."""
+
+import pytest
+
+from repro.obs.history import ArtefactStats, HistoryStore, RunRecord
+from repro.obs.regress import (
+    KIND_FINGERPRINT,
+    KIND_HIT_RATE,
+    KIND_LATENCY,
+    KIND_NEW_FAILURE,
+    RegressionConfig,
+    compare,
+    detect,
+    median_mad,
+)
+
+
+def run_record(run_id, wall=0.2, hits=8, misses=2, fingerprint="result-abc",
+               status="ok", seed=2024, scale=0.05, jobs=1, when=0.0,
+               artefact="T2"):
+    return RunRecord(
+        run_id=run_id, created_unix=when, seed=seed, scale=scale, jobs=jobs,
+        host="h", ok=status == "ok", total_wall_s=wall,
+        artefacts={artefact: ArtefactStats(
+            status=status, wall_s=wall, cache_hits=hits, cache_misses=misses,
+            fingerprint=fingerprint if status == "ok" else "",
+        )},
+    )
+
+
+def test_median_mad():
+    med, mad = median_mad([1.0, 2.0, 3.0, 4.0, 100.0])
+    assert med == 3.0
+    assert mad == 1.0
+
+
+def test_identical_runs_produce_zero_verdicts():
+    baseline = [run_record(f"r{i}", when=float(i)) for i in range(3)]
+    candidate = run_record("cand", when=3.0)
+    report = compare(candidate, baseline)
+    assert report.ok()
+    assert report.baseline_ids == ["r0", "r1", "r2"]
+    assert "no regressions" in report.render()
+
+
+def test_normal_jitter_is_not_flagged():
+    baseline = [run_record(f"r{i}", wall=0.2 + 0.01 * i) for i in range(5)]
+    # 25% slower but only 50 ms absolute: inside both guards.
+    report = compare(run_record("cand", wall=0.26), baseline)
+    assert report.ok()
+
+
+def test_latency_regression_is_flagged():
+    baseline = [run_record(f"r{i}", wall=0.2) for i in range(3)]
+    report = compare(run_record("cand", wall=0.9), baseline)
+    (verdict,) = report.verdicts
+    assert verdict.kind == KIND_LATENCY
+    assert verdict.artefact_id == "T2"
+    assert "x the median" in verdict.detail
+    assert not report.ok()
+    assert "latency-regression" in report.render()
+
+
+def test_latency_needs_both_relative_and_absolute_excess():
+    # Tiny artefact: 10 ms -> 40 ms is 4x but only 30 ms absolute.
+    baseline = [run_record(f"r{i}", wall=0.01) for i in range(3)]
+    assert compare(run_record("cand", wall=0.04), baseline).ok()
+    # Heavy artefact: +150 ms on 2 s is absolute enough but only 1.08x.
+    baseline = [run_record(f"r{i}", wall=2.0) for i in range(3)]
+    assert compare(run_record("cand", wall=2.15), baseline).ok()
+
+
+def test_mad_band_suppresses_noisy_baselines():
+    # The baseline itself swings between 0.1 and 1.0 (median 0.55,
+    # MAD 0.45): a 1.1 s candidate clears the relative and absolute
+    # guards but sits inside the noise band, so it is not flagged.
+    walls = [0.1, 1.0, 0.1, 1.0, 0.1, 1.0]
+    baseline = [
+        run_record(f"r{i}", wall=wall) for i, wall in enumerate(walls)
+    ]
+    assert compare(run_record("cand", wall=1.1), baseline).ok()
+    # A quiet baseline with the same median flags the same candidate.
+    steady = [run_record(f"s{i}", wall=0.55) for i in range(6)]
+    assert not compare(run_record("cand", wall=1.1), steady).ok()
+
+
+def test_fingerprint_change_is_flagged_as_correctness():
+    baseline = [run_record(f"r{i}") for i in range(2)]
+    report = compare(run_record("cand", fingerprint="result-DIFFERENT"), baseline)
+    (verdict,) = report.verdicts
+    assert verdict.kind == KIND_FINGERPRINT
+    assert "changed" in verdict.detail
+
+
+def test_cache_hit_rate_drop_is_flagged():
+    baseline = [run_record(f"r{i}", hits=9, misses=1) for i in range(3)]
+    report = compare(run_record("cand", hits=2, misses=8), baseline)
+    (verdict,) = report.verdicts
+    assert verdict.kind == KIND_HIT_RATE
+    assert verdict.baseline == "90%" and verdict.observed == "20%"
+
+
+def test_new_failure_is_flagged():
+    baseline = [run_record(f"r{i}") for i in range(2)]
+    report = compare(run_record("cand", status="error"), baseline)
+    (verdict,) = report.verdicts
+    assert verdict.kind == KIND_NEW_FAILURE
+
+
+def test_correctness_verdicts_sort_before_performance():
+    baseline = [
+        RunRecord(
+            run_id=f"r{i}", created_unix=float(i), seed=2024, scale=0.05,
+            jobs=1, host="h", artefacts={
+                "A1": ArtefactStats(wall_s=0.2, fingerprint="fp-a"),
+                "Z9": ArtefactStats(wall_s=0.2, fingerprint="fp-z"),
+            },
+        )
+        for i in range(2)
+    ]
+    candidate = RunRecord(
+        run_id="cand", created_unix=2.0, seed=2024, scale=0.05, jobs=1,
+        host="h", artefacts={
+            "A1": ArtefactStats(wall_s=0.9, fingerprint="fp-a"),
+            "Z9": ArtefactStats(wall_s=0.2, fingerprint="fp-CHANGED"),
+        },
+    )
+    report = compare(candidate, baseline)
+    assert [v.kind for v in report.verdicts] == [KIND_FINGERPRINT, KIND_LATENCY]
+
+
+def test_new_artefact_without_baseline_is_ignored():
+    baseline = [run_record("r0", artefact="T2")]
+    report = compare(run_record("cand", artefact="F99", wall=99.0), baseline)
+    assert report.ok()
+
+
+def test_rolling_window_drops_ancient_runs():
+    old = [run_record(f"old{i}", wall=5.0, when=float(i)) for i in range(3)]
+    recent = [
+        run_record(f"new{i}", wall=0.2, when=10.0 + i) for i in range(10)
+    ]
+    config = RegressionConfig(baseline_window=10)
+    # The 5 s era has scrolled out of the window: 0.9 s is a regression
+    # against the recent 0.2 s baseline, not the stale 5 s one.
+    report = compare(run_record("cand", wall=0.9), old + recent, config)
+    assert [v.kind for v in report.verdicts] == [KIND_LATENCY]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RegressionConfig(baseline_window=0)
+    with pytest.raises(ValueError):
+        RegressionConfig(latency_threshold=0.0)
+    with pytest.raises(ValueError):
+        RegressionConfig(hit_rate_drop=1.5)
+
+
+# -- detect over a real store ------------------------------------------------
+
+
+def test_detect_uses_latest_run_and_same_key_baselines(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append(run_record("r0", when=0.0))
+    store.append(run_record("other-key", when=1.0, scale=0.15, wall=9.0))
+    store.append(run_record("r1", when=2.0))
+    store.append(run_record("cand", when=3.0, wall=0.9))
+    report = detect(store)
+    assert report.run_id == "cand"
+    assert report.baseline_ids == ["r0", "r1"]  # the 0.15-scale run excluded
+    assert [v.kind for v in report.verdicts] == [KIND_LATENCY]
+
+
+def test_detect_against_pins_the_baseline(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append(run_record("fast", when=0.0, wall=0.2))
+    store.append(run_record("slow", when=1.0, wall=0.9))
+    store.append(run_record("cand", when=2.0, wall=0.8))
+    # Rolling baseline median is 0.55 -> no flag; pinned against "fast"
+    # the candidate is a regression.
+    assert detect(store).ok()
+    pinned = detect(store, against="fast")
+    assert pinned.baseline_ids == ["fast"]
+    assert [v.kind for v in pinned.verdicts] == [KIND_LATENCY]
+
+
+def test_detect_errors(tmp_path):
+    store = HistoryStore(tmp_path)
+    with pytest.raises(ValueError, match="no runs recorded"):
+        detect(store)
+    store.append(run_record("solo"))
+    with pytest.raises(ValueError, match="no earlier baseline"):
+        detect(store)
+    with pytest.raises(KeyError, match="unknown run id"):
+        detect(store, run_id="nope")
+    with pytest.raises(KeyError, match="unknown baseline"):
+        detect(store, against="nope")
+    store.append(run_record("other", scale=0.15))
+    with pytest.raises(ValueError, match="not comparable"):
+        detect(store, run_id="solo", against="other")

@@ -1,0 +1,104 @@
+"""The zero-dependency HTML dashboard over the history store."""
+
+import json
+
+from repro.obs.history import ArtefactStats, HistoryStore, RunRecord
+from repro.obs.report import render_html, write_html
+
+
+def record(run_id, wall=0.2, fingerprint="fp-a", scale=0.05, when=0.0,
+           status="ok", trace_path=None):
+    return RunRecord(
+        run_id=run_id, created_unix=when, seed=2024, scale=scale, jobs=1,
+        host="ci-host", ok=status == "ok", total_wall_s=wall,
+        artefacts={"T2": ArtefactStats(
+            status=status, wall_s=wall, cache_hits=4, cache_misses=1,
+            fingerprint=fingerprint if status == "ok" else "",
+        )},
+        trace_path=trace_path,
+    )
+
+
+def test_empty_store_renders_a_hint(tmp_path):
+    html = render_html(HistoryStore(tmp_path))
+    assert "No runs recorded yet" in html
+    assert "run-all --history" in html
+
+
+def test_dashboard_has_trend_table_and_group_sections(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append(record("r0", when=0.0))
+    store.append(record("r1", when=1.0))
+    store.append(record("other", when=2.0, scale=0.15))
+    html = render_html(store)
+    assert "seed2024-scale0.05-jobs1" in html
+    assert "seed2024-scale0.15-jobs1" in html
+    assert "no regressions against the" in html
+    assert html.count("<table>") == 2
+    assert "ci-host" in html
+
+
+def test_dashboard_highlights_regressions(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append(record("r0", when=0.0))
+    store.append(record("r1", when=1.0))
+    store.append(record("cand", when=2.0, wall=0.9))
+    html = render_html(store)
+    assert "class=bad" in html
+    assert "latency-regression" in html
+
+
+def test_dashboard_marks_failed_artefacts(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append(record("r0", when=0.0))
+    store.append(record("bad", when=1.0, status="error"))
+    html = render_html(store)
+    assert "class=err" in html
+    assert "ERR" in html
+    assert "fail-badge" in html
+
+
+def test_dashboard_embeds_critical_path_from_trace(tmp_path):
+    trace_path = tmp_path / "trace.jsonl"
+    lines = [
+        {"type": "meta", "trace_id": "t", "created_unix": 0.0, "attrs": {}},
+        {"type": "span", "name": "run_all", "span_id": "1", "parent_id": None,
+         "start_unix": 0.0, "duration_s": 2.0, "status": "ok", "attrs": {},
+         "events": []},
+        {"type": "span", "name": "artefact", "span_id": "2", "parent_id": "1",
+         "start_unix": 0.1, "duration_s": 1.5, "status": "ok",
+         "attrs": {"id": "T2"}, "events": []},
+    ]
+    trace_path.write_text(
+        "\n".join(json.dumps(line) for line in lines) + "\n"
+    )
+    store = HistoryStore(tmp_path / "hist")
+    store.append(record("r0", when=0.0))
+    store.append(record("r1", when=1.0, trace_path=str(trace_path)))
+    html = render_html(store)
+    assert "latest critical path" in html
+    assert "artefact [id=T2]" in html
+
+
+def test_dashboard_tolerates_missing_trace_file(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append(record("r0", trace_path="/nonexistent/trace.jsonl"))
+    html = render_html(store)
+    assert "latest critical path" not in html
+
+
+def test_write_html_creates_parent_dirs(tmp_path):
+    store = HistoryStore(tmp_path / "hist")
+    store.append(record("r0"))
+    target = write_html(store, tmp_path / "deep" / "nested" / "report.html")
+    assert target.is_file()
+    assert "<!doctype html>" in target.read_text()
+
+
+def test_limit_caps_trend_columns(tmp_path):
+    store = HistoryStore(tmp_path)
+    for index in range(8):
+        store.append(record(f"run-{index:02d}", when=float(index)))
+    html = render_html(store, limit=3)
+    assert "run-07" in html and "run-05" in html
+    assert "run-04" not in html.split("<table>")[1].split("</table>")[0]
