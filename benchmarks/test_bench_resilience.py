@@ -1,0 +1,109 @@
+"""Benchmark the resilient-execution layer: journal and supervision.
+
+The run journal sits on the ``run-all`` hot path (one append per
+completed artefact) and the supervised parallel loop polls futures at
+:data:`repro.core.runner._POLL_S`, so both carry budgets:
+
+* journalling 500 completions — ~16 full runs of checkpoints — must
+  stay under :data:`APPEND_BUDGET_S`, and replaying them back under
+  :data:`LOAD_BUDGET_S` (resume must be effectively free next to the
+  work it skips);
+* a supervised chaotic run (seeded crashes + retries, ``jobs=2``) must
+  land within :data:`CHAOS_OVERHEAD_X` of the same run with no chaos —
+  supervision is bookkeeping, not a second campaign.
+"""
+
+import time
+
+from repro.core import cache as cache_mod
+from repro.core.journal import JournalEntry, RunJournal
+from repro.core.runner import StudyRunner
+from repro.experiments import common
+from repro.faults import BackoffPolicy, ExecChaos
+
+from benchmarks._harness import report
+
+ENTRIES = 500
+APPEND_BUDGET_S = 2.0
+LOAD_BUDGET_S = 0.5
+CHAOS_OVERHEAD_X = 5.0
+
+SUBSET = ["T2", "F7", "HX1", "F18"]
+SCALE = 0.05
+FAST_RETRY = BackoffPolicy(base_s=0.001, factor=1.0, cap_s=0.01, jitter=0.0)
+
+
+def test_bench_journal_append_load(benchmark, tmp_path):
+    journal = RunJournal(tmp_path / "bench.jsonl")
+    journal.begin("bench-workload")
+    entries = [
+        JournalEntry(
+            artefact_id=f"T{index}",
+            fingerprint=f"artefact-result-{index:04d}cafefeed",
+            wall_s=0.05,
+            worker="pid-1234",
+        )
+        for index in range(ENTRIES)
+    ]
+
+    started = time.perf_counter()
+    for entry in entries:
+        journal.append(entry)
+    append_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    _workload, loaded = journal.load()
+    load_s = time.perf_counter() - started
+    assert len(loaded) == ENTRIES
+
+    benchmark.pedantic(journal.load, rounds=1, iterations=1)
+    report(
+        "BENCH-JOURNAL",
+        f"append {ENTRIES} completions: {append_s * 1000:.1f}ms "
+        f"(budget {APPEND_BUDGET_S:.1f}s)\n"
+        f"load   {ENTRIES} completions: {load_s * 1000:.1f}ms "
+        f"(budget {LOAD_BUDGET_S:.1f}s)",
+    )
+    assert append_s < APPEND_BUDGET_S
+    assert load_s < LOAD_BUDGET_S
+
+
+def test_bench_supervised_chaos_overhead(benchmark, tmp_path_factory):
+    previous = cache_mod.get_default_cache()
+    try:
+        cache_mod.configure(root=tmp_path_factory.mktemp("resilience-cache"))
+        common.clear_caches()
+        # Warm pass so both timed runs read identical cached inputs.
+        StudyRunner(seed=2024, jobs=2).run_all(scale=SCALE, artefacts=SUBSET)
+
+        started = time.perf_counter()
+        clean = StudyRunner(seed=2024, jobs=2).run_all(
+            scale=SCALE, artefacts=SUBSET
+        )
+        clean_s = time.perf_counter() - started
+
+        chaos = ExecChaos(seed=5, worker_crash_rate=0.5)
+        started = time.perf_counter()
+        chaotic = StudyRunner(
+            seed=2024, jobs=2, exec_chaos=chaos, retry_backoff=FAST_RETRY,
+            artefact_timeout_s=30.0,
+        ).run_all(scale=SCALE, artefacts=SUBSET)
+        chaotic_s = time.perf_counter() - started
+
+        assert not clean.failed() and not chaotic.failed()
+        benchmark.pedantic(
+            lambda: StudyRunner(seed=2024, jobs=2).run_all(
+                scale=SCALE, artefacts=SUBSET
+            ),
+            rounds=1, iterations=1,
+        )
+        report(
+            "BENCH-RESILIENCE",
+            f"clean supervised run : {clean_s:.2f}s\n"
+            f"chaotic run (retries): {chaotic_s:.2f}s "
+            f"({chaotic_s / clean_s:.2f}x, budget {CHAOS_OVERHEAD_X:.1f}x)",
+        )
+        assert chaotic_s < clean_s * CHAOS_OVERHEAD_X + 5.0
+    finally:
+        common.clear_caches()
+        cache_mod.set_default_cache(previous)

@@ -217,16 +217,43 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     from repro.core import cache as cache_mod
     from repro.core.runner import StudyRunner
 
+    from repro.core.journal import JournalMismatch
+    from repro.faults import ExecChaos
+
     if args.cache_dir or args.no_cache:
         cache_mod.configure(root=args.cache_dir, enabled=not args.no_cache)
+    if args.resume and not args.journal:
+        print("--resume requires --journal FILE", file=sys.stderr)
+        return 2
+    exec_chaos = None
+    if (
+        args.exec_crash_rate > 0
+        or args.exec_hang
+        or args.exec_corrupt_cache > 0
+    ):
+        exec_chaos = ExecChaos(
+            seed=args.exec_chaos_seed,
+            worker_crash_rate=args.exec_crash_rate,
+            hang_artefacts=tuple(a.upper() for a in args.exec_hang),
+            hang_s=args.exec_hang_s,
+            cache_corrupt_rate=args.exec_corrupt_cache,
+        )
     runner = StudyRunner(
         seed=args.seed, jobs=args.jobs, trace_dir=args.trace,
-        history_dir=args.history,
+        history_dir=args.history, journal_path=args.journal,
+        artefact_timeout_s=args.artefact_timeout,
+        max_attempts=args.max_attempts, exec_chaos=exec_chaos,
     )
     try:
-        report = runner.run_all(scale=args.scale, artefacts=args.artefacts or None)
+        report = runner.run_all(
+            scale=args.scale, artefacts=args.artefacts or None,
+            resume=args.resume,
+        )
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
+        return 2
+    except JournalMismatch as error:
+        print(str(error), file=sys.stderr)
         return 2
     print(report.summary_table())
     if report.trace_path:
@@ -245,6 +272,8 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     if args.json:
         report.save(args.json)
         print(f"(run report written to {args.json})")
+    if report.interrupted:
+        return 130  # the shell convention for SIGINT-terminated work
     return 0 if not report.failed() else 1
 
 
@@ -312,6 +341,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
               f"from {store.root}")
         return 0
+    if args.action == "verify":
+        result = store.verify(prune=args.prune)
+        print(f"cache root : {store.root}")
+        print(f"ok         : {len(result.ok)}")
+        print(f"corrupt    : {len(result.corrupt)}")
+        print(f"stray tmp  : {len(result.stray)}")
+        for key in result.corrupt:
+            print(f"  corrupt {key}")
+        for name in result.stray:
+            print(f"  stray   {name}")
+        if args.prune:
+            print(f"pruned     : {len(result.pruned)}")
+        # Non-zero when problems remain on disk, so scripts can gate on it.
+        return 0 if result.clean or args.prune else 1
     info = store.info()
     print(f"cache root : {info['root']}")
     print(f"enabled    : {info['enabled']}")
@@ -553,6 +596,37 @@ def build_parser() -> argparse.ArgumentParser:
     run_all_parser.add_argument("--trace", default=None, metavar="DIR",
                                 help="record telemetry and write a JSONL trace "
                                      "file into DIR (see 'repro trace')")
+    run_all_parser.add_argument("--journal", default=None, metavar="FILE",
+                                help="append-only JSONL checkpoint of completed "
+                                     "artefacts (enables --resume)")
+    run_all_parser.add_argument("--resume", action="store_true",
+                                help="skip artefacts already completed in the "
+                                     "--journal file (byte-identical results)")
+    run_all_parser.add_argument("--artefact-timeout", type=float, default=None,
+                                metavar="S",
+                                help="watchdog deadline per artefact attempt; "
+                                     "overdue workers are killed and retried")
+    run_all_parser.add_argument("--max-attempts", type=int, default=3,
+                                help="attempts per artefact on worker deaths "
+                                     "and timeouts before quarantine "
+                                     "(default 3)")
+    run_all_parser.add_argument("--exec-crash-rate", type=float, default=0.0,
+                                metavar="P",
+                                help="chaos: probability a worker dies "
+                                     "mid-artefact (test/CI harness)")
+    run_all_parser.add_argument("--exec-hang", action="append", default=[],
+                                metavar="ID",
+                                help="chaos: artefact id that hangs on its "
+                                     "first attempt (repeatable)")
+    run_all_parser.add_argument("--exec-hang-s", type=float, default=3600.0,
+                                metavar="S",
+                                help="chaos: how long an injected hang sleeps")
+    run_all_parser.add_argument("--exec-corrupt-cache", type=float, default=0.0,
+                                metavar="P",
+                                help="chaos: probability one cache entry is "
+                                     "corrupted before an artefact runs")
+    run_all_parser.add_argument("--exec-chaos-seed", type=int, default=0,
+                                help="seed for the exec-chaos decision streams")
     run_all_parser.add_argument("--history", default=None, metavar="DIR",
                                 help="append one RunRecord to the cross-run "
                                      "history store in DIR (see 'repro "
@@ -627,9 +701,13 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--hit-rate-drop", type=float, default=0.15)
 
     cache_parser = sub.add_parser("cache", help="inspect the persistent artifact cache")
-    cache_parser.add_argument("action", choices=("info", "clear"))
+    cache_parser.add_argument("action", choices=("info", "clear", "verify"))
     cache_parser.add_argument("--cache-dir", default=None, metavar="DIR",
                               help="cache root to operate on")
+    cache_parser.add_argument("--prune", action="store_true",
+                              help="with verify: delete corrupt entries and "
+                                   "stray temp files instead of just "
+                                   "reporting them")
 
     market_parser = sub.add_parser("market", help="query the eSIM marketplace")
     market_parser.add_argument("--day", type=int, default=90,

@@ -127,6 +127,24 @@ class CacheEntryInfo:
     size_bytes: int
 
 
+@dataclass(frozen=True)
+class CacheVerifyResult:
+    """What ``python -m repro cache verify`` found (and removed)."""
+
+    #: Keys whose pickles loaded cleanly.
+    ok: List[str]
+    #: Keys whose entries failed to unpickle (truncated, scribbled, …).
+    corrupt: List[str]
+    #: Stray ``.{key}.pkl.*`` temp files from crashed writers.
+    stray: List[str]
+    #: Corrupt entries + stray temp files actually deleted (``prune=True``).
+    pruned: List[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt and not self.stray
+
+
 class ArtifactCache:
     """Pickle store with atomic writes and corruption-tolerant loads."""
 
@@ -208,6 +226,17 @@ class ArtifactCache:
 
     # -- maintenance --------------------------------------------------------
 
+    def _stray_temps(self) -> List[pathlib.Path]:
+        """Leftover ``.{key}.{random}`` temp files from crashed writers.
+
+        ``store`` names its temp files with a leading dot, so anything
+        hidden in the cache directory is an in-progress (or abandoned)
+        write, never a live entry.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob(".*"))
+
     def entries(self) -> List[CacheEntryInfo]:
         if not self.root.is_dir():
             return []
@@ -228,15 +257,51 @@ class ArtifactCache:
         removed = 0
         if not self.root.is_dir():
             return removed
-        for path in list(self.root.glob(f"*{_SUFFIX}")) + list(
-            self.root.glob(f".*{_SUFFIX}.*")
-        ):
+        for path in list(self.root.glob(f"*{_SUFFIX}")) + self._stray_temps():
             try:
                 path.unlink()
                 removed += 1
             except OSError:
                 pass
         return removed
+
+    def verify(self, prune: bool = False) -> CacheVerifyResult:
+        """Eagerly load-check every entry instead of waiting for a miss.
+
+        Loads never go through :meth:`load`, so hit/miss stats and
+        telemetry are untouched and nothing is silently evicted — a
+        corrupt entry is only deleted when ``prune=True`` asks for it.
+        Stray temp files (a writer that died between ``tempfile`` and
+        ``os.replace``) are reported, and pruned, the same way.
+        """
+        ok: List[str] = []
+        corrupt: List[str] = []
+        stray: List[str] = []
+        pruned: List[str] = []
+        if self.root.is_dir():
+            for path in sorted(self.root.glob(f"*{_SUFFIX}")):
+                try:
+                    with path.open("rb") as handle:
+                        pickle.load(handle)
+                except Exception:
+                    corrupt.append(path.stem)
+                else:
+                    ok.append(path.stem)
+            stray = sorted(path.name for path in self._stray_temps())
+        if prune:
+            for key in corrupt:
+                try:
+                    self._path(key).unlink()
+                    pruned.append(key)
+                except OSError:
+                    pass
+            for name in stray:
+                try:
+                    (self.root / name).unlink()
+                    pruned.append(name)
+                except OSError:
+                    pass
+        return CacheVerifyResult(ok=ok, corrupt=corrupt, stray=stray, pruned=pruned)
 
     def info(self) -> Dict[str, Any]:
         """Summary for the CLI: root, flag, entry list, totals."""

@@ -1,0 +1,166 @@
+"""Crash-safe run journal: the checkpoint behind ``run-all --resume``.
+
+A :class:`RunJournal` is an append-only JSONL file that records, as
+each artefact of a ``run_all`` completes, *that* it completed and
+*where* its result payload lives (a :mod:`repro.core.cache` entry keyed
+by content fingerprint). After a ``kill -9``, a SIGINT or a power cut,
+``run-all --resume`` replays the journal, loads the already-computed
+results straight from the cache, and runs only the remaining shard —
+producing byte-identical exports to an uninterrupted run.
+
+Write/read discipline mirrors :mod:`repro.obs.history`:
+
+* **Atomic appends.** One ``\\n``-terminated line per entry, written
+  with a single ``os.write`` on an ``O_APPEND`` descriptor; a crashed
+  writer can truncate at most its own final line.
+* **Corruption tolerance.** Loads skip anything unusable — a truncated
+  final line, garbage bytes, entries with a newer schema — and keep
+  every entry that parses. A later entry for the same artefact wins.
+* **Workload-keyed.** The header line carries a content fingerprint of
+  ``(seed, scale, chaos, package version)``; resuming against a journal
+  written for a different workload is refused instead of silently
+  serving the wrong results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple, Union
+
+#: Bump when a reader can no longer interpret older journals.
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, "pathlib.Path"]
+
+
+class JournalMismatch(ValueError):
+    """``--resume`` against a journal written for a different workload."""
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One completed artefact: identity, payload pointer, ledger stats."""
+
+    artefact_id: str
+    #: Cache key under which the result payload was stored.
+    fingerprint: str
+    status: str = "ok"
+    wall_s: float = 0.0
+    worker: str = ""
+    attempts: int = 1
+
+    def to_jsonable(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["schema"] = SCHEMA_VERSION
+        data["kind"] = "artefact"
+        return data
+
+
+class RunJournal:
+    """Append-only completion index for one (possibly resumed) run."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = pathlib.Path(path)
+
+    # -- write ---------------------------------------------------------------
+
+    def begin(self, workload_key: str) -> None:
+        """Start a fresh journal for ``workload_key`` (truncates)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = json.dumps(
+            {"schema": SCHEMA_VERSION, "kind": "header", "workload": workload_key},
+            sort_keys=True,
+        )
+        self.path.write_text(header + "\n")
+
+    def append(self, entry: JournalEntry) -> None:
+        """Persist one completion; atomic against a concurrent crash."""
+        line = json.dumps(entry.to_jsonable(), sort_keys=True) + "\n"
+        if self._needs_leading_newline():
+            # A killed writer left an unterminated line: seal it off so
+            # this entry starts fresh. Still one write either way.
+            line = "\n" + line
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def _needs_leading_newline(self) -> bool:
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except OSError:  # missing or empty file
+            return False
+
+    # -- read ----------------------------------------------------------------
+
+    def load(self) -> Tuple[Optional[str], Dict[str, JournalEntry]]:
+        """``(workload key, {artefact id: entry})`` from what parses.
+
+        Tolerates a truncated final line, garbage bytes and newer-schema
+        lines; the last loadable entry per artefact wins. Returns
+        ``(None, {})`` for a missing or headerless file.
+        """
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return None, {}
+        workload: Optional[str] = None
+        entries: Dict[str, JournalEntry] = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # truncated or garbage: keep the rest
+            if not isinstance(data, dict):
+                continue
+            if data.get("schema", SCHEMA_VERSION) > SCHEMA_VERSION:
+                continue  # written by a newer repro: skip, don't guess
+            kind = data.get("kind")
+            if kind == "header":
+                workload = data.get("workload")
+            elif kind == "artefact":
+                try:
+                    entries[str(data["artefact_id"])] = JournalEntry(
+                        artefact_id=str(data["artefact_id"]),
+                        fingerprint=str(data.get("fingerprint", "")),
+                        status=str(data.get("status", "ok")),
+                        wall_s=float(data.get("wall_s", 0.0)),
+                        worker=str(data.get("worker", "")),
+                        attempts=int(data.get("attempts", 1)),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue
+        return workload, entries
+
+    def resume(self, workload_key: str) -> Dict[str, JournalEntry]:
+        """Completed entries for ``workload_key``; starts fresh if absent.
+
+        Raises :class:`JournalMismatch` when the journal on disk was
+        written for a different workload — resuming it would splice
+        results computed under other parameters into this run.
+        """
+        workload, entries = self.load()
+        if workload is None:
+            # Missing (or unreadable) journal: begin a fresh one.
+            self.begin(workload_key)
+            return {}
+        if workload != workload_key:
+            raise JournalMismatch(
+                f"journal {self.path} was written for workload {workload}, "
+                f"not {workload_key}; rerun without --resume (or point "
+                f"--journal at a fresh file) to start over"
+            )
+        return {
+            artefact_id: entry
+            for artefact_id, entry in entries.items()
+            if entry.status == "ok" and entry.fingerprint
+        }

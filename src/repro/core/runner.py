@@ -1,4 +1,4 @@
-"""Parallel study runner: shard ``run_all`` across worker processes.
+"""Parallel study runner: shard ``run_all`` across supervised workers.
 
 The 31 artefacts are independent once the shared inputs (world, the two
 campaign datasets, the market crawl) exist, so the runner builds those
@@ -12,11 +12,31 @@ fans the per-artefact analysis out over a ``ProcessPoolExecutor``::
     report.save("run-report.json")
 
 Every artefact gets its own ledger row (:class:`ArtefactRun`: wall
-time, worker id, cache hits/misses and hit latency, error if any) and a
-failure in one artefact never aborts the others. Determinism is
-unchanged: workers compute exactly what the serial path computes, from
-byte-identical cached inputs, so ``jobs=N`` renders the same artefacts
-as ``jobs=1``.
+time, worker id, attempts, cache hits/misses and hit latency, error if
+any) and a failure in one artefact never aborts the others.
+Determinism is unchanged: workers compute exactly what the serial path
+computes, from byte-identical cached inputs, so ``jobs=N`` renders the
+same artefacts as ``jobs=1``.
+
+The runner *supervises* its workers instead of trusting them:
+
+* ``artefact_timeout_s=`` arms a watchdog — an artefact that exceeds
+  its deadline has its worker killed, is charged an attempt and is
+  retried (final status ``"timeout"`` when the budget runs out);
+* a dead worker (OOM, signal, ``BrokenProcessPool``) breaks the pool,
+  which is respawned; the lost artefacts retry with the bounded
+  :class:`~repro.faults.BackoffPolicy` budget and are *quarantined*
+  (status ``"quarantined"``) when they keep dying, so one poisoned
+  experiment never sinks the run;
+* ``journal_path=`` checkpoints every completion to an append-only
+  :class:`~repro.core.journal.RunJournal`; ``run_all(resume=True)``
+  skips completed work and produces byte-identical exports;
+* SIGINT/SIGTERM stop the run cleanly: in-flight work is cancelled,
+  never-started artefacts get ``status="interrupted"`` rows, and the
+  partial report (and history record) is still flushed;
+* ``exec_chaos=`` injects seeded worker crashes / hangs / cache
+  corruption (:class:`~repro.faults.ExecChaos`) so all of the above is
+  exercised deterministically in tests.
 
 Telemetry rides along as a sidecar (see :mod:`repro.obs`): pass
 ``trace_dir=`` (or install a :class:`~repro.obs.TraceRecorder` before
@@ -29,16 +49,39 @@ timestamps live only in the trace file.
 from __future__ import annotations
 
 import concurrent.futures
+import json
 import os
 import pathlib
+import random
+import signal
+import tempfile
+import threading
 import time
 import traceback
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
 from repro.core import cache as cache_mod
-from repro.faults import ChaosConfig
+from repro.core import journal as journal_mod
+from repro.faults import BackoffPolicy, ChaosConfig, ExecChaos, InjectedWorkerCrash
+
+#: Ledger statuses a supervised run can end an artefact with.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"  # the artefact itself raised (deterministic: not retried)
+STATUS_TIMEOUT = "timeout"  # watchdog killed every attempt
+STATUS_QUARANTINED = "quarantined"  # worker died on every attempt
+STATUS_INTERRUPTED = "interrupted"  # never ran: the run was stopped first
+
+#: How often the parallel supervision loop wakes to top up workers,
+#: collect results and check deadlines.
+_POLL_S = 0.05
+
+#: Default retry backoff between attempts on the same artefact. Real
+#: (slept) seconds, unlike the campaigns' simulated-time backoff — keep
+#: it short: transient worker deaths don't deserve minute-long waits.
+DEFAULT_RETRY_BACKOFF = BackoffPolicy(base_s=0.05, factor=2.0, cap_s=2.0, jitter=0.1)
 
 
 @dataclass
@@ -46,12 +89,15 @@ class ArtefactRun:
     """Ledger row for one artefact in one ``run_all``."""
 
     artefact_id: str
-    status: str  # "ok" | "error"
+    status: str  # one of the STATUS_* constants
     wall_s: float
-    worker: str  # e.g. "pid-12345" ("pid-lost" when the worker died)
+    worker: str  # e.g. "pid-12345" ("pid-lost" when the worker died,
+    #               "journal" when --resume skipped recomputation)
     cache_hits: int = 0
     cache_misses: int = 0
     cache_hit_s: float = 0.0  # wall time spent in hitting cache loads
+    #: Attempts consumed (0 when the artefact was resumed from the journal).
+    attempts: int = 1
     error: str = ""
 
 
@@ -71,23 +117,30 @@ class RunReport:
     trace_path: Optional[str] = None
     #: History-store run id (None when ``--history`` was off).
     history_run_id: Optional[str] = None
+    #: True when SIGINT/SIGTERM (or ``request_stop``) ended the run early.
+    interrupted: bool = False
 
     def ok(self) -> List[ArtefactRun]:
-        return [run for run in self.runs if run.status == "ok"]
+        return [run for run in self.runs if run.status == STATUS_OK]
 
     def failed(self) -> List[ArtefactRun]:
-        return [run for run in self.runs if run.status != "ok"]
+        return [run for run in self.runs if run.status != STATUS_OK]
+
+    def resumed(self) -> List[ArtefactRun]:
+        """Rows served from the run journal instead of recomputed."""
+        return [run for run in self.runs if run.worker == "journal"]
 
     def summary_table(self) -> str:
         """The ledger as fixed-width text (what ``run-all`` prints)."""
         lines = [
-            f"{'artefact':9} {'status':7} {'wall':>8} {'worker':>10} "
-            f"{'hit':>4} {'miss':>4} {'hit ms':>7}",
+            f"{'artefact':9} {'status':12} {'wall':>8} {'worker':>10} "
+            f"{'try':>3} {'hit':>4} {'miss':>4} {'hit ms':>7}",
         ]
         for run in self.runs:
             lines.append(
-                f"{run.artefact_id:9} {run.status:7} {run.wall_s:7.2f}s "
-                f"{run.worker:>10} {run.cache_hits:4d} {run.cache_misses:4d} "
+                f"{run.artefact_id:9} {run.status:12} {run.wall_s:7.2f}s "
+                f"{run.worker:>10} {run.attempts:3d} "
+                f"{run.cache_hits:4d} {run.cache_misses:4d} "
                 f"{run.cache_hit_s * 1000:7.1f}"
             )
         workers = {run.worker for run in self.runs}
@@ -100,6 +153,11 @@ class RunReport:
         for run in self.failed():
             first_line = run.error.strip().splitlines()[-1] if run.error else ""
             lines.append(f"  FAILED {run.artefact_id}: {first_line}")
+        if self.interrupted:
+            lines.append(
+                "  run interrupted before completion — rerun with a journal "
+                "and --resume to finish the remaining artefacts"
+            )
         return "\n".join(lines)
 
     def to_jsonable(self) -> Dict[str, Any]:
@@ -111,6 +169,7 @@ class RunReport:
             "scale": self.scale,
             "jobs": self.jobs,
             "ok": not self.failed(),
+            "interrupted": self.interrupted,
             "total_wall_s": self.total_wall_s,
             "warm_wall_s": self.warm_wall_s,
             "trace_path": self.trace_path,
@@ -120,18 +179,36 @@ class RunReport:
         }
 
     def save(self, path: Union[str, "os.PathLike[str]"]) -> None:
-        import json
-        import pathlib
+        """Atomically write the report (tmp + ``os.replace``).
 
-        pathlib.Path(path).write_text(
-            json.dumps(self.to_jsonable(), indent=2, sort_keys=True) + "\n"
+        Same discipline as ``save_dataset`` and the artifact cache: a
+        crash mid-save can never leave a truncated JSON report under
+        the final name.
+        """
+        target = pathlib.Path(path)
+        payload = json.dumps(self.to_jsonable(), indent=2, sort_keys=True) + "\n"
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", dir=target.parent or pathlib.Path("."),
+            prefix=f".{target.name}.", suffix=".tmp", delete=False,
         )
+        try:
+            with handle:
+                handle.write(payload)
+            os.replace(handle.name, target)
+        except Exception:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
 
 
 # -- worker side -------------------------------------------------------------
 
 _WORKER_STUDY = None
 _WORKER_TRACE = False
+_WORKER_EXEC_CHAOS: Optional[ExecChaos] = None
+_WORKER_IN_POOL = False
 
 #: One ledger row as shipped back from a worker: everything ArtefactRun
 #: needs plus the result payload and the worker's exported telemetry.
@@ -144,24 +221,60 @@ def _worker_init(
     cache_root: Optional[str],
     cache_enabled: bool,
     trace: bool = False,
+    exec_chaos: Optional[ExecChaos] = None,
 ) -> None:
     """Process-pool initializer: point the worker at the parent's cache."""
     from repro.core.study import ThickMnaStudy
 
+    # Workers must stay killable. Forked workers inherit the parent's
+    # flag-setting SIGINT/SIGTERM traps, which would swallow the
+    # watchdog's ``terminate()`` and leave a process-group Ctrl-C
+    # waiting on a hung worker — so SIGTERM reverts to its default
+    # (die) and SIGINT is ignored (the parent owns interruption and
+    # terminates workers deliberately). A SIGKILLed parent can signal
+    # nothing at all, so a daemon thread watches for re-parenting and
+    # exits rather than blocking on the call queue forever.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    threading.Thread(
+        target=_exit_when_orphaned, args=(os.getppid(),), daemon=True
+    ).start()
     cache_mod.configure(root=cache_root, enabled=cache_enabled)
-    global _WORKER_STUDY, _WORKER_TRACE
+    global _WORKER_STUDY, _WORKER_TRACE, _WORKER_EXEC_CHAOS, _WORKER_IN_POOL
     _WORKER_STUDY = ThickMnaStudy(seed=seed, chaos=chaos)
     _WORKER_TRACE = trace
+    _WORKER_EXEC_CHAOS = exec_chaos
+    _WORKER_IN_POOL = True
+
+
+def _exit_when_orphaned(parent_pid: int, poll_s: float = 1.0) -> None:
+    """Hard-exit the worker once its supervising parent is gone."""
+    while os.getppid() == parent_pid:
+        time.sleep(poll_s)
+    os._exit(1)
 
 
 def _execute_artefact(
-    artefact_id: str, scale: Optional[float]
+    artefact_id: str, scale: Optional[float], attempt: int = 0
 ) -> Tuple[str, str, Any, str, float, str, int, int, float]:
-    """Run one artefact in this process; never raises."""
-    from repro.experiments import registry
+    """Run one artefact in this process; never raises from the artefact.
+
+    The exec-chaos hook runs *before* the isolation try-block: an
+    injected crash must look like a dead worker (``os._exit`` in a pool
+    worker, :class:`~repro.faults.InjectedWorkerCrash` inline), not
+    like an artefact error the runner would refuse to retry.
+    """
+    from repro.faults import execchaos as execchaos_mod
 
     study = _WORKER_STUDY
     assert study is not None, "worker used before _worker_init"
+    execchaos_mod.inject(
+        _WORKER_EXEC_CHAOS, artefact_id, attempt,
+        cache_root=cache_mod.get_default_cache().root,
+        in_subprocess=_WORKER_IN_POOL,
+    )
+    from repro.experiments import registry
+
     stats_before = cache_mod.get_default_cache().stats.snapshot()
     started = time.perf_counter()
     try:
@@ -171,9 +284,9 @@ def _execute_artefact(
         result = study.run(
             artefact_id, scale=scale if spec.supports_scale else None
         )
-        status, error = "ok", ""
+        status, error = STATUS_OK, ""
     except Exception:
-        result, status, error = None, "error", traceback.format_exc()
+        result, status, error = None, STATUS_ERROR, traceback.format_exc()
     wall = time.perf_counter() - started
     delta = cache_mod.get_default_cache().stats.delta(stats_before)
     return (
@@ -182,7 +295,9 @@ def _execute_artefact(
     )
 
 
-def _run_artefact(artefact_id: str, scale: Optional[float]) -> _Row:
+def _run_artefact(
+    artefact_id: str, scale: Optional[float], attempt: int = 0
+) -> _Row:
     """One ledger row; when tracing, recorded under a fresh local recorder.
 
     The artefact records into its *own* :class:`~repro.obs.TraceRecorder`
@@ -191,14 +306,38 @@ def _run_artefact(artefact_id: str, scale: Optional[float]) -> _Row:
     it under the ``run_all`` root span. One code path, both modes.
     """
     if not _WORKER_TRACE:
-        return _execute_artefact(artefact_id, scale) + (None,)
+        return _execute_artefact(artefact_id, scale, attempt) + (None,)
     recorder = obs.TraceRecorder(trace_id=f"artefact-{artefact_id}")
     with obs.use_recorder(recorder):
         with obs.span("artefact", id=artefact_id) as span:
-            row = _execute_artefact(artefact_id, scale)
-            if row[1] != "ok":
+            if attempt:
+                span.set(attempt=attempt)
+            row = _execute_artefact(artefact_id, scale, attempt)
+            if row[1] != STATUS_OK:
                 span.set(failed=True)
     return row + (recorder.export(),)
+
+
+def _kill_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
+    """Forcibly stop a pool: terminate every worker, then shut down.
+
+    ``ProcessPoolExecutor`` has no per-task cancellation for running
+    work, so the watchdog (and clean shutdown) kill the whole pool and
+    the supervisor respawns a fresh one for the remaining shard.
+    """
+    workers = getattr(pool, "_processes", None) or {}
+    processes = list(workers.values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.join(timeout=2.0)
+        except Exception:
+            pass
 
 
 # -- parent side -------------------------------------------------------------
@@ -207,9 +346,31 @@ class StudyRunner:
     """Runs a study's artefacts with warm shared inputs, optionally sharded.
 
     ``jobs=1`` runs everything inline (no subprocess, still isolated per
-    artefact); ``jobs=N`` uses a ``ProcessPoolExecutor``. ``warm=False``
-    skips the parent-side input build, e.g. to measure cold-process
-    behaviour in benchmarks.
+    artefact); ``jobs=N`` uses a supervised ``ProcessPoolExecutor``.
+    ``warm=False`` skips the parent-side input build, e.g. to measure
+    cold-process behaviour in benchmarks.
+
+    Supervision knobs:
+
+    ``artefact_timeout_s``
+        Watchdog deadline per artefact attempt (``jobs>1`` only: the
+        serial path has no worker to kill). An overdue worker is
+        killed, the attempt charged, the artefact retried.
+    ``max_attempts``
+        Total attempts (>=1) an artefact may consume on worker deaths
+        and timeouts before it is quarantined. Artefact *errors*
+        (exceptions inside the experiment) are deterministic and are
+        never retried.
+    ``retry_backoff``
+        :class:`~repro.faults.BackoffPolicy` slept between attempts.
+    ``journal_path``
+        Append-only :class:`~repro.core.journal.RunJournal` checkpoint:
+        each completed artefact's result is persisted to the artifact
+        cache and recorded in the journal, so ``run_all(resume=True)``
+        (CLI: ``run-all --resume``) skips completed work after a crash.
+    ``exec_chaos``
+        Seeded :class:`~repro.faults.ExecChaos` fault injection for the
+        execution layer itself (tests, CI chaos smoke).
 
     ``trace_dir`` turns telemetry on: the run records into a fresh
     :class:`~repro.obs.TraceRecorder` and writes one JSONL trace file
@@ -222,6 +383,8 @@ class StudyRunner:
     very RunReport ledger this runner returns — to the cross-run
     history store in that directory (``report.history_run_id``), where
     ``python -m repro regress`` and ``repro report`` pick it up.
+    Interrupted runs are recorded too, with ``status="interrupted"``,
+    and the regression engine skips them when building baselines.
     """
 
     def __init__(
@@ -233,9 +396,19 @@ class StudyRunner:
         warm: bool = True,
         trace_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
         history_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+        journal_path: Optional[Union[str, "os.PathLike[str]"]] = None,
+        artefact_timeout_s: Optional[float] = None,
+        max_attempts: int = 3,
+        retry_backoff: Optional[BackoffPolicy] = None,
+        exec_chaos: Optional[ExecChaos] = None,
+        handle_signals: bool = True,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if artefact_timeout_s is not None and artefact_timeout_s <= 0:
+            raise ValueError("artefact_timeout_s must be positive")
         self.seed = seed
         self.chaos = chaos
         self.jobs = jobs
@@ -245,6 +418,47 @@ class StudyRunner:
         self.history_dir = (
             pathlib.Path(history_dir) if history_dir is not None else None
         )
+        self.journal_path = (
+            pathlib.Path(journal_path) if journal_path is not None else None
+        )
+        self.artefact_timeout_s = artefact_timeout_s
+        self.max_attempts = max_attempts
+        self.retry_backoff = (
+            retry_backoff if retry_backoff is not None else DEFAULT_RETRY_BACKOFF
+        )
+        self.exec_chaos = exec_chaos
+        self.handle_signals = handle_signals
+        self._stop_requested = False
+
+    # -- interruption --------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask a running ``run_all`` to stop cleanly (what SIGINT does)."""
+        self._stop_requested = True
+
+    def _trap_signals(self):
+        """Install SIGINT/SIGTERM -> clean-stop handlers for one run.
+
+        Returns the ``{signal: previous handler}`` map to restore, or an
+        empty map when installation is impossible (non-main thread) or
+        disabled (``handle_signals=False``).
+        """
+        if not self.handle_signals:
+            return {}
+
+        def handler(signum, frame):
+            self._stop_requested = True
+            obs.event("runner.signal", signum=int(signum))
+
+        previous = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, handler)
+            except ValueError:  # not the main thread: run unsupervised
+                break
+        return previous
+
+    # -- building blocks -----------------------------------------------------
 
     def _study(self):
         from repro.core.study import ThickMnaStudy
@@ -277,22 +491,68 @@ class StudyRunner:
             common.get_market()
         return time.perf_counter() - started
 
+    # -- checkpointing -------------------------------------------------------
+
+    def _workload_key(self, effective_scale: float) -> str:
+        import repro
+
+        return cache_mod.fingerprint(
+            "runjournal", seed=self.seed, scale=effective_scale,
+            chaos=self.chaos, version=repro.__version__,
+        )
+
+    def _result_key(self, artefact_id: str, effective_scale: float) -> str:
+        """Cache key for one artefact's checkpointed result payload."""
+        import repro
+        from repro.experiments import registry
+
+        spec = registry.get_spec(artefact_id)
+        return cache_mod.fingerprint(
+            "artefact-result", artefact=artefact_id, seed=self.seed,
+            scale=effective_scale if spec.supports_scale else None,
+            chaos=self.chaos, version=repro.__version__,
+        )
+
+    def _checkpoint(
+        self,
+        journal: Optional[journal_mod.RunJournal],
+        effective_scale: float,
+        row: _Row,
+        attempts: int,
+    ) -> None:
+        """Persist one completed artefact: payload to cache, line to journal."""
+        if journal is None or row[1] != STATUS_OK:
+            return
+        key = self._result_key(row[0], effective_scale)
+        self.cache.store(key, row[2])
+        journal.append(journal_mod.JournalEntry(
+            artefact_id=row[0], fingerprint=key, status=STATUS_OK,
+            wall_s=row[4], worker=row[5], attempts=attempts,
+        ))
+
+    # -- the run -------------------------------------------------------------
+
     def run_all(
         self,
         scale: Optional[float] = None,
         artefacts: Optional[Sequence[str]] = None,
+        resume: bool = False,
     ) -> RunReport:
-        """Run ``artefacts`` (default: all), return the ledger + results."""
+        """Run ``artefacts`` (default: all), return the ledger + results.
+
+        ``resume=True`` (requires ``journal_path``) replays the journal
+        and skips artefacts whose results are already checkpointed.
+        """
         recorder: Optional[obs.TraceRecorder] = None
         if self.trace_dir is None:
-            report = self._run_all_inner(scale, artefacts)
+            report = self._run_all_inner(scale, artefacts, resume)
             active = obs.get_recorder()
             if isinstance(active, obs.TraceRecorder):
                 recorder = active  # externally installed: still snapshot
         else:
             recorder = obs.TraceRecorder(trace_id=f"run_all-seed{self.seed}")
             with obs.use_recorder(recorder):
-                report = self._run_all_inner(scale, artefacts)
+                report = self._run_all_inner(scale, artefacts, resume)
             self.trace_dir.mkdir(parents=True, exist_ok=True)
             path = self.trace_dir / (
                 f"run_all-seed{report.seed}-scale{report.scale:g}"
@@ -325,9 +585,12 @@ class StudyRunner:
         self,
         scale: Optional[float] = None,
         artefacts: Optional[Sequence[str]] = None,
+        resume: bool = False,
     ) -> RunReport:
         from repro.experiments import common, registry
 
+        if resume and self.journal_path is None:
+            raise ValueError("resume=True requires a journal_path")
         if self.cache is not cache_mod.get_default_cache():
             # The runner's cache becomes the process default so the
             # experiment layer (and the warm-up) read and write it.
@@ -341,68 +604,318 @@ class StudyRunner:
                 registry.get_spec(artefact)  # fail fast on unknown ids
         effective_scale = scale if scale is not None else common.DEFAULT_SCALE
         report = RunReport(seed=self.seed, scale=effective_scale, jobs=self.jobs)
-        recorder = obs.get_recorder()
-        started = time.perf_counter()
-        with obs.span(
-            "run_all", seed=self.seed, scale=effective_scale, jobs=self.jobs,
-        ) as root:
-            if self.warm:
-                with obs.span("warm_inputs"):
-                    report.warm_wall_s = self.warm_inputs(
-                        effective_scale, artefacts
-                    )
-            if self.jobs == 1:
-                rows = self._run_serial(artefacts, scale)
+
+        journal: Optional[journal_mod.RunJournal] = None
+        completed: Dict[str, journal_mod.JournalEntry] = {}
+        if self.journal_path is not None:
+            journal = journal_mod.RunJournal(self.journal_path)
+            key = self._workload_key(effective_scale)
+            if resume:
+                completed = journal.resume(key)
             else:
-                rows = self._run_parallel(artefacts, scale)
-            order = {artefact: index for index, artefact in enumerate(artefacts)}
-            for row in sorted(rows, key=lambda r: order[r[0]]):
-                (
-                    artefact_id, status, result, error, wall, worker,
-                    hits, misses, hit_time_s, telemetry,
-                ) = row
-                report.runs.append(
-                    ArtefactRun(
-                        artefact_id=artefact_id, status=status, wall_s=wall,
-                        worker=worker, cache_hits=hits, cache_misses=misses,
-                        cache_hit_s=hit_time_s, error=error,
+                journal.begin(key)
+
+        recorder = obs.get_recorder()
+        self._stop_requested = False
+        previous_handlers = self._trap_signals()
+        started = time.perf_counter()
+        try:
+            with obs.span(
+                "run_all", seed=self.seed, scale=effective_scale, jobs=self.jobs,
+            ) as root:
+                if self.warm:
+                    with obs.span("warm_inputs"):
+                        report.warm_wall_s = self.warm_inputs(
+                            effective_scale, artefacts
+                        )
+
+                # Resume: serve checkpointed artefacts straight from the
+                # cache; anything whose payload is gone simply reruns.
+                rows: List[Tuple[_Row, int]] = []
+                todo: List[str] = []
+                for artefact in artefacts:
+                    entry = completed.get(artefact)
+                    result = (
+                        self.cache.load(entry.fingerprint)
+                        if entry is not None else None
+                    )
+                    if entry is not None and result is not None:
+                        obs.counter("runner.resume_skip").inc()
+                        obs.event("runner.resume_skip", artefact=artefact)
+                        rows.append(((
+                            artefact, STATUS_OK, result, "", entry.wall_s,
+                            "journal", 0, 0, 0.0, None,
+                        ), 0))
+                    else:
+                        todo.append(artefact)
+
+                on_row: Callable[[_Row, int], None] = (
+                    lambda row, attempts: self._checkpoint(
+                        journal, effective_scale, row, attempts
                     )
                 )
-                if status == "ok":
-                    report.results[artefact_id] = result
-                if telemetry is not None and recorder.enabled:
-                    recorder.adopt(telemetry, parent_id=root.span_id)
+                if self.jobs == 1:
+                    rows += self._run_serial(todo, scale, on_row)
+                else:
+                    rows += self._run_parallel(todo, scale, on_row)
+
+                # Anything not finalized (stop requested mid-run) gets an
+                # explicit interrupted row so the partial report is honest.
+                finalized = {row[0] for row, _attempts in rows}
+                for artefact in artefacts:
+                    if artefact not in finalized:
+                        rows.append(((
+                            artefact, STATUS_INTERRUPTED, None,
+                            "run interrupted before this artefact completed",
+                            0.0, "-", 0, 0, 0.0, None,
+                        ), 0))
+                report.interrupted = self._stop_requested
+                if report.interrupted:
+                    obs.event("runner.interrupted")
+
+                order = {artefact: index for index, artefact in enumerate(artefacts)}
+                for row, attempts in sorted(rows, key=lambda r: order[r[0][0]]):
+                    (
+                        artefact_id, status, result, error, wall, worker,
+                        hits, misses, hit_time_s, telemetry,
+                    ) = row
+                    report.runs.append(
+                        ArtefactRun(
+                            artefact_id=artefact_id, status=status, wall_s=wall,
+                            worker=worker, cache_hits=hits, cache_misses=misses,
+                            cache_hit_s=hit_time_s, attempts=attempts,
+                            error=error,
+                        )
+                    )
+                    if status == STATUS_OK:
+                        report.results[artefact_id] = result
+                    if telemetry is not None and recorder.enabled:
+                        recorder.adopt(telemetry, parent_id=root.span_id)
+        finally:
+            for sig, old in previous_handlers.items():
+                signal.signal(sig, old)
         report.total_wall_s = time.perf_counter() - started
         return report
 
-    def _run_serial(self, artefacts, scale):
-        global _WORKER_STUDY, _WORKER_TRACE
+    # -- serial supervision --------------------------------------------------
+
+    def _run_serial(
+        self,
+        artefacts: Sequence[str],
+        scale: Optional[float],
+        on_row: Callable[[_Row, int], None],
+    ) -> List[Tuple[_Row, int]]:
+        global _WORKER_STUDY, _WORKER_TRACE, _WORKER_EXEC_CHAOS, _WORKER_IN_POOL
         _WORKER_STUDY = self._study()
         _WORKER_TRACE = obs.enabled()
-        return [_run_artefact(artefact, scale) for artefact in artefacts]
+        _WORKER_EXEC_CHAOS = self.exec_chaos
+        _WORKER_IN_POOL = False
+        rng = random.Random(f"runner-retry:{self.seed}")
+        out: List[Tuple[_Row, int]] = []
+        for artefact in artefacts:
+            if self._stop_requested:
+                break
+            failures = 0
+            while True:
+                try:
+                    row = _run_artefact(artefact, scale, failures)
+                except InjectedWorkerCrash:
+                    failures += 1
+                    obs.counter("runner.crash").inc()
+                    if failures >= self.max_attempts:
+                        row = (
+                            artefact, STATUS_QUARANTINED, None,
+                            traceback.format_exc(), 0.0,
+                            f"pid-{os.getpid()}", 0, 0, 0.0, None,
+                        )
+                        obs.counter("runner.quarantine").inc()
+                        obs.event(
+                            "runner.quarantine", artefact=artefact,
+                            attempts=failures, reason="crash",
+                        )
+                        out.append((row, failures))
+                        on_row(row, failures)
+                        break
+                    delay = self.retry_backoff.delay_s(failures - 1, rng)
+                    obs.counter("runner.retry").inc()
+                    obs.event(
+                        "runner.retry", artefact=artefact, attempt=failures,
+                        delay_s=round(delay, 6), reason="crash",
+                    )
+                    time.sleep(delay)
+                    continue
+                out.append((row, failures + 1))
+                on_row(row, failures + 1)
+                break
+        return out
 
-    def _run_parallel(self, artefacts, scale):
-        with concurrent.futures.ProcessPoolExecutor(
+    # -- parallel supervision ------------------------------------------------
+
+    def _new_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        return concurrent.futures.ProcessPoolExecutor(
             max_workers=self.jobs,
             initializer=_worker_init,
             initargs=(
                 self.seed, self.chaos,
                 str(self.cache.root), self.cache.enabled,
-                obs.enabled(),
+                obs.enabled(), self.exec_chaos,
             ),
-        ) as pool:
-            futures = {
-                pool.submit(_run_artefact, artefact, scale): artefact
-                for artefact in artefacts
-            }
-            rows = []
-            for future in concurrent.futures.as_completed(futures):
-                try:
-                    rows.append(future.result())
-                except Exception:
-                    # A worker died (OOM, signal): isolate like any failure.
-                    rows.append((
-                        futures[future], "error", None, traceback.format_exc(),
-                        0.0, "pid-lost", 0, 0, 0.0, None,
-                    ))
-        return rows
+        )
+
+    def _run_parallel(
+        self,
+        artefacts: Sequence[str],
+        scale: Optional[float],
+        on_row: Callable[[_Row, int], None],
+    ) -> List[Tuple[_Row, int]]:
+        """Supervised pool execution: watchdog, retries, pool respawn.
+
+        At most ``jobs`` artefacts are in flight at a time (so submit
+        time ≈ start time and the per-artefact deadline is meaningful).
+        A broken pool is respawned and the remaining shard continues; an
+        overdue artefact's pool is killed, the artefact charged and
+        retried, innocent in-flight artefacts resubmitted uncharged.
+        """
+        pending: List[str] = list(artefacts)
+        not_before: Dict[str, float] = {}
+        failures: Dict[str, int] = {artefact: 0 for artefact in artefacts}
+        rng = random.Random(f"runner-retry:{self.seed}")
+        out: List[Tuple[_Row, int]] = []
+
+        def finalize(row: _Row, attempts: int) -> None:
+            out.append((row, attempts))
+            on_row(row, attempts)
+
+        def register_failure(artefact: str, kind: str, detail: str) -> None:
+            failures[artefact] += 1
+            attempts = failures[artefact]
+            obs.counter(f"runner.{kind}").inc()
+            if attempts >= self.max_attempts:
+                status = STATUS_TIMEOUT if kind == "timeout" else STATUS_QUARANTINED
+                obs.counter("runner.quarantine").inc()
+                obs.event(
+                    "runner.quarantine", artefact=artefact,
+                    attempts=attempts, reason=kind,
+                )
+                finalize(
+                    (artefact, status, None, detail, 0.0,
+                     "pid-lost", 0, 0, 0.0, None),
+                    attempts,
+                )
+            else:
+                delay = self.retry_backoff.delay_s(attempts - 1, rng)
+                not_before[artefact] = time.monotonic() + delay
+                pending.append(artefact)
+                obs.counter("runner.retry").inc()
+                obs.event(
+                    "runner.retry", artefact=artefact, attempt=attempts,
+                    delay_s=round(delay, 6), reason=kind,
+                )
+
+        done_all = False
+        while not done_all and not self._stop_requested:
+            pool = self._new_pool()
+            inflight: Dict[concurrent.futures.Future, Tuple[str, float]] = {}
+            respawn = False
+            try:
+                while not self._stop_requested:
+                    now = time.monotonic()
+                    for artefact in list(pending):
+                        if len(inflight) >= self.jobs:
+                            break
+                        if not_before.get(artefact, 0.0) > now:
+                            continue
+                        pending.remove(artefact)
+                        future = pool.submit(
+                            _run_artefact, artefact, scale, failures[artefact]
+                        )
+                        inflight[future] = (artefact, time.monotonic())
+                    if not inflight:
+                        if not pending:
+                            done_all = True
+                            break
+                        # Everything left is inside a backoff window.
+                        wake = min(not_before[a] for a in pending)
+                        time.sleep(max(0.0, min(_POLL_S, wake - now)))
+                        continue
+                    done, _ = concurrent.futures.wait(
+                        list(inflight), timeout=_POLL_S,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
+                    broken = False
+                    for future in done:
+                        artefact, _started = inflight.pop(future)
+                        try:
+                            row = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            register_failure(
+                                artefact, "crash",
+                                "worker process died (pool broke); "
+                                + traceback.format_exc(),
+                            )
+                        except Exception:
+                            # A worker died or the row could not travel
+                            # back: isolate and retry like any crash.
+                            register_failure(
+                                artefact, "crash", traceback.format_exc()
+                            )
+                        else:
+                            finalize(row, failures[artefact] + 1)
+                    if broken:
+                        # The pool is dead and every in-flight artefact
+                        # went down with it. The culprit is unknowable
+                        # from the parent, so each one is charged an
+                        # attempt (bounded budgets keep this convergent).
+                        for future, (artefact, _started) in inflight.items():
+                            register_failure(
+                                artefact, "crash",
+                                "worker pool broke while this artefact "
+                                "was in flight",
+                            )
+                        inflight.clear()
+                        done_all = not pending
+                        if not done_all:
+                            obs.counter("runner.pool_respawn").inc()
+                            obs.event("runner.pool_respawn", reason="broken-pool")
+                        respawn = True
+                        break
+                    if self.artefact_timeout_s is not None and inflight:
+                        now = time.monotonic()
+                        overdue = [
+                            (future, artefact, started)
+                            for future, (artefact, started) in inflight.items()
+                            if now - started > self.artefact_timeout_s
+                        ]
+                        if overdue:
+                            overdue_futures = {item[0] for item in overdue}
+                            for _future, artefact, started in overdue:
+                                obs.event(
+                                    "runner.timeout", artefact=artefact,
+                                    after_s=round(now - started, 3),
+                                )
+                                register_failure(
+                                    artefact, "timeout",
+                                    f"artefact exceeded its "
+                                    f"{self.artefact_timeout_s:g}s deadline; "
+                                    f"worker killed by the watchdog",
+                                )
+                            # No per-task kill exists: kill the pool and
+                            # resubmit the innocent in-flight artefacts
+                            # without charging them an attempt.
+                            for future, (artefact, _started) in inflight.items():
+                                if future not in overdue_futures:
+                                    pending.insert(0, artefact)
+                            inflight.clear()
+                            done_all = not pending
+                            if not done_all:
+                                obs.counter("runner.pool_respawn").inc()
+                                obs.event("runner.pool_respawn", reason="watchdog")
+                            respawn = True
+                            break
+            finally:
+                if respawn or self._stop_requested:
+                    _kill_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
+        return out

@@ -4,6 +4,9 @@ Deterministic chaos for the measurement campaigns: a seeded
 :class:`FaultInjector` driven by a :class:`ChaosConfig` (default off),
 plus the resilience primitives (:class:`BackoffPolicy`,
 :class:`CircuitBreaker`) the orchestration layer wraps around it.
+:class:`ExecChaos` extends the same discipline to the execution layer
+itself — seeded worker crashes, hangs and cache corruption for the
+study runner's supervision loop (see :mod:`repro.faults.execchaos`).
 """
 
 from repro.faults.chaos import (
@@ -14,6 +17,7 @@ from repro.faults.chaos import (
     FaultKind,
     FaultPlan,
 )
+from repro.faults.execchaos import ExecChaos, InjectedWorkerCrash
 from repro.faults.retry import BackoffPolicy, CircuitBreaker
 
 __all__ = [
@@ -21,8 +25,10 @@ __all__ = [
     "BackoffPolicy",
     "ChaosConfig",
     "CircuitBreaker",
+    "ExecChaos",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
+    "InjectedWorkerCrash",
 ]

@@ -89,6 +89,10 @@ class RunRecord:
     jobs: int = 1
     host: str = ""
     ok: bool = True
+    #: Run disposition: ``"ok"``, ``"failed"`` (some artefact not ok) or
+    #: ``"interrupted"`` (SIGINT/SIGTERM stopped the run early). The
+    #: regression engine skips interrupted runs when building baselines.
+    status: str = "ok"
     total_wall_s: float = 0.0
     warm_wall_s: float = 0.0
     artefacts: Dict[str, ArtefactStats] = field(default_factory=dict)
@@ -135,6 +139,8 @@ class RunRecord:
             jobs=data.get("jobs", 1),
             host=data.get("host", ""),
             ok=data.get("ok", True),
+            status=data.get("status")
+            or ("ok" if data.get("ok", True) else "failed"),
             total_wall_s=data.get("total_wall_s", 0.0),
             warm_wall_s=data.get("warm_wall_s", 0.0),
             artefacts=artefacts,
@@ -200,6 +206,11 @@ def record_from_report(
         jobs=report.jobs,
         host=host if host is not None else platform.node(),
         ok=not report.failed(),
+        status=(
+            "interrupted"
+            if getattr(report, "interrupted", False)
+            else ("ok" if not report.failed() else "failed")
+        ),
         total_wall_s=report.total_wall_s,
         warm_wall_s=report.warm_wall_s,
         artefacts=artefacts,

@@ -153,6 +153,10 @@ def compare(
             continue  # artefact is new to this group: nothing to compare
 
         baseline_ok = [stats for stats in history if stats.status == "ok"]
+        if observed.status == "interrupted":
+            # The artefact never ran (the run was stopped first): that is
+            # not a failure and there is nothing to compare.
+            continue
         if observed.status != "ok":
             if baseline_ok:
                 report.verdicts.append(Verdict(
@@ -265,6 +269,10 @@ def detect(
             record for record in records
             if record.group_key() == key and record.run_id != candidate.run_id
             and record.created_unix <= candidate.created_unix
+            # Interrupted runs are partial by definition: baselining
+            # against them turns every artefact they skipped into a
+            # false new-failure/latency verdict on the next full run.
+            and record.status != "interrupted"
         ]
         if not baselines:
             raise ValueError(

@@ -159,3 +159,61 @@ def test_warm_load_equals_fresh_build(tmp_path):
     finally:
         common.clear_caches()
         cache_mod.set_default_cache(previous)
+
+
+# -- verify / prune ----------------------------------------------------------
+
+def test_verify_clean_cache(store):
+    store.store("good-entry", {"v": 1})
+    result = store.verify()
+    assert result.ok == ["good-entry"]
+    assert result.clean
+    assert not result.pruned
+
+
+def test_verify_reports_corrupt_entries_without_evicting(store):
+    store.store("good-entry", {"v": 1})
+    path = store.store("bad-entry", {"v": 2})
+    path.write_bytes(b"not a pickle")
+    result = store.verify()
+    assert result.ok == ["good-entry"]
+    assert result.corrupt == ["bad-entry"]
+    assert not result.clean
+    # verify() is read-only by default: the entry is still on disk and
+    # the stats counters were not touched.
+    assert path.is_file()
+    assert store.stats.misses == 0 and store.stats.evictions == 0
+
+
+def test_verify_reports_stray_temp_files(store):
+    store.store("good-entry", {"v": 1})
+    stray = store.root / ".good-entry.abc123"
+    stray.write_bytes(b"half-written")
+    result = store.verify()
+    assert result.stray == [".good-entry.abc123"]
+    assert not result.clean
+
+
+def test_verify_prune_removes_corrupt_and_stray(store):
+    store.store("good-entry", {"v": 1})
+    bad = store.store("bad-entry", {"v": 2})
+    bad.write_bytes(b"truncated")
+    stray = store.root / ".bad-entry.xyz"
+    stray.write_bytes(b"leftover")
+    result = store.verify(prune=True)
+    assert sorted(result.pruned) == [".bad-entry.xyz", "bad-entry"]
+    assert not bad.exists() and not stray.exists()
+    assert store.verify().clean
+    assert store.load("good-entry") == {"v": 1}
+
+
+def test_verify_missing_root(tmp_path):
+    result = ArtifactCache(root=tmp_path / "never-created").verify()
+    assert result.clean and not result.ok
+
+
+def test_clear_removes_stray_temp_files(store):
+    store.store("entry-a", {"v": 1})
+    (store.root / ".entry-a.tmp123").write_bytes(b"leftover")
+    assert store.clear() == 2
+    assert not list(store.root.iterdir())

@@ -486,3 +486,76 @@ def test_verbose_surfaces_campaign_weather(capsys):
     captured = capsys.readouterr()
     assert "went dark" in captured.err
     assert "went dark" not in captured.out
+
+
+# -- resilient run-all: journal, resume, chaos, cache verify -----------------
+
+
+def test_run_all_resume_requires_journal(cli_cache, capsys):
+    assert main([
+        "run-all", "--resume", "--cache-dir", str(cli_cache),
+    ]) == 2
+    assert "--resume requires --journal" in capsys.readouterr().err
+
+
+def test_run_all_journal_then_resume(cli_cache, tmp_path, capsys):
+    journal = tmp_path / "run.jsonl"
+    assert main([
+        "run-all", "--scale", "0.05", "--artefacts", "T2", "F7",
+        "--cache-dir", str(cli_cache), "--journal", str(journal),
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "run-all", "--scale", "0.05", "--artefacts", "T2", "F7",
+        "--cache-dir", str(cli_cache), "--journal", str(journal), "--resume",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "journal" in out  # both rows served from the checkpoint
+    assert "2/2 artefacts ok" in out
+
+
+def test_run_all_resume_mismatched_workload_is_usage_error(
+    cli_cache, tmp_path, capsys
+):
+    journal = tmp_path / "run.jsonl"
+    assert main([
+        "run-all", "--scale", "0.05", "--artefacts", "T2",
+        "--cache-dir", str(cli_cache), "--journal", str(journal),
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "run-all", "--scale", "0.03", "--artefacts", "T2",
+        "--cache-dir", str(cli_cache), "--journal", str(journal), "--resume",
+    ]) == 2
+    assert "workload" in capsys.readouterr().err
+
+
+def test_run_all_with_exec_chaos_flags(cli_cache, capsys):
+    assert main([
+        "run-all", "--scale", "0.05", "--artefacts", "T2", "F7",
+        "--cache-dir", str(cli_cache), "--jobs", "2",
+        "--exec-crash-rate", "0.5", "--exec-chaos-seed", "5",
+        "--max-attempts", "3",
+    ]) == 0
+    assert "2/2 artefacts ok" in capsys.readouterr().out
+
+
+def test_cache_verify_cli(cli_cache, capsys):
+    import pathlib
+
+    assert main([
+        "run-all", "--scale", "0.05", "--artefacts", "T2",
+        "--cache-dir", str(cli_cache),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["cache", "verify", "--cache-dir", str(cli_cache)]) == 0
+    assert "corrupt    : 0" in capsys.readouterr().out
+    victim = sorted(pathlib.Path(cli_cache).glob("*.pkl"))[0]
+    victim.write_bytes(b"scribbled")
+    assert main(["cache", "verify", "--cache-dir", str(cli_cache)]) == 1
+    assert victim.stem in capsys.readouterr().out
+    assert main([
+        "cache", "verify", "--cache-dir", str(cli_cache), "--prune",
+    ]) == 0
+    assert "pruned     : 1" in capsys.readouterr().out
+    assert not victim.exists()

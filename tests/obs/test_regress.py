@@ -198,3 +198,53 @@ def test_detect_errors(tmp_path):
     store.append(run_record("other", scale=0.15))
     with pytest.raises(ValueError, match="not comparable"):
         detect(store, run_id="solo", against="other")
+
+
+# -- interrupted runs (partial by definition) --------------------------------
+
+
+def test_interrupted_candidate_artefact_is_not_a_new_failure():
+    """An artefact the run never reached didn't *fail* — no verdict."""
+    baseline = [run_record(f"r{i}", when=float(i)) for i in range(3)]
+    report = compare(run_record("cand", status="interrupted", when=3.0), baseline)
+    assert report.ok(), [v.kind for v in report.verdicts]
+
+
+def test_detect_skips_interrupted_runs_when_building_baselines(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append(run_record("r0", when=0.0))
+    partial = run_record("partial", when=1.0, wall=9.0)
+    partial.status = "interrupted"
+    partial.ok = False
+    store.append(partial)
+    store.append(run_record("r1", when=2.0))
+    store.append(run_record("cand", when=3.0))
+    report = detect(store)
+    assert report.baseline_ids == ["r0", "r1"]
+    assert report.ok()
+
+
+def test_interrupted_status_round_trips_through_the_store(tmp_path):
+    store = HistoryStore(tmp_path)
+    partial = run_record("partial", when=1.0)
+    partial.status = "interrupted"
+    partial.ok = False
+    store.append(partial)
+    (loaded,) = store.load()
+    assert loaded.status == "interrupted"
+    assert not loaded.ok
+
+
+def test_legacy_records_without_status_default_from_ok(tmp_path):
+    """Pre-status history lines still load: ok=>\"ok\", not ok=>\"failed\"."""
+    import json
+
+    store = HistoryStore(tmp_path)
+    old = run_record("legacy", when=0.0)
+    data = old.to_jsonable()
+    del data["status"]
+    data["ok"] = False
+    store.root.mkdir(parents=True, exist_ok=True)
+    store.path.write_text(json.dumps(data) + "\n")
+    (loaded,) = store.load()
+    assert loaded.status == "failed"
