@@ -1,0 +1,67 @@
+"""Benchmark the measurement service under concurrent load.
+
+Starts the daemon in-process (warm datasets, pre-built indexes, warm
+artefact pool), drives the seeded mixed workload with the loadgen
+harness, and holds the result to the declared per-route p99 SLOs from
+:mod:`repro.server.slo` — the same budgets the CI service-smoke job
+enforces against a real `repro serve` process. Also pins a throughput
+floor: the service must sustain a healthy multiple of one request per
+client-think-interval, i.e. the clients — not the server — are the
+bottleneck.
+
+The per-route latency table is persisted under
+``benchmarks/output/SERVER.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.server import create_server
+from repro.server.loadgen import LoadGenerator
+from repro.server.slo import ROUTE_SLOS_P99_S, check, record_from_loadgen
+
+from benchmarks._harness import report
+
+CLIENTS = 32
+DURATION_S = 6.0
+THINK_S = 0.2
+#: With 32 clients pausing ~0.2s between requests, a non-bottlenecked
+#: server sees ~150 req/s; demand half of that to absorb slow CI boxes.
+MIN_THROUGHPUT_RPS = 75.0
+
+
+def test_bench_server_loadgen_meets_slos():
+    srv = create_server(scale=0.15, quiet=True).start()
+    try:
+        assert srv.state.ready.wait(timeout=300), srv.state.warm_error
+        generator = LoadGenerator(
+            "127.0.0.1", srv.port, clients=CLIENTS, duration_s=DURATION_S,
+            seed=2024, think_s=THINK_S,
+        )
+        result = generator.run()
+    finally:
+        srv.stop()
+
+    lines = [
+        result.render(),
+        "",
+        "declared p99 SLOs: " + ", ".join(
+            f"{route}={budget * 1000:.0f}ms"
+            for route, budget in sorted(ROUTE_SLOS_P99_S.items())
+        ),
+        f"warm wall: {srv.state.warm_wall_s:.2f}s",
+    ]
+    report("SERVER", "\n".join(lines))
+
+    assert result.total_requests > 0
+    assert result.total_errors == 0
+    violations = check(result)
+    assert not violations, violations
+    assert result.throughput_rps >= MIN_THROUGHPUT_RPS
+
+    # The history bridge keeps its shape (what `repro regress` gates).
+    record = record_from_loadgen(result)
+    assert record.kind == "loadgen"
+    assert all(
+        stats.slo_s > 0 for route, stats in record.artefacts.items()
+        if route in ROUTE_SLOS_P99_S
+    )

@@ -19,6 +19,8 @@ Exposes the reproduction from the shell::
     python -m repro regress --history runs/ --fail-on-regression
     python -m repro report --html report.html --history runs/
     python -m repro cache info                # the persistent artifact store
+    python -m repro serve --port 8321         # always-on measurement service
+    python -m repro loadgen --clients 200 --duration 30 --fail-on-slo
 """
 
 from __future__ import annotations
@@ -490,6 +492,67 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import create_server
+
+    server = create_server(
+        seed=args.seed,
+        scale=args.scale,
+        datasets=tuple(args.datasets),
+        history_dir=args.history,
+        host=args.host,
+        port=args.port,
+        quiet=not args.verbose,
+        debug_delay=args.debug_delay,
+    )
+    print(f"repro-serve listening on {server.url} "
+          f"(seed {args.seed}, scale {args.scale:g}, "
+          f"datasets {','.join(args.datasets)})")
+    print("warming datasets and indexes; GET /healthz reports progress")
+    return server.run_foreground()
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.server.loadgen import run_loadgen
+    from repro.server.slo import check, record_from_loadgen
+
+    try:
+        report = run_loadgen(
+            args.host, args.port,
+            clients=args.clients,
+            duration_s=args.duration,
+            seed=args.seed,
+            think_s=args.think,
+            chaos_latency_s=args.chaos_latency,
+            wait_ready_s=args.wait_ready,
+        )
+    except RuntimeError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    print(report.render())
+    violations = check(report)
+    for route, detail in sorted(violations.items()):
+        print(f"SLO VIOLATION {route}: {detail}")
+    if args.json:
+        import json as json_mod
+
+        with open(args.json, "w") as handle:
+            json_mod.dump(report.to_jsonable(), handle, indent=2,
+                          sort_keys=True)
+            handle.write("\n")
+        print(f"(json report written to {args.json})")
+    if args.history:
+        from repro.obs.history import HistoryStore
+
+        record = record_from_loadgen(report)
+        HistoryStore(args.history).append(record)
+        print(f"(recorded as {record.run_id} [{record.group_key()}] "
+              f"in {args.history})")
+    if violations and args.fail_on_slo:
+        return 1
+    return 0
+
+
 def _cmd_market(args: argparse.Namespace) -> int:
     from repro.market import provider_country_medians
 
@@ -522,6 +585,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Roam Without a Home' (IMC 2025)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "subcommand groups and where they are documented:\n"
+            "  experiments   list, run, campaign, probe, tools, trip, chaos,\n"
+            "                market        -> docs/ARCHITECTURE.md, docs/CALIBRATION.md\n"
+            "  execution     run-all, cache -> docs/PERFORMANCE.md, docs/FULL_RUN.md\n"
+            "  observability trace, history, regress, report\n"
+            "                              -> docs/OBSERVABILITY.md\n"
+            "  service       serve, loadgen -> docs/SERVICE.md\n"
+            "\n"
+            "exit codes: 0 success, 1 gated failure (run-all artefact error,\n"
+            "regress --fail-on-regression, loadgen --fail-on-slo), 2 usage or\n"
+            "data error, 130 interrupted (SIGINT). docs/FULL_RUN.md has the\n"
+            "full table; the API reference is docs/API.md."
+        ),
     )
     parser.add_argument("--seed", type=int, default=common.DEFAULT_SEED)
     parser.add_argument("-v", "--verbose", action="store_true",
@@ -709,6 +787,56 @@ def build_parser() -> argparse.ArgumentParser:
                                    "stray temp files instead of just "
                                    "reporting them")
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the always-on measurement service (see docs/SERVICE.md)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8321,
+                              help="bind port (default 8321; 0 = ephemeral)")
+    serve_parser.add_argument("--scale", type=float, default=common.DEFAULT_SCALE,
+                              help="campaign scale to warm (default 0.15)")
+    serve_parser.add_argument("--datasets", nargs="+", default=["device", "web"],
+                              choices=("device", "web"),
+                              help="datasets to load at startup")
+    serve_parser.add_argument("--history", default=None, metavar="DIR",
+                              help="history store root served by /history "
+                                   "and /regress")
+    serve_parser.add_argument("--debug-delay", action="store_true",
+                              help="honour the delay_s= query parameter "
+                                   "(shutdown-drain testing only)")
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="drive concurrent synthetic clients against a running server",
+    )
+    loadgen_parser.add_argument("--host", default="127.0.0.1")
+    loadgen_parser.add_argument("--port", type=int, default=8321)
+    loadgen_parser.add_argument("--clients", type=int, default=50,
+                                help="concurrent client threads (default 50)")
+    loadgen_parser.add_argument("--duration", type=float, default=10.0,
+                                metavar="S", help="load duration in seconds")
+    loadgen_parser.add_argument("--think", type=float, default=0.2, metavar="S",
+                                help="mean per-client think time between "
+                                     "requests (default 0.2s)")
+    loadgen_parser.add_argument("--wait-ready", type=float, default=120.0,
+                                metavar="S",
+                                help="max seconds to wait for /healthz=200 "
+                                     "before starting (0 = don't wait)")
+    loadgen_parser.add_argument("--chaos-latency", type=float, default=0.0,
+                                metavar="S",
+                                help="inject S seconds into every recorded "
+                                     "latency (tests the SLO gate)")
+    loadgen_parser.add_argument("--json", default=None, metavar="FILE",
+                                help="write the full report as JSON")
+    loadgen_parser.add_argument("--history", default=None, metavar="DIR",
+                                help="append the run to the history store "
+                                     "so 'repro regress' gates it")
+    loadgen_parser.add_argument("--fail-on-slo", action="store_true",
+                                help="exit non-zero when any route's p99 "
+                                     "exceeds its declared SLO")
+
     market_parser = sub.add_parser("market", help="query the eSIM marketplace")
     market_parser.add_argument("--day", type=int, default=90,
                                help="crawl day (0 = 2024-02-01)")
@@ -733,6 +861,8 @@ _HANDLERS = {
     "regress": _cmd_regress,
     "report": _cmd_report,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -68,6 +68,10 @@ class ArtefactStats:
     #: ``fingerprint("result", ...)`` of the exported JSON; empty when
     #: the artefact failed (there is no result to fingerprint).
     fingerprint: str = ""
+    #: Declared latency budget for ``wall_s`` (0 = no SLO). Loadgen
+    #: records store each route's p99 in ``wall_s`` and its budget here,
+    #: so the regress engine can gate service latency absolutely.
+    slo_s: float = 0.0
 
     def cache_hit_rate(self) -> Optional[float]:
         """Hit fraction of this artefact's cache lookups (None: no lookups)."""
@@ -83,6 +87,11 @@ class RunRecord:
 
     run_id: str
     schema: int = SCHEMA_VERSION
+    #: What produced this record: ``"run_all"`` (the batch runner) or
+    #: ``"loadgen"`` (a service load-generation run). Different kinds
+    #: never share a comparability key, so artefact walls and route p99s
+    #: are baselined in separate populations.
+    kind: str = "run_all"
     created_unix: float = 0.0
     seed: int = 0
     scale: float = 0.0
@@ -103,8 +112,13 @@ class RunRecord:
 
     def group_key(self) -> str:
         """Comparability key: only runs of the same workload are baselined
-        against each other."""
-        return f"seed{self.seed}-scale{self.scale:g}-jobs{self.jobs}"
+        against each other. The historical ``run_all`` key shape is kept
+        verbatim so pre-existing stores keep their baselines; other
+        kinds prefix the key so they form their own populations."""
+        key = f"seed{self.seed}-scale{self.scale:g}-jobs{self.jobs}"
+        if self.kind != "run_all":
+            return f"{self.kind}-{key}"
+        return key
 
     def cache_hit_rate(self) -> Optional[float]:
         hits = sum(a.cache_hits for a in self.artefacts.values())
@@ -127,12 +141,14 @@ class RunRecord:
                 cache_misses=stats.get("cache_misses", 0),
                 cache_hit_s=stats.get("cache_hit_s", 0.0),
                 fingerprint=stats.get("fingerprint", ""),
+                slo_s=stats.get("slo_s", 0.0),
             )
             for artefact_id, stats in data.get("artefacts", {}).items()
         }
         return cls(
             run_id=data["run_id"],
             schema=data.get("schema", SCHEMA_VERSION),
+            kind=data.get("kind", "run_all"),
             created_unix=data.get("created_unix", 0.0),
             seed=data.get("seed", 0),
             scale=data.get("scale", 0.0),

@@ -31,14 +31,16 @@ from repro.obs.history import HistoryStore, RunRecord
 #: Verdict kinds, in severity order (correctness before performance).
 KIND_NEW_FAILURE = "new-failure"
 KIND_FINGERPRINT = "fingerprint-change"
+KIND_SLO = "slo-violation"
 KIND_LATENCY = "latency-regression"
 KIND_HIT_RATE = "cache-hit-drop"
 
 _KIND_ORDER = {
     KIND_NEW_FAILURE: 0,
     KIND_FINGERPRINT: 1,
-    KIND_LATENCY: 2,
-    KIND_HIT_RATE: 3,
+    KIND_SLO: 2,
+    KIND_LATENCY: 3,
+    KIND_HIT_RATE: 4,
 }
 
 
@@ -141,7 +143,28 @@ def compare(
         key=candidate.group_key(),
         baseline_ids=[record.run_id for record in baselines],
     )
+    # SLO gating is absolute — a declared budget needs no baseline, so a
+    # service's very first recorded loadgen run is already gated.
+    for artefact_id, observed in sorted(candidate.artefacts.items()):
+        if (
+            observed.slo_s > 0
+            and observed.status == "ok"
+            and observed.wall_s > observed.slo_s
+        ):
+            report.verdicts.append(Verdict(
+                artefact_id=artefact_id,
+                kind=KIND_SLO,
+                baseline=_fmt_s(observed.slo_s),
+                observed=_fmt_s(observed.wall_s),
+                detail=(
+                    f"{observed.wall_s / observed.slo_s:.2f}x the declared "
+                    f"SLO budget"
+                ),
+            ))
     if not baselines:
+        report.verdicts.sort(
+            key=lambda v: (_KIND_ORDER.get(v.kind, 9), v.artefact_id)
+        )
         return report
     for artefact_id, observed in sorted(candidate.artefacts.items()):
         history = [
@@ -275,6 +298,10 @@ def detect(
             and record.status != "interrupted"
         ]
         if not baselines:
+            if any(s.slo_s > 0 for s in candidate.artefacts.values()):
+                # SLO budgets gate absolutely: a first-ever loadgen run
+                # is still judged against its declared budgets.
+                return compare(candidate, [], config)
             raise ValueError(
                 f"run {candidate.run_id} has no earlier baseline runs for "
                 f"key {key} — record at least two comparable runs first"

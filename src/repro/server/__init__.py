@@ -1,0 +1,28 @@
+"""The always-on measurement service (``repro serve`` / ``repro loadgen``).
+
+Turns the batch query/artefact/history machinery into a long-lived,
+zero-dependency HTTP daemon — datasets, indexes and the artifact cache
+load once at startup, then concurrent clients slice the corpus over
+``GET /query``, fetch experiment results over ``GET /artefact/<id>``
+and read the run history over ``GET /history`` / ``GET /regress``.
+:mod:`repro.server.loadgen` stress-tests it; :mod:`repro.server.slo`
+turns the measured latencies into CI-gated SLO verdicts. See
+``docs/SERVICE.md`` for the endpoint reference and ops runbook.
+"""
+
+from repro.server.app import MeasurementServer, create_server
+from repro.server.loadgen import LoadGenerator, LoadgenReport, run_loadgen
+from repro.server.slo import ROUTE_SLOS_P99_S, check, record_from_loadgen
+from repro.server.state import ServerState
+
+__all__ = [
+    "MeasurementServer",
+    "create_server",
+    "LoadGenerator",
+    "LoadgenReport",
+    "run_loadgen",
+    "ROUTE_SLOS_P99_S",
+    "check",
+    "record_from_loadgen",
+    "ServerState",
+]

@@ -1,0 +1,342 @@
+"""The measurement service: a zero-dependency threaded HTTP daemon.
+
+``MeasurementServer`` wraps :class:`http.server.ThreadingHTTPServer`
+around one shared :class:`~repro.server.state.ServerState`. Handler
+threads only *read* warm state (datasets, pre-built indexes, the
+artefact memo), so the ThreadingHTTPServer's thread-per-connection
+model needs no request-path locking beyond the artefact-compute lock
+the state owns.
+
+Operational contract:
+
+* **Warmup.** ``start()``/``serve_forever()`` answer immediately;
+  every data route returns 503 with the current warm phase until
+  :meth:`ServerState.warm` finishes. ``/healthz`` is the only route
+  that is meaningful before readiness.
+* **Graceful shutdown.** ``daemon_threads`` is off and
+  ``block_on_close`` on, so ``server_close()`` joins every in-flight
+  handler thread: SIGTERM/SIGINT stop accepting, drain, then exit
+  (130 for SIGINT, 0 for SIGTERM — matching the runner's convention).
+* **Observability.** Every request runs under an ``obs.span``
+  (``server.request`` with route/path/status attrs) and feeds the
+  ``server.requests`` counters plus per-route ``server.latency_s.*``
+  histograms; with the Null recorder (default) all of it is free.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import threading
+import time
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro import obs
+from repro.server.state import RequestError, ServerState
+
+#: Routes the server understands (used for metric names and the index).
+ROUTES = ("index", "healthz", "query", "artefact", "history", "regress")
+
+
+def _route_of(path: str) -> str:
+    """Collapse a URL path onto its route label (for metrics/spans)."""
+    if path in ("", "/"):
+        return "index"
+    head = path.strip("/").split("/", 1)[0]
+    return head if head in ROUTES else "unknown"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request. All state lives on ``self.server.state``."""
+
+    protocol_version = "HTTP/1.1"  # keep-alive: loadgen reuses connections
+    server_version = "repro-serve"
+
+    # -- plumbing -------------------------------------------------------------
+
+    @property
+    def state(self) -> ServerState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.quiet:  # type: ignore[attr-defined]
+            return
+        super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> int:
+        self._send_json(status, {"error": message, "status": status})
+        return status
+
+    # -- dispatch -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parsed = urllib.parse.urlsplit(self.path)
+        route = _route_of(parsed.path)
+        started = time.perf_counter()
+        with obs.span("server.request", route=route, path=parsed.path) as span:
+            try:
+                status = self._dispatch(route, parsed)
+            except RequestError as error:
+                status = self._error(error.status, error.message)
+            except BrokenPipeError:
+                status = 499  # client went away mid-response
+            except Exception as error:  # noqa: BLE001 — the daemon must survive
+                status = self._error(
+                    500, f"{type(error).__name__}: {error}"
+                )
+            span.set(status=status)
+        elapsed = time.perf_counter() - started
+        obs.counter("server.requests").inc()
+        obs.counter(f"server.requests.{route}").inc()
+        obs.counter(f"server.status.{status // 100}xx").inc()
+        obs.histogram(f"server.latency_s.{route}").observe(elapsed)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._error(405, "only GET is supported")
+
+    do_PUT = do_DELETE = do_PATCH = do_POST
+
+    def _dispatch(self, route: str, parsed: urllib.parse.SplitResult) -> int:
+        params = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(parsed.query).items()
+        }
+        if route == "healthz":
+            payload = self.state.healthz()
+            status = 200 if payload["status"] == "ok" else 503
+            self._send_json(status, payload)
+            return status
+        if route == "index":
+            self._send_json(200, {"service": "repro-serve",
+                                  "endpoints": self.state.endpoints()})
+            return 200
+        if route == "unknown":
+            return self._error(
+                404,
+                f"unknown path {parsed.path!r}; GET / lists the endpoints",
+            )
+        if not self.state.ready.is_set():
+            payload = self.state.healthz()
+            self._send_json(503, payload)
+            return 503
+        if route == "query":
+            return self._do_query(params)
+        if route == "artefact":
+            return self._do_artefact(parsed.path, params)
+        if route == "history":
+            self._send_json(200, self.state.history(
+                limit=_int_param(params, "limit", 50)))
+            return 200
+        if route == "regress":
+            self._send_json(200, self.state.regress(
+                run_id=params.get("run") or None,
+                against=params.get("against") or None,
+                window=_int_param(params, "window", 10),
+            ))
+            return 200
+        return self._error(404, f"unroutable path {parsed.path!r}")
+
+    # -- routes ---------------------------------------------------------------
+
+    def _do_query(self, params: Dict[str, str]) -> int:
+        kind = params.pop("kind", "")
+        if not kind:
+            raise RequestError(400, "query requires a kind= parameter")
+        group_by = _list_param(params.pop("group_by", ""))
+        count_by = _list_param(params.pop("count_by", ""))
+        records = _int_param(params, "records", 0)
+        params.pop("records", None)
+        delay_s = params.pop("delay_s", "")
+        if delay_s and self.state.debug_delay:
+            # Debug-only: lets the shutdown tests hold a request in
+            # flight. Ignored unless the server opted in.
+            time.sleep(min(float(delay_s), 10.0))
+        payload = self.state.query(
+            kind, where=params, group_by=group_by, count_by=count_by,
+            records=records,
+        )
+        self._send_json(200, payload)
+        return 200
+
+    def _do_artefact(self, path: str, params: Dict[str, str]) -> int:
+        parts = [part for part in path.strip("/").split("/") if part]
+        if len(parts) != 2:
+            raise RequestError(
+                400, "artefact path must be /artefact/<id>, e.g. /artefact/T2"
+            )
+        scale: Optional[float] = None
+        if "scale" in params:
+            try:
+                scale = float(params["scale"])
+            except ValueError:
+                raise RequestError(400, f"bad scale {params['scale']!r}")
+        render = params.get("render", "") in ("1", "true", "yes")
+        payload = self.state.artefact(parts[1], scale=scale, render=render)
+        self._send_json(200, payload)
+        return 200
+
+
+def _int_param(params: Dict[str, str], name: str, default: int) -> int:
+    raw = params.get(name, "")
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise RequestError(400, f"{name} must be an integer, got {raw!r}")
+
+
+def _list_param(raw: str) -> Tuple[str, ...]:
+    return tuple(part for part in raw.split(",") if part)
+
+
+class MeasurementServer(ThreadingHTTPServer):
+    """The daemon: ThreadingHTTPServer + shared warm state + lifecycle."""
+
+    #: Join in-flight handler threads on close — this is the graceful
+    #: drain: stop accepting, finish what's running, then return.
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+    #: socketserver's default listen backlog is 5; hundreds of clients
+    #: connecting at once overflow it and their SYNs retransmit after
+    #: ~1s — a phantom latency spike that isn't the service at all.
+    request_queue_size = 512
+
+    def __init__(
+        self,
+        state: ServerState,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.state = state
+        self.quiet = quiet
+        self._warm_thread: Optional[threading.Thread] = None
+        self._serve_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+
+    # -- addresses ------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        if host in ("0.0.0.0", "::"):
+            host = socket.gethostname()
+        return f"http://{host}:{self.port}"
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def warm_in_background(self) -> threading.Thread:
+        """Kick off dataset warmup without blocking the accept loop."""
+        if self._warm_thread is None:
+            self._warm_thread = threading.Thread(
+                target=self._warm_guarded, name="repro-serve-warm", daemon=True
+            )
+            self._warm_thread.start()
+        return self._warm_thread
+
+    def _warm_guarded(self) -> None:
+        try:
+            self.state.warm()
+        except Exception:
+            # warm() already captured the traceback onto the state; the
+            # server stays up so /healthz can report the failure.
+            pass
+
+    def start(self) -> "MeasurementServer":
+        """In-process mode (tests, benches): accept loop in a thread."""
+        self.warm_in_background()
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-accept", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, drain in-flight requests, release the socket."""
+        if self._stopping.is_set():
+            self._stopped.wait(timeout=30.0)
+            return
+        self._stopping.set()
+        self.shutdown()
+        self.server_close()  # block_on_close joins handler threads
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=30.0)
+        self._stopped.set()
+
+    def run_foreground(self, warm_first: bool = False) -> int:
+        """CLI mode: install signal handlers and serve until stopped.
+
+        Returns the process exit code: 0 after SIGTERM (orderly
+        platform stop), 130 after SIGINT (operator ^C) — the same
+        convention the batch runner uses.
+        """
+        exit_code = {"value": 0}
+
+        def _stop_from_signal(signum: int, _frame: Any) -> None:
+            exit_code["value"] = 130 if signum == signal.SIGINT else 0
+            # shutdown() must not run on the serve_forever thread (it
+            # joins the accept loop) — and a signal handler runs on the
+            # main thread, which *is* that thread here. Hand off.
+            threading.Thread(target=self.stop, daemon=True).start()
+
+        previous = {
+            sig: signal.signal(sig, _stop_from_signal)
+            for sig in (signal.SIGINT, signal.SIGTERM)
+        }
+        try:
+            if warm_first:
+                self.state.warm()
+            else:
+                self.warm_in_background()
+            self.serve_forever()
+            # Either a signal handed stop() to a helper thread (wait for
+            # the drain to finish) or something broke the accept loop
+            # (close up ourselves).
+            self.stop()
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+        return exit_code["value"]
+
+
+def create_server(
+    seed: int = 2024,
+    scale: float = 0.15,
+    datasets: Tuple[str, ...] = ("device", "web"),
+    history_dir: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+    debug_delay: bool = False,
+    warm_artefacts: Optional[Tuple[str, ...]] = None,
+) -> MeasurementServer:
+    """One-call constructor used by the CLI, tests and benches."""
+    from repro.server.state import WARM_ARTEFACTS
+
+    state = ServerState(
+        seed=seed, scale=scale, datasets=datasets, history_dir=history_dir,
+        debug_delay=debug_delay,
+        warm_artefacts=(
+            WARM_ARTEFACTS if warm_artefacts is None else warm_artefacts
+        ),
+    )
+    return MeasurementServer(state, host=host, port=port, quiet=quiet)

@@ -1,0 +1,379 @@
+"""Thread-based load generation against the measurement service.
+
+``LoadGenerator`` drives N concurrent clients — each a thread owning
+one keep-alive :class:`http.client.HTTPConnection` and a private
+``random.Random`` seeded from ``(seed, client index)`` — over a mixed
+workload whose *composition* is deterministic: given the same seed,
+client count and duration, every client walks the same request
+sequence. Latencies are wall-clock and vary run to run; the workload
+does not.
+
+The mix mirrors how the corpus is consumed interactively (heavy
+slicing, some artefact lookups, occasional ops endpoints):
+
+========  ======  ==============================================
+route     weight  request shape
+========  ======  ==============================================
+query     65%     count/count_by/group_by over random dimensions
+artefact  15%     warm artefact lookups from a small id pool
+history   10%     history listing
+healthz   10%     liveness probe
+========  ======  ==============================================
+
+The report carries exact (not interpolated) per-route p50/p95/p99 —
+computed from the full sorted latency list, no reservoir — plus
+throughput and error counts, and converts to a history
+:class:`~repro.obs.history.RunRecord` via
+:func:`repro.server.slo.record_from_loadgen` so `repro regress` gates
+service latency like artefact latency.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.server.state import WARM_ARTEFACTS
+
+#: Artefacts the load mix requests: exactly the set the server warms at
+#: startup, so steady-state artefact traffic is memo hits.
+ARTEFACT_POOL: Tuple[str, ...] = WARM_ARTEFACTS
+
+#: (route, weight) pairs the per-client RNG samples from.
+MIX: Tuple[Tuple[str, int], ...] = (
+    ("query", 65),
+    ("artefact", 15),
+    ("history", 10),
+    ("healthz", 10),
+)
+
+#: Dimensions the query traffic slices by (all kinds share these).
+QUERY_DIMENSIONS: Tuple[str, ...] = (
+    "country", "sim_kind", "architecture", "b_mno", "pgw_country", "rat",
+)
+
+QUERY_KINDS: Tuple[str, ...] = ("traceroute", "speedtest", "cdn", "dns", "web")
+
+
+@dataclass
+class RouteStats:
+    """Latency accounting for one route across all clients."""
+
+    count: int = 0
+    errors: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile over the observed latencies (0 when empty)."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        lat = self.latencies_s
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "p50_s": round(self.percentile(0.50), 6),
+            "p95_s": round(self.percentile(0.95), 6),
+            "p99_s": round(self.percentile(0.99), 6),
+            "mean_s": round(sum(lat) / len(lat), 6) if lat else 0.0,
+            "max_s": round(max(lat), 6) if lat else 0.0,
+        }
+
+
+@dataclass
+class LoadgenReport:
+    """One load run: configuration, per-route stats, throughput."""
+
+    url: str
+    clients: int
+    duration_s: float
+    seed: int
+    wall_s: float = 0.0
+    total_requests: int = 0
+    total_errors: int = 0
+    chaos_latency_s: float = 0.0
+    routes: Dict[str, RouteStats] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.total_requests / self.wall_s
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "url": self.url,
+            "clients": self.clients,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "wall_s": round(self.wall_s, 3),
+            "total_requests": self.total_requests,
+            "total_errors": self.total_errors,
+            "throughput_rps": round(self.throughput_rps, 1),
+            "chaos_latency_s": self.chaos_latency_s,
+            "routes": {
+                route: stats.to_jsonable()
+                for route, stats in sorted(self.routes.items())
+            },
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"loadgen vs {self.url}: {self.clients} clients x "
+            f"{self.duration_s:g}s (seed {self.seed})",
+            f"{self.total_requests} requests, {self.total_errors} errors, "
+            f"{self.throughput_rps:.0f} req/s",
+            f"{'route':10} {'count':>7} {'errors':>7} {'p50':>9} "
+            f"{'p95':>9} {'p99':>9} {'max':>9}",
+        ]
+        for route, stats in sorted(self.routes.items()):
+            view = stats.to_jsonable()
+            lines.append(
+                f"{route:10} {view['count']:>7} {view['errors']:>7} "
+                f"{view['p50_s'] * 1000:>7.1f}ms {view['p95_s'] * 1000:>7.1f}ms "
+                f"{view['p99_s'] * 1000:>7.1f}ms {view['max_s'] * 1000:>7.1f}ms"
+            )
+        if self.chaos_latency_s:
+            lines.append(
+                f"chaos: +{self.chaos_latency_s * 1000:.0f}ms injected into "
+                f"every recorded latency"
+            )
+        return "\n".join(lines)
+
+
+class _Client(threading.Thread):
+    """One synthetic client: keep-alive connection, seeded walk."""
+
+    def __init__(self, generator: "LoadGenerator", index: int) -> None:
+        super().__init__(name=f"loadgen-client-{index}", daemon=True)
+        self.generator = generator
+        self.rng = random.Random(f"{generator.seed}:client{index}")
+        self.stats: Dict[str, RouteStats] = {}
+        self.requests = 0
+        self.errors = 0
+
+    def run(self) -> None:
+        gen = self.generator
+        connection = http.client.HTTPConnection(
+            gen.host, gen.port, timeout=gen.timeout_s
+        )
+        # Ramp: spread initial connects over one think interval so N
+        # simultaneous SYNs don't race the server's accept loop.
+        if gen.stop_event.wait(self.rng.random() * gen.think_s):
+            return
+        try:
+            while not gen.stop_event.is_set():
+                route, path = self._pick()
+                started = time.perf_counter()
+                ok = self._fetch(connection, path)
+                elapsed = time.perf_counter() - started + gen.chaos_latency_s
+                stats = self.stats.setdefault(route, RouteStats())
+                stats.count += 1
+                stats.latencies_s.append(elapsed)
+                self.requests += 1
+                if not ok:
+                    stats.errors += 1
+                    self.errors += 1
+                # Think time: interactive clients pause between queries;
+                # without it N threads degenerate into a busy-loop that
+                # measures the GIL, not the service.
+                pause = gen.think_s * (0.5 + self.rng.random())
+                if pause and gen.stop_event.wait(pause):
+                    break
+        finally:
+            connection.close()
+
+    def _fetch(
+        self, connection: http.client.HTTPConnection, path: str
+    ) -> bool:
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            body = response.read()
+            return response.status == 200 and bool(body)
+        except (http.client.HTTPException, OSError):
+            # Reconnect once: the server may have closed an idle
+            # keep-alive socket between requests.
+            try:
+                connection.close()
+                connection.connect()
+                connection.request("GET", path)
+                response = connection.getresponse()
+                body = response.read()
+                return response.status == 200 and bool(body)
+            except (http.client.HTTPException, OSError):
+                connection.close()
+                return False
+
+    def _pick(self) -> Tuple[str, str]:
+        roll = self.rng.randrange(sum(weight for _, weight in MIX))
+        for route, weight in MIX:
+            if roll < weight:
+                break
+            roll -= weight
+        if route == "query":
+            return "query", self._query_path()
+        if route == "artefact":
+            artefact = self.rng.choice(ARTEFACT_POOL)
+            return "artefact", f"/artefact/{artefact}"
+        if route == "history":
+            return "history", "/history?limit=20"
+        return "healthz", "/healthz"
+
+    def _query_path(self) -> str:
+        kind = self.rng.choice(self.generator.kinds)
+        dimension = self.rng.choice(QUERY_DIMENSIONS)
+        shape = self.rng.randrange(3)
+        if shape == 0:
+            return f"/query?kind={kind}&count_by={dimension}"
+        if shape == 1:
+            other = self.rng.choice(QUERY_DIMENSIONS)
+            return f"/query?kind={kind}&group_by={other}"
+        country = self.rng.choice(self.generator.countries or ("US",))
+        return f"/query?kind={kind}&country={country}"
+
+
+class LoadGenerator:
+    """Drive ``clients`` concurrent synthetic clients for ``duration_s``."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        clients: int = 50,
+        duration_s: float = 10.0,
+        seed: int = 2024,
+        think_s: float = 0.2,
+        timeout_s: float = 30.0,
+        chaos_latency_s: float = 0.0,
+    ) -> None:
+        if clients < 1:
+            raise ValueError("clients must be >= 1")
+        if duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        self.host = host
+        self.port = port
+        self.clients = clients
+        self.duration_s = duration_s
+        self.seed = seed
+        self.think_s = think_s
+        self.timeout_s = timeout_s
+        #: Injected into every recorded latency *after* the fetch — the
+        #: seeded-regression lever for testing the SLO gate end to end
+        #: without actually slowing the server down.
+        self.chaos_latency_s = chaos_latency_s
+        self.stop_event = threading.Event()
+        self.countries: Tuple[str, ...] = ()
+        self.kinds: Tuple[str, ...] = QUERY_KINDS
+
+    # -- bootstrap ------------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        """Learn the server's shape: loaded datasets, country pool."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            health = json.loads(response.read().decode("utf-8"))
+            loaded = set(health.get("datasets", {}))
+            if loaded:
+                self.kinds = tuple(
+                    kind for kind in QUERY_KINDS
+                    if ("web" if kind == "web" else "device") in loaded
+                ) or QUERY_KINDS
+            probe_kind = self.kinds[0]
+            connection.request(
+                "GET", f"/query?kind={probe_kind}&count_by=country"
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+            if response.status == 200:
+                self.countries = tuple(sorted(payload.get("counts", {})))
+        except (http.client.HTTPException, OSError, ValueError):
+            self.countries = ()
+        finally:
+            connection.close()
+
+    def wait_ready(self, timeout_s: float = 120.0) -> bool:
+        """Poll ``/healthz`` until the server reports ready."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=5.0
+            )
+            try:
+                connection.request("GET", "/healthz")
+                if connection.getresponse().status == 200:
+                    return True
+            except (http.client.HTTPException, OSError):
+                pass
+            finally:
+                connection.close()
+            time.sleep(0.25)
+        return False
+
+    # -- run ------------------------------------------------------------------
+
+    def run(self) -> LoadgenReport:
+        self._bootstrap()
+        workers = [_Client(self, index) for index in range(self.clients)]
+        started = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        self.stop_event.wait(self.duration_s)
+        self.stop_event.set()
+        for worker in workers:
+            worker.join(timeout=self.timeout_s + 5.0)
+        wall = time.perf_counter() - started
+
+        report = LoadgenReport(
+            url=f"http://{self.host}:{self.port}",
+            clients=self.clients,
+            duration_s=self.duration_s,
+            seed=self.seed,
+            wall_s=wall,
+            chaos_latency_s=self.chaos_latency_s,
+        )
+        for worker in workers:
+            report.total_requests += worker.requests
+            report.total_errors += worker.errors
+            for route, stats in worker.stats.items():
+                merged = report.routes.setdefault(route, RouteStats())
+                merged.count += stats.count
+                merged.errors += stats.errors
+                merged.latencies_s.extend(stats.latencies_s)
+        return report
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    clients: int = 50,
+    duration_s: float = 10.0,
+    seed: int = 2024,
+    think_s: float = 0.2,
+    chaos_latency_s: float = 0.0,
+    wait_ready_s: Optional[float] = 120.0,
+) -> LoadgenReport:
+    """Convenience wrapper: wait for readiness, then run one load pass."""
+    generator = LoadGenerator(
+        host, port, clients=clients, duration_s=duration_s, seed=seed,
+        think_s=think_s, chaos_latency_s=chaos_latency_s,
+    )
+    if wait_ready_s and not generator.wait_ready(wait_ready_s):
+        raise RuntimeError(
+            f"server at {host}:{port} never became ready "
+            f"(waited {wait_ready_s:g}s)"
+        )
+    return generator.run()

@@ -35,9 +35,35 @@ def test_key_api_items_present(gen_module):
 def test_generated_file_up_to_date(gen_module, tmp_path, monkeypatch):
     target = tmp_path / "API.md"
     monkeypatch.setattr(gen_module, "OUTPUT", target)
-    assert gen_module.main() == 0
+    assert gen_module.main([]) == 0
     fresh = target.read_text()
     committed = (TOOL.parent.parent / "docs" / "API.md").read_text()
     assert fresh == committed, (
         "docs/API.md is stale — run `python tools/gen_api_docs.py`"
     )
+
+
+def test_check_mode_passes_on_fresh_file(gen_module, tmp_path, monkeypatch):
+    target = tmp_path / "API.md"
+    monkeypatch.setattr(gen_module, "OUTPUT", target)
+    assert gen_module.main([]) == 0
+    assert gen_module.main(["--check"]) == 0
+
+
+def test_check_mode_fails_on_stale_file(gen_module, tmp_path, monkeypatch,
+                                        capsys):
+    target = tmp_path / "API.md"
+    monkeypatch.setattr(gen_module, "OUTPUT", target)
+    assert gen_module.main(["--check"]) == 1  # missing counts as stale
+    target.write_text("# API reference\n\nstale contents\n")
+    assert gen_module.main(["--check"]) == 1
+    assert "stale" in capsys.readouterr().err
+    # --check never rewrites the file.
+    assert target.read_text() == "# API reference\n\nstale contents\n"
+
+
+def test_server_package_is_documented(gen_module):
+    assert "repro.server" in gen_module.PACKAGES
+    text = gen_module.render_module("repro.server")
+    for name in ("MeasurementServer", "LoadGenerator", "run_loadgen"):
+        assert name in text

@@ -214,3 +214,33 @@ def test_append_is_a_single_write(tmp_path, monkeypatch):
     payloads = [data for data in calls if b"solo" in data]
     assert len(payloads) == 1
     assert payloads[0].endswith(b"\n")
+
+
+def test_kind_and_slo_round_trip(tmp_path):
+    store = HistoryStore(tmp_path)
+    record = make_record("lg-1")
+    record.kind = "loadgen"
+    record.artefacts["T2"].slo_s = 1.5
+    store.append(record)
+    (loaded,) = store.load()
+    assert loaded.kind == "loadgen"
+    assert loaded.artefacts["T2"].slo_s == 1.5
+    assert loaded.group_key() == "loadgen-seed2024-scale0.05-jobs1"
+
+
+def test_run_all_group_key_shape_is_unchanged():
+    """Pre-existing stores must keep their baselines: the run_all key
+    has no kind prefix."""
+    assert make_record().group_key() == "seed2024-scale0.05-jobs1"
+
+
+def test_records_without_kind_default_to_run_all(tmp_path):
+    store = HistoryStore(tmp_path)
+    data = make_record("legacy").to_jsonable()
+    del data["kind"]
+    del data["artefacts"]["T2"]["slo_s"]
+    store.root.mkdir(parents=True, exist_ok=True)
+    store.path.write_text(json.dumps(data) + "\n")
+    (loaded,) = store.load()
+    assert loaded.kind == "run_all"
+    assert loaded.artefacts["T2"].slo_s == 0.0

@@ -8,6 +8,7 @@ from repro.obs.regress import (
     KIND_HIT_RATE,
     KIND_LATENCY,
     KIND_NEW_FAILURE,
+    KIND_SLO,
     RegressionConfig,
     compare,
     detect,
@@ -248,3 +249,51 @@ def test_legacy_records_without_status_default_from_ok(tmp_path):
     store.path.write_text(json.dumps(data) + "\n")
     (loaded,) = store.load()
     assert loaded.status == "failed"
+
+
+def test_slo_violation_fires_without_baselines():
+    candidate = run_record("cand", wall=2.0)
+    candidate.artefacts["T2"].slo_s = 1.0
+    report = compare(candidate, [])
+    (verdict,) = report.verdicts
+    assert verdict.kind == KIND_SLO
+    assert "SLO budget" in verdict.detail
+
+
+def test_slo_within_budget_is_quiet():
+    candidate = run_record("cand", wall=0.5)
+    candidate.artefacts["T2"].slo_s = 1.0
+    assert compare(candidate, []).ok()
+
+
+def test_slo_skips_failed_artefacts():
+    candidate = run_record("cand", wall=9.0, status="error")
+    candidate.artefacts["T2"].slo_s = 1.0
+    report = compare(candidate, [])
+    assert KIND_SLO not in {verdict.kind for verdict in report.verdicts}
+
+
+def test_slo_and_latency_verdicts_compose():
+    baseline = [run_record(f"r{i}", wall=0.2) for i in range(3)]
+    candidate = run_record("cand", wall=2.0)
+    candidate.artefacts["T2"].slo_s = 1.0
+    report = compare(candidate, baseline)
+    kinds = [verdict.kind for verdict in report.verdicts]
+    assert kinds == [KIND_SLO, KIND_LATENCY]  # severity order
+
+
+def test_detect_accepts_zero_baselines_for_slo_runs(tmp_path):
+    store = HistoryStore(tmp_path)
+    only = run_record("only", wall=3.0)
+    only.artefacts["T2"].slo_s = 1.0
+    store.append(only)
+    report = detect(store)
+    assert report.baseline_ids == []
+    assert report.verdicts[0].kind == KIND_SLO
+
+
+def test_detect_still_errors_with_zero_baselines_and_no_slo(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append(run_record("only"))
+    with pytest.raises(ValueError):
+        detect(store)

@@ -1,0 +1,177 @@
+"""The load harness and the SLO gate it feeds."""
+
+import json
+
+import pytest
+
+from repro.obs.history import HistoryStore
+from repro.obs.regress import KIND_LATENCY, KIND_SLO, compare, detect
+from repro.server import create_server
+from repro.server.loadgen import (
+    LoadGenerator,
+    LoadgenReport,
+    RouteStats,
+    _Client,
+    run_loadgen,
+)
+from repro.server.slo import (
+    MAX_ERROR_RATE,
+    ROUTE_SLOS_P99_S,
+    check,
+    record_from_loadgen,
+)
+
+
+def make_report(p99_s=0.01, route="query", count=100, errors=0):
+    """A synthetic single-route report whose p99 is exactly ``p99_s``."""
+    stats = RouteStats(
+        count=count, errors=errors,
+        latencies_s=[p99_s * 0.1] * (count - 1) + [p99_s],
+    )
+    return LoadgenReport(
+        url="http://test:0", clients=10, duration_s=1.0, seed=1,
+        wall_s=1.0, total_requests=count, total_errors=errors,
+        routes={route: stats},
+    )
+
+
+def test_percentiles_are_exact_order_statistics():
+    stats = RouteStats(latencies_s=[float(i) for i in range(1, 101)])
+    assert stats.percentile(0.50) == 51.0
+    assert stats.percentile(0.95) == 96.0
+    assert stats.percentile(0.99) == 100.0
+    assert RouteStats().percentile(0.99) == 0.0
+
+
+def test_workload_walk_is_deterministic_per_seed():
+    def walk(seed):
+        generator = LoadGenerator("h", 1, clients=1, seed=seed)
+        generator.countries = ("USA", "ESP", "JPN")
+        client = _Client(generator, 0)
+        return [client._pick() for _ in range(50)]
+
+    assert walk(7) == walk(7)
+    assert walk(7) != walk(8)
+    routes = {route for route, _ in walk(7)}
+    assert "query" in routes and "healthz" in routes
+
+
+def test_slo_check_flags_only_over_budget_routes():
+    assert check(make_report(p99_s=0.001)) == {}
+    violations = check(make_report(p99_s=ROUTE_SLOS_P99_S["query"] * 2))
+    assert list(violations) == ["query"]
+    assert "SLO" in violations["query"]
+    # Routes with no declared budget are never flagged.
+    assert check(make_report(p99_s=99.0, route="exotic")) == {}
+
+
+def test_record_from_loadgen_shape():
+    report = make_report(p99_s=0.02)
+    record = record_from_loadgen(report, now=123.0, host="ci")
+    assert record.kind == "loadgen"
+    assert record.group_key().startswith("loadgen-")
+    assert record.jobs == report.clients
+    assert record.status == "ok"
+    stats = record.artefacts["query"]
+    assert stats.wall_s == pytest.approx(0.02)
+    assert stats.slo_s == ROUTE_SLOS_P99_S["query"]
+    assert record.metrics["loadgen.requests"] == 100.0
+
+
+def test_record_from_loadgen_fails_on_error_rate():
+    errors = int(100 * MAX_ERROR_RATE) + 5
+    report = make_report(count=100, errors=errors)
+    record = record_from_loadgen(report)
+    assert record.status == "failed"
+    assert not record.ok
+
+
+def test_slo_violation_verdict_needs_no_baseline():
+    record = record_from_loadgen(
+        make_report(p99_s=ROUTE_SLOS_P99_S["query"] * 3)
+    )
+    report = compare(record, [])
+    (verdict,) = report.verdicts
+    assert verdict.kind == KIND_SLO
+    assert verdict.artefact_id == "query"
+    assert "SLO budget" in verdict.detail
+
+
+def test_detect_gates_first_ever_loadgen_run(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append(record_from_loadgen(
+        make_report(p99_s=ROUTE_SLOS_P99_S["query"] * 3)
+    ))
+    report = detect(store)
+    assert not report.ok()
+    assert report.verdicts[0].kind == KIND_SLO
+
+
+def test_detect_flags_seeded_latency_regression(tmp_path):
+    store = HistoryStore(tmp_path)
+    for offset in range(3):
+        store.append(record_from_loadgen(
+            make_report(p99_s=0.02), now=100.0 + offset
+        ))
+    chaos = record_from_loadgen(make_report(p99_s=0.5), now=200.0)
+    store.append(chaos)
+    report = detect(store, run_id=chaos.run_id)
+    kinds = {verdict.kind for verdict in report.verdicts}
+    assert KIND_LATENCY in kinds
+
+
+def test_loadgen_input_validation():
+    with pytest.raises(ValueError):
+        LoadGenerator("h", 1, clients=0)
+    with pytest.raises(ValueError):
+        LoadGenerator("h", 1, duration_s=0)
+
+
+def test_loadgen_against_live_server(tmp_path):
+    srv = create_server(
+        scale=0.02, datasets=("device",), warm_artefacts=("T2",),
+    ).start()
+    try:
+        report = run_loadgen(
+            "127.0.0.1", srv.port, clients=8, duration_s=1.5, seed=3,
+            think_s=0.05,
+        )
+        assert report.total_requests > 0
+        assert report.total_errors == 0
+        assert report.throughput_rps > 0
+        assert set(report.routes) <= {"query", "artefact", "history",
+                                      "healthz"}
+        for stats in report.routes.values():
+            assert stats.count == len(stats.latencies_s)
+        # The JSON report round-trips.
+        payload = json.loads(json.dumps(report.to_jsonable()))
+        assert payload["total_requests"] == report.total_requests
+        assert "p99_s" in payload["routes"]["query"]
+        # The rendered summary is human-shaped.
+        text = report.render()
+        assert "clients" in text and "req/s" in text
+    finally:
+        srv.stop()
+
+
+def test_chaos_latency_is_injected_into_recordings(tmp_path):
+    srv = create_server(
+        scale=0.02, datasets=("device",), warm_artefacts=(),
+    ).start()
+    try:
+        report = run_loadgen(
+            "127.0.0.1", srv.port, clients=2, duration_s=1.0, seed=3,
+            think_s=0.05, chaos_latency_s=2.0,
+        )
+        latencies = [
+            latency for stats in report.routes.values()
+            for latency in stats.latencies_s
+        ]
+        assert latencies
+        assert min(latencies) >= 2.0
+        assert report.chaos_latency_s == 2.0
+        # The chaos run violates every declared budget it touched.
+        violations = check(report)
+        assert violations
+    finally:
+        srv.stop()

@@ -1,0 +1,281 @@
+"""The measurement service: routing, warmup, concurrency, shutdown."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.history import ArtefactStats, HistoryStore, RunRecord
+from repro.server import MeasurementServer, ServerState, create_server
+from repro.server.state import RequestError
+
+
+def _get(url, timeout=30.0):
+    """GET -> (status, parsed-json body), following the JSON error shape."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    """One warm in-process server shared by the read-only tests."""
+    history = tmp_path_factory.mktemp("server-history")
+    HistoryStore(history).append(RunRecord(
+        run_id="seeded-run", created_unix=1.0, seed=2024, scale=0.05,
+        jobs=1, total_wall_s=1.5,
+        artefacts={"T2": ArtefactStats(wall_s=1.5)},
+    ))
+    srv = create_server(
+        scale=0.05, history_dir=str(history), warm_artefacts=("T2",),
+        debug_delay=True,
+    ).start()
+    assert srv.state.ready.wait(timeout=180), srv.state.warm_error
+    yield srv
+    srv.stop()
+
+
+def test_healthz_reports_ready_state(server):
+    status, payload = _get(f"{server.url}/healthz")
+    assert status == 200
+    assert payload["status"] == "ok"
+    assert payload["phase"] == "ready"
+    assert payload["datasets"]["device"] > 0
+    assert payload["datasets"]["web"] == 116
+    assert payload["warm_wall_s"] > 0
+
+
+def test_index_lists_endpoints(server):
+    status, payload = _get(f"{server.url}/")
+    assert status == 200
+    paths = {entry["path"] for entry in payload["endpoints"]}
+    assert {"/healthz", "/query", "/artefact/<id>", "/history",
+            "/regress"} <= paths
+
+
+def test_query_matches_direct_results(server):
+    status, payload = _get(
+        f"{server.url}/query?kind=traceroute&count_by=country"
+    )
+    assert status == 200
+    direct = server.state.query(
+        "traceroute", where={}, count_by=("country",)
+    )
+    assert payload["count"] == direct["count"] > 0
+    assert payload["counts"] == json.loads(json.dumps(direct["counts"]))
+
+
+def test_query_enum_dimension_coerced_from_string(server):
+    status, payload = _get(
+        f"{server.url}/query?kind=speedtest&sim_kind=esim"
+    )
+    assert status == 200
+    assert payload["count"] > 0
+    # An unmatched value is an empty slice, not an error.
+    status, payload = _get(
+        f"{server.url}/query?kind=speedtest&sim_kind=carrier-pigeon"
+    )
+    assert status == 200
+    assert payload["count"] == 0
+
+
+def test_concurrent_clients_get_byte_identical_responses(server):
+    urls = [
+        f"{server.url}/query?kind=traceroute&count_by=country",
+        f"{server.url}/query?kind=speedtest&group_by=sim_kind",
+        f"{server.url}/query?kind=web&count_by=country",
+        f"{server.url}/query?kind=dns&country=USA",
+    ]
+    reference = {}
+    for url in urls:
+        with urllib.request.urlopen(url, timeout=30.0) as response:
+            reference[url] = response.read()
+
+    results = {url: [] for url in urls}
+    errors = []
+
+    def hammer(url):
+        try:
+            for _ in range(5):
+                with urllib.request.urlopen(url, timeout=30.0) as response:
+                    results[url].append(response.read())
+        except Exception as error:  # noqa: BLE001 — collected for the assert
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=hammer, args=(url,))
+        for url in urls for _ in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not errors
+    for url in urls:
+        assert len(results[url]) == 20
+        assert all(body == reference[url] for body in results[url])
+
+
+def test_malformed_requests_get_400s(server):
+    cases = {
+        "/query": "requires a kind",
+        "/query?kind=bogus": "unknown record kind",
+        "/query?kind=traceroute&nope=1": "unknown dimension",
+        "/query?kind=traceroute&group_by=country&count_by=country":
+            "not both",
+        "/query?kind=traceroute&records=x": "must be an integer",
+        "/query?kind=traceroute&day=abc": "day must be an integer",
+        "/artefact": "must be /artefact/<id>",
+        "/artefact/T2?scale=abc": "bad scale",
+    }
+    for path, needle in cases.items():
+        status, payload = _get(f"{server.url}{path}")
+        assert status == 400, path
+        assert needle in payload["error"], path
+
+
+def test_unknown_paths_get_404(server):
+    status, payload = _get(f"{server.url}/nope")
+    assert status == 404
+    assert "endpoints" in payload["error"]
+    status, payload = _get(f"{server.url}/artefact/NOPE")
+    assert status == 404
+    assert "unknown artefact" in payload["error"]
+
+
+def test_post_is_405(server):
+    request = urllib.request.Request(
+        f"{server.url}/query", data=b"{}", method="POST"
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30.0)
+    assert excinfo.value.code == 405
+
+
+def test_artefact_served_from_memo_after_warm(server):
+    status, payload = _get(f"{server.url}/artefact/t2")
+    assert status == 200
+    assert payload["artefact"] == "T2"
+    assert payload["source"] == "memo"  # warmed at startup
+    assert payload["result"]
+    status, rendered = _get(f"{server.url}/artefact/T2?render=1")
+    assert status == 200
+    assert "b-MNO" in rendered["rendered"]
+
+
+def test_history_endpoint_lists_seeded_run(server):
+    status, payload = _get(f"{server.url}/history")
+    assert status == 200
+    assert payload["total"] == 1
+    (run,) = payload["runs"]
+    assert run["run_id"] == "seeded-run"
+    assert run["kind"] == "run_all"
+
+
+def test_regress_endpoint_maps_errors(server):
+    status, payload = _get(f"{server.url}/regress?run=nope")
+    assert status == 404
+    # One recorded run, no baselines, no SLOs: nothing to compare.
+    status, payload = _get(f"{server.url}/regress")
+    assert status == 409
+    assert "baseline" in payload["error"]
+
+
+def test_healthz_during_warmup_and_data_routes_503():
+    state = ServerState(scale=0.02, datasets=("device",), warm_artefacts=())
+    srv = MeasurementServer(state)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        status, payload = _get(f"{srv.url}/healthz")
+        assert status == 503
+        assert payload["status"] == "warming"
+        assert payload["phase"] == "pending"
+        status, payload = _get(f"{srv.url}/query?kind=traceroute")
+        assert status == 503
+        state.warm()
+        status, payload = _get(f"{srv.url}/healthz")
+        assert status == 200
+        status, payload = _get(f"{srv.url}/query?kind=traceroute")
+        assert status == 200
+        assert payload["count"] > 0
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=30.0)
+
+
+def test_stop_drains_in_flight_requests():
+    srv = create_server(
+        scale=0.02, datasets=("device",), warm_artefacts=(),
+        debug_delay=True,
+    ).start()
+    assert srv.state.ready.wait(timeout=120), srv.state.warm_error
+    outcome = {}
+
+    def slow_request():
+        outcome["status"], outcome["payload"] = _get(
+            f"{srv.url}/query?kind=traceroute&count_by=country&delay_s=1.0"
+        )
+
+    thread = threading.Thread(target=slow_request)
+    thread.start()
+    time.sleep(0.3)  # let the request reach the handler's sleep
+    started = time.perf_counter()
+    srv.stop()
+    stop_wall = time.perf_counter() - started
+    thread.join(timeout=30.0)
+    # stop() must have waited for the in-flight request, and the client
+    # must have received the full, valid response.
+    assert stop_wall >= 0.5
+    assert outcome["status"] == 200
+    assert outcome["payload"]["count"] > 0
+
+
+def test_sigterm_shuts_down_with_exit_zero(tmp_path):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    process = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
+         "--scale", "0.02", "--datasets", "device"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env, text=True,
+    )
+    try:
+        line = process.stdout.readline()
+        assert "listening on" in line
+        url = next(
+            token for token in line.split() if token.startswith("http://")
+        )
+        deadline = time.monotonic() + 180
+        while time.monotonic() < deadline:
+            status, _ = _get(f"{url}/healthz", timeout=5.0)
+            if status == 200:
+                break
+            time.sleep(0.25)
+        else:
+            pytest.fail("server never became ready")
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=60) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+
+def test_request_error_carries_status():
+    error = RequestError(400, "nope")
+    assert error.status == 400
+    assert error.message == "nope"

@@ -1,0 +1,83 @@
+"""Zero-dependency relative-link checker for the docs tree.
+
+Scans every markdown file under ``docs/`` plus ``README.md`` for
+markdown links, resolves each *relative* target against the linking
+file's directory, and fails when the target does not exist. External
+links (http/https/mailto) and pure in-page anchors are skipped —
+this guards the repo's internal cross-references, not the internet.
+
+    python tools/check_doc_links.py            # check docs/ and README.md
+    python tools/check_doc_links.py FILE...    # check specific files
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+#: Inline markdown links: [text](target). Deliberately simple — the
+#: docs tree doesn't use reference-style links or angle-bracket URLs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def default_files() -> List[pathlib.Path]:
+    files = sorted((REPO_ROOT / "docs").glob("*.md"))
+    readme = REPO_ROOT / "README.md"
+    if readme.exists():
+        files.append(readme)
+    return files
+
+
+def check_file(path: pathlib.Path) -> List[Tuple[int, str, str]]:
+    """(line, target, problem) for every broken relative link in one file."""
+    broken: List[Tuple[int, str, str]] = []
+    for line_number, line in enumerate(
+        path.read_text().splitlines(), start=1
+    ):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            # Strip an in-page anchor: FILE.md#section checks FILE.md.
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                broken.append((line_number, target, "target does not exist"))
+    return broken
+
+
+def main(argv: Iterable[str] = ()) -> int:
+    argv = list(argv)
+    files = [pathlib.Path(arg) for arg in argv] or default_files()
+    total_links = 0
+    failures = 0
+    for path in files:
+        if not path.exists():
+            print(f"{path}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        broken = check_file(path)
+        total_links += len(LINK_RE.findall(path.read_text()))
+        for line_number, target, problem in broken:
+            rel = path.resolve().relative_to(REPO_ROOT)
+            print(f"{rel}:{line_number}: broken link ({target}): {problem}",
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s) across {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"{len(files)} file(s), {total_links} link(s), all targets exist")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
