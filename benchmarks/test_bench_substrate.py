@@ -1,0 +1,209 @@
+"""Benchmark the columnar subscriber substrate at population scale.
+
+Pins the three acceptance bars of the shared-memory world substrate:
+
+* **build throughput** — a ``scale=50`` population (~1.5M subscribers,
+  fifty times the paper's world) builds in seconds, under a recorded
+  budget with generous CI headroom;
+* **zero-copy sharing** — four pool workers attach the published
+  snapshot and sweep every column; each worker's *private* RSS growth
+  (``/proc/self/smaps_rollup`` Private_Clean + Private_Dirty) stays
+  under 15% of the shared store's size, proving the columns are read
+  through the shared mapping rather than copied per process;
+* **golden byte-identity** — ``run_all`` with ``share_population=True``
+  still exports every artefact byte-identical to the committed golden
+  at the golden ``(seed, scale)``, serial and ``--jobs 2``.
+"""
+
+import concurrent.futures
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.core import cache as cache_mod
+from repro.core import columns as columns_mod
+from repro.core.runner import StudyRunner
+from repro.experiments import common
+from repro.experiments.export import jsonable
+from repro.worlds.population import attach_population, build_population
+
+from benchmarks._harness import report
+
+SEED = 2024
+BUILD_SCALE = 50.0
+# Measured ~4.5s at 0.7M rows/s on a dev box; 60s leaves >10x headroom
+# for small shared CI runners without letting a quadratic regression by.
+BUILD_BUDGET_S = 60.0
+WORKERS = 4
+RSS_SHARE_CEILING = 0.15
+
+GOLDEN = (
+    pathlib.Path(__file__).parent.parent
+    / "tests" / "core" / "golden" / "run_all_seed2024_scale0.05.json"
+)
+
+SMAPS = pathlib.Path("/proc/self/smaps_rollup")
+
+
+def _private_rss_bytes() -> int:
+    """This process's unshared resident set, in bytes.
+
+    Private_Clean + Private_Dirty from ``smaps_rollup`` counts only pages
+    no other process maps — exactly the copies a worker would pay for if
+    it deserialized the population instead of adopting the shared
+    mapping. (Plain VmRSS would charge workers for the shared pages and
+    Pss would dilute a full copy by the mapping count.)
+    """
+    private_kb = 0
+    for line in SMAPS.read_text().splitlines():
+        if line.startswith(("Private_Clean:", "Private_Dirty:")):
+            private_kb += int(line.split()[1])
+    return private_kb * 1024
+
+
+def _worker_sweep(descriptor: columns_mod.SnapshotDescriptor) -> dict:
+    """Attach the snapshot, aggregate every hot column, report RSS growth."""
+    before = _private_rss_bytes()
+    population, _ = attach_population(descriptor)
+    try:
+        q = population.query()
+        checks = {
+            "subscribers": len(population),
+            "esims": q.where(kind=1).count(),
+            "attached": q.where(attached=1).count(),
+            "monthly_mb": round(q.sum("monthly_mb"), 3),
+            "sessions": q.sum("sessions"),
+            "addresses": q.sum("address"),
+            "countries": len(q.count_by("country")),
+        }
+        delta = _private_rss_bytes() - before
+    finally:
+        population.close()
+    return {"pid": os.getpid(), "delta_bytes": delta, "checks": checks}
+
+
+def test_bench_substrate_build_and_shared_rss(benchmark):
+    built = {}
+
+    def build():
+        built["population"] = build_population(SEED, BUILD_SCALE)
+        return built["population"]
+
+    started = time.perf_counter()
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    build_s = time.perf_counter() - started
+    population = built["population"]
+
+    rows = len(population)
+    store_bytes = population.store.nbytes
+    assert build_s < BUILD_BUDGET_S, (
+        f"scale={BUILD_SCALE:g} build took {build_s:.1f}s "
+        f"(budget {BUILD_BUDGET_S:.0f}s)"
+    )
+
+    # Reference aggregates computed in-process, to certify the workers
+    # actually read the same shared columns.
+    q = population.query()
+    expected = {
+        "subscribers": rows,
+        "esims": q.where(kind=1).count(),
+        "attached": q.where(attached=1).count(),
+        "monthly_mb": round(q.sum("monthly_mb"), 3),
+        "sessions": q.sum("sessions"),
+        "addresses": q.sum("address"),
+        "countries": len(q.count_by("country")),
+    }
+
+    if not SMAPS.exists():
+        pytest.skip("no /proc/self/smaps_rollup on this platform")
+
+    published = columns_mod.publish(population.store)
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=WORKERS
+        ) as pool:
+            results = list(
+                pool.map(_worker_sweep, [published.descriptor] * WORKERS)
+            )
+    finally:
+        published.close()
+
+    ceiling = RSS_SHARE_CEILING * store_bytes
+    for result in results:
+        assert result["checks"] == expected, result
+        assert result["delta_bytes"] < ceiling, (
+            f"worker {result['pid']} grew {result['delta_bytes'] / 1e6:.1f} MB "
+            f"private RSS against a {store_bytes / 1e6:.1f} MB shared store "
+            f"(ceiling {RSS_SHARE_CEILING:.0%})"
+        )
+
+    worst = max(result["delta_bytes"] for result in results)
+    lines = [
+        f"population           : {rows} subscribers "
+        f"(seed={SEED}, scale={BUILD_SCALE:g})",
+        f"columnar store       : {store_bytes / 1e6:6.1f} MB "
+        f"({store_bytes / rows:.1f} B/subscriber)",
+        f"build wall           : {build_s:6.2f}s "
+        f"({rows / build_s / 1e3:.0f}k rows/s, budget {BUILD_BUDGET_S:.0f}s)",
+        f"workers              : {WORKERS} ({published.descriptor.scheme} "
+        f"snapshot, {published.descriptor.nbytes / 1e6:.1f} MB)",
+        f"worst private RSS    : {worst / 1e6:6.1f} MB "
+        f"({worst / store_bytes:.1%} of store, ceiling "
+        f"{RSS_SHARE_CEILING:.0%})",
+    ]
+    report("SUBSTRATE", "\n".join(lines))
+
+
+def test_bench_substrate_golden_byte_identity(benchmark, tmp_path_factory):
+    """share_population must not move one byte of the committed golden."""
+    golden = json.loads(GOLDEN.read_text())
+    previous = cache_mod.get_default_cache()
+    saved_state = (
+        dict(common._worlds), dict(common._device_datasets),
+        dict(common._web_datasets), dict(common._market),
+        dict(common._populations),
+    )
+    try:
+        cache_mod.configure(root=tmp_path_factory.mktemp("substrate-cache"))
+        common.clear_caches()
+
+        def serial_run():
+            return StudyRunner(
+                seed=golden["seed"], jobs=1, share_population=True
+            ).run_all(scale=golden["scale"])
+
+        serial = benchmark.pedantic(serial_run, rounds=1, iterations=1)
+        common.clear_caches()
+        parallel = StudyRunner(
+            seed=golden["seed"], jobs=2, share_population=True
+        ).run_all(scale=golden["scale"])
+
+        for run_report in (serial, parallel):
+            assert not run_report.failed(), run_report.summary_table()
+            assert sorted(run_report.results) == sorted(golden["results"])
+            for artefact_id, result in run_report.results.items():
+                fresh = json.dumps(jsonable(result), indent=2, sort_keys=True)
+                gold = json.dumps(
+                    golden["results"][artefact_id], indent=2, sort_keys=True
+                )
+                assert fresh == gold, (
+                    f"{artefact_id} drifted from the golden export "
+                    f"under share_population"
+                )
+        report(
+            "SUBSTRATE-GOLDEN",
+            f"{len(serial.results)} artefacts byte-identical to golden "
+            f"(seed={golden['seed']}, scale={golden['scale']:g}) "
+            f"serial and jobs=2, share_population=True",
+        )
+    finally:
+        common.clear_caches()
+        common._worlds.update(saved_state[0])
+        common._device_datasets.update(saved_state[1])
+        common._web_datasets.update(saved_state[2])
+        common._market.update(saved_state[3])
+        common._populations.update(saved_state[4])
+        cache_mod.set_default_cache(previous)

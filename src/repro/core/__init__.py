@@ -6,7 +6,9 @@ figure by its identifier. :class:`StudyRunner` shards ``run_all`` over
 supervised worker processes (deadlines, retries, crash-safe resume —
 see :mod:`repro.core.runner` and :mod:`repro.core.journal`);
 :class:`ArtifactCache` is the persistent store that makes fresh
-processes cheap (see :mod:`repro.core.cache`).
+processes cheap (see :mod:`repro.core.cache`);
+:class:`ColumnStore` is the typed columnar substrate worlds share
+zero-copy across worker processes (see :mod:`repro.core.columns`).
 """
 
 from repro.core.cache import (
@@ -14,6 +16,14 @@ from repro.core.cache import (
     CacheStats,
     CacheVerifyResult,
     fingerprint,
+)
+from repro.core.columns import (
+    ColumnError,
+    ColumnStore,
+    SnapshotDescriptor,
+    StringTable,
+    attach,
+    publish,
 )
 from repro.core.journal import JournalEntry, JournalMismatch, RunJournal
 from repro.core.runner import ArtefactRun, RunReport, StudyRunner
@@ -24,12 +34,18 @@ __all__ = [
     "ArtifactCache",
     "CacheStats",
     "CacheVerifyResult",
+    "ColumnError",
+    "ColumnStore",
     "EXPERIMENT_REGISTRY",
     "JournalEntry",
     "JournalMismatch",
     "RunJournal",
     "RunReport",
+    "SnapshotDescriptor",
+    "StringTable",
     "StudyRunner",
     "ThickMnaStudy",
+    "attach",
     "fingerprint",
+    "publish",
 ]

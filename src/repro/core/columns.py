@@ -1,0 +1,448 @@
+"""Typed columnar stores with zero-copy sharing across processes.
+
+The object-graph worlds that reproduce the paper top out far below the
+"millions of subscribers" the north star asks for: every entity is a
+Python object, and every pool worker unpickles its own full copy. This
+module is the storage half of the fix — hot entity populations live in
+typed :mod:`array` columns inside a :class:`ColumnStore`, which
+
+* serializes to one contiguous, **byte-deterministic** snapshot blob
+  (header JSON + 8-aligned column payloads), so equal inputs always
+  produce equal bytes and snapshots can be content-fingerprinted;
+* reattaches **zero-copy** from any buffer via ``memoryview.cast`` —
+  a ``multiprocessing.shared_memory`` segment, an ``mmap``-ed snapshot
+  file, or plain bytes — so N workers share one physical copy;
+* interns labels through :class:`StringTable` so categorical columns
+  are small-int arrays with the vocabulary riding in the header.
+
+:func:`publish` / :func:`attach` wrap the sharing lifecycle: the parent
+publishes one snapshot (shared memory when available, a temp-file mmap
+otherwise), ships the tiny picklable :class:`SnapshotDescriptor` to its
+workers, and unlinks the segment when the run ends. Workers that attach
+a shared-memory segment deliberately unregister it from the resource
+tracker — the *parent* owns the segment's lifetime, and letting every
+worker's tracker unlink it on exit would tear the mapping out from
+under its siblings (a known CPython gotcha on 3.9–3.12).
+
+The view layer over these columns (subscriber populations exposing the
+``cellular`` entity APIs) lives in :mod:`repro.worlds.population`.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import pathlib
+import struct
+import tempfile
+import uuid
+from array import array
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+MAGIC = b"RPCOL001"
+_ALIGN = 8
+
+#: Typecodes with a platform-stable itemsize (the snapshot format is
+#: shared between processes and cached on disk, so 'l'/'L'/'i' — whose
+#: width varies by ABI — are rejected at column creation).
+STABLE_TYPECODES: Dict[str, int] = {
+    "b": 1, "B": 1, "h": 2, "H": 2, "q": 8, "Q": 8, "f": 4, "d": 8,
+}
+
+
+class ColumnError(ValueError):
+    """Malformed snapshot bytes or inconsistent column usage."""
+
+
+class StringTable:
+    """Interned label vocabulary: label <-> small-int code.
+
+    Codes are assigned in first-seen order, which keeps snapshot bytes
+    deterministic for a deterministic build order.
+    """
+
+    __slots__ = ("_values", "_codes")
+
+    def __init__(self, values: Iterable[str] = ()) -> None:
+        self._values: List[str] = list(values)
+        self._codes: Dict[str, int] = {
+            value: code for code, value in enumerate(self._values)
+        }
+
+    def code(self, value: str) -> int:
+        """The code for ``value``, interning it on first use."""
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._values)
+            self._values.append(value)
+            self._codes[value] = code
+        return code
+
+    def lookup(self, value: str) -> int:
+        """The code for ``value`` without interning; -1 when unknown."""
+        return self._codes.get(value, -1)
+
+    def value(self, code: int) -> str:
+        return self._values[code]
+
+    def values(self) -> Tuple[str, ...]:
+        return tuple(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class ColumnStore:
+    """Named typed columns + string tables + a JSON-able meta dict.
+
+    Build side: :meth:`new_column` returns a live ``array.array`` to
+    append into. Attach side: :meth:`from_buffer` exposes every column
+    as a read-only ``memoryview`` cast straight over the source buffer
+    (no copy). :meth:`column` normalizes both representations to a
+    ``memoryview`` so readers never care which side they are on.
+    """
+
+    def __init__(self, meta: Optional[Dict[str, Any]] = None) -> None:
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self._columns: Dict[str, Union[array, memoryview]] = {}
+        self._specs: Dict[str, Tuple[str, Optional[str]]] = {}
+        self._strings: Dict[str, StringTable] = {}
+        self._order: List[str] = []
+        #: Whatever owns the attached bytes (shm, mmap, bytes) — held so
+        #: the buffer outlives every column view handed out.
+        self._backing: Any = None
+
+    # -- building -------------------------------------------------------------
+
+    def new_column(
+        self, name: str, typecode: str, strings: Optional[str] = None
+    ) -> array:
+        """Create (and return) an appendable column.
+
+        ``strings=`` names the :class:`StringTable` whose codes this
+        column holds; queries and views use it to decode transparently.
+        """
+        if typecode not in STABLE_TYPECODES:
+            raise ColumnError(
+                f"typecode {typecode!r} has a platform-dependent width; "
+                f"use one of {sorted(STABLE_TYPECODES)}"
+            )
+        if name in self._columns:
+            raise ColumnError(f"duplicate column {name!r}")
+        column = array(typecode)
+        self._columns[name] = column
+        self._specs[name] = (typecode, strings)
+        self._order.append(name)
+        if strings is not None:
+            self.strings(strings)
+        return column
+
+    def strings(self, table: str) -> StringTable:
+        """The named string table, created empty on first use."""
+        if table not in self._strings:
+            self._strings[table] = StringTable()
+        return self._strings[table]
+
+    # -- reading --------------------------------------------------------------
+
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(self._order)
+
+    def column(self, name: str) -> memoryview:
+        """The column as a typed ``memoryview`` (works on both sides)."""
+        raw = self._columns[name]
+        if isinstance(raw, memoryview):
+            return raw
+        return memoryview(raw)
+
+    def typecode(self, name: str) -> str:
+        return self._specs[name][0]
+
+    def strings_for(self, name: str) -> Optional[StringTable]:
+        """The string table decoding column ``name`` (None: numeric)."""
+        table = self._specs[name][1]
+        return self._strings[table] if table is not None else None
+
+    def rows(self, name: str) -> int:
+        return len(self._columns[name])
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes across all columns (excludes the header)."""
+        return sum(
+            len(self._columns[name]) * STABLE_TYPECODES[self._specs[name][0]]
+            for name in self._order
+        )
+
+    def column_nbytes(self) -> Dict[str, int]:
+        return {
+            name: len(self._columns[name]) * STABLE_TYPECODES[self._specs[name][0]]
+            for name in self._order
+        }
+
+    # -- snapshot codec -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """One contiguous snapshot blob; equal stores -> equal bytes."""
+        layout = []
+        offset = 0
+        for name in self._order:
+            typecode, strings = self._specs[name]
+            nbytes = len(self._columns[name]) * STABLE_TYPECODES[typecode]
+            layout.append({
+                "name": name,
+                "typecode": typecode,
+                "itemsize": STABLE_TYPECODES[typecode],
+                "count": len(self._columns[name]),
+                "offset": offset,  # relative to the data section
+                "nbytes": nbytes,
+                "strings": strings,
+            })
+            offset = _aligned(offset + nbytes)
+        header = json.dumps(
+            {
+                "meta": self.meta,
+                "strings": {
+                    table: list(strtab.values())
+                    for table, strtab in sorted(self._strings.items())
+                },
+                "columns": layout,
+            },
+            sort_keys=True, separators=(",", ":"),
+        ).encode("utf-8")
+        data_start = _aligned(len(MAGIC) + 8 + len(header))
+        total = data_start + (_aligned(offset) if layout else 0)
+        blob = bytearray(total)
+        blob[: len(MAGIC)] = MAGIC
+        struct.pack_into("<Q", blob, len(MAGIC), len(header))
+        blob[len(MAGIC) + 8 : len(MAGIC) + 8 + len(header)] = header
+        for name, entry in zip(self._order, layout):
+            start = data_start + entry["offset"]
+            raw = self._columns[name]
+            payload = raw.tobytes() if isinstance(raw, array) else bytes(raw)
+            blob[start : start + entry["nbytes"]] = payload
+        return bytes(blob)
+
+    @classmethod
+    def from_buffer(
+        cls, buffer: Union[bytes, bytearray, memoryview, mmap.mmap],
+        backing: Any = None,
+    ) -> "ColumnStore":
+        """Zero-copy view over snapshot bytes produced by :meth:`to_bytes`.
+
+        Columns become read-only ``memoryview`` casts into ``buffer``;
+        nothing is copied. ``backing`` (shm handle, mmap, file object)
+        is pinned on the store so the buffer outlives the views.
+        """
+        view = memoryview(buffer)
+        if bytes(view[: len(MAGIC)]) != MAGIC:
+            raise ColumnError("not a column snapshot (bad magic)")
+        (header_len,) = struct.unpack_from("<Q", view, len(MAGIC))
+        header_end = len(MAGIC) + 8 + header_len
+        if header_end > len(view):
+            raise ColumnError("truncated column snapshot header")
+        try:
+            header = json.loads(bytes(view[len(MAGIC) + 8 : header_end]))
+        except ValueError as error:
+            raise ColumnError(f"corrupt snapshot header: {error}")
+        store = cls(meta=header.get("meta", {}))
+        for table, values in header.get("strings", {}).items():
+            store._strings[table] = StringTable(values)
+        data_start = _aligned(header_end)
+        for entry in header.get("columns", []):
+            typecode = entry["typecode"]
+            expected = STABLE_TYPECODES.get(typecode)
+            if expected is None or expected != entry["itemsize"]:
+                raise ColumnError(
+                    f"column {entry['name']!r}: itemsize mismatch "
+                    f"({entry['itemsize']} vs {expected} for {typecode!r})"
+                )
+            start = data_start + entry["offset"]
+            end = start + entry["nbytes"]
+            if end > len(view):
+                raise ColumnError(f"column {entry['name']!r} is truncated")
+            store._columns[entry["name"]] = view[start:end].cast(typecode)
+            store._specs[entry["name"]] = (typecode, entry.get("strings"))
+            store._order.append(entry["name"])
+        store._backing = backing if backing is not None else buffer
+        return store
+
+    # -- snapshot files -------------------------------------------------------
+
+    def save(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        """Atomically write the snapshot blob (tmp + ``os.replace``)."""
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=target.parent, prefix=f".{target.name}.",
+            suffix=".tmp", delete=False,
+        )
+        try:
+            with handle:
+                handle.write(self.to_bytes())
+            os.replace(handle.name, target)
+        except Exception:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(cls, path: Union[str, "os.PathLike[str]"]) -> "ColumnStore":
+        """Memory-map a snapshot file: zero-copy, demand-paged, and the
+        page cache is shared between every process mapping the file."""
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        return cls.from_buffer(mapped, backing=mapped)
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+# -- cross-process sharing ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SnapshotDescriptor:
+    """Picklable address of a published snapshot (what initargs carry)."""
+
+    scheme: str  # "shm" | "file"
+    ref: str  # shared-memory name or snapshot file path
+    nbytes: int
+
+
+class PublishedSnapshot:
+    """Parent-side handle: owns the segment, unlinks it on close."""
+
+    def __init__(self, descriptor: SnapshotDescriptor, shm: Any = None) -> None:
+        self.descriptor = descriptor
+        self._shm = shm
+        self._closed = False
+
+    def close(self, unlink: bool = True) -> None:
+        """Release the published snapshot (idempotent).
+
+        Shared-memory segments are closed and unlinked; file snapshots
+        are unlinked from disk when ``unlink`` is set.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except OSError:
+                pass
+            if unlink:
+                try:
+                    self._shm.unlink()
+                except (OSError, FileNotFoundError):
+                    pass
+        elif unlink and self.descriptor.scheme == "file":
+            try:
+                os.unlink(self.descriptor.ref)
+            except OSError:
+                pass
+
+
+class AttachedSnapshot:
+    """Worker-side handle: a zero-copy store plus its mapping."""
+
+    def __init__(self, store: ColumnStore, closer: Any = None) -> None:
+        self.store = store
+        self._closer = closer
+
+    def close(self) -> None:
+        # Column memoryviews pin the buffer; drop them before closing
+        # the mapping so shm.close()/mmap.close() cannot raise
+        # BufferError("cannot close exported pointers exist").
+        self.store._columns.clear()
+        self.store._order.clear()
+        self.store._backing = None
+        if self._closer is not None:
+            try:
+                self._closer()
+            except (OSError, BufferError):
+                pass
+            self._closer = None
+
+
+def publish(
+    store: ColumnStore,
+    fallback_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+) -> PublishedSnapshot:
+    """Publish ``store`` for zero-copy attach by other processes.
+
+    Prefers a ``multiprocessing.shared_memory`` segment; falls back to
+    an mmap-able snapshot file (in ``fallback_dir`` or the system temp
+    directory) when POSIX shared memory is unavailable. Either way the
+    returned descriptor is a few bytes — workers attach the one shared
+    copy instead of receiving pickled duplicates.
+    """
+    payload = store.to_bytes()
+    try:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, len(payload)),
+            name=f"repro-cols-{uuid.uuid4().hex[:16]}",
+        )
+    except (ImportError, OSError):
+        directory = pathlib.Path(
+            fallback_dir if fallback_dir is not None else tempfile.gettempdir()
+        )
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"repro-cols-{uuid.uuid4().hex[:16]}.snap"
+        path.write_bytes(payload)
+        return PublishedSnapshot(
+            SnapshotDescriptor(scheme="file", ref=str(path), nbytes=len(payload))
+        )
+    shm.buf[: len(payload)] = payload
+    return PublishedSnapshot(
+        SnapshotDescriptor(scheme="shm", ref=shm.name, nbytes=len(payload)),
+        shm=shm,
+    )
+
+
+def attach(descriptor: SnapshotDescriptor) -> AttachedSnapshot:
+    """Attach a published snapshot zero-copy (see :func:`publish`)."""
+    if descriptor.scheme == "shm":
+        # The parent owns the segment's lifetime; attaching must not
+        # involve this process's resource tracker at all (on 3.9-3.12
+        # SharedMemory(name=...) re-registers the segment, and with
+        # fork pools every worker shares the parent's tracker, so a
+        # worker's exit-time unregister corrupts the parent's entry).
+        # On Linux POSIX segments are plain files under /dev/shm —
+        # mmap one read-only and sidestep the tracker entirely.
+        dev_shm = pathlib.Path("/dev/shm") / descriptor.ref.lstrip("/")
+        if dev_shm.exists():
+            with open(dev_shm, "rb") as handle:
+                mapped = mmap.mmap(
+                    handle.fileno(), descriptor.nbytes, access=mmap.ACCESS_READ
+                )
+            store = ColumnStore.from_buffer(memoryview(mapped), backing=mapped)
+            return AttachedSnapshot(store, closer=mapped.close)
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=descriptor.ref, create=False)
+        # Non-Linux fallback: deregister the attach-side registration
+        # (3.13's track=False is not available on the 3.10 floor).
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        store = ColumnStore.from_buffer(
+            memoryview(shm.buf)[: descriptor.nbytes], backing=shm
+        )
+        return AttachedSnapshot(store, closer=shm.close)
+    if descriptor.scheme == "file":
+        store = ColumnStore.load(descriptor.ref)
+        backing = store._backing
+        return AttachedSnapshot(store, closer=backing.close)
+    raise ColumnError(f"unknown snapshot scheme {descriptor.scheme!r}")

@@ -38,7 +38,9 @@ from repro import obs
 from repro.server.state import RequestError, ServerState
 
 #: Routes the server understands (used for metric names and the index).
-ROUTES = ("index", "healthz", "query", "artefact", "history", "regress")
+ROUTES = (
+    "index", "healthz", "query", "artefact", "population", "history", "regress",
+)
 
 
 def _route_of(path: str) -> str:
@@ -134,6 +136,10 @@ class _Handler(BaseHTTPRequestHandler):
             return self._do_query(params)
         if route == "artefact":
             return self._do_artefact(parsed.path, params)
+        if route == "population":
+            by = params.pop("by", "") or None
+            self._send_json(200, self.state.population(by=by, where=params))
+            return 200
         if route == "history":
             self._send_json(200, self.state.history(
                 limit=_int_param(params, "limit", 50)))

@@ -178,7 +178,12 @@ class AiraloWorld:
         seed_salt: int = 1,
         chaos: Optional[ChaosConfig] = None,
     ) -> MeasurementDataset:
-        """The full Table 4 campaign (``scale`` shrinks every test count).
+        """The full Table 4 campaign, every test count scaled by ``scale``.
+
+        ``scale < 1`` shrinks the campaign (each non-zero count floors
+        at 1 so every country/test series survives); ``scale > 1``
+        grows it deterministically — see :func:`scaled_count` for the
+        exact rounding contract shared with the population substrate.
 
         ``chaos`` (default off) runs the campaign under injected faults
         with the resilient orchestration; the result's ``health`` then
@@ -247,10 +252,32 @@ class AiraloWorld:
             return runner.run(self.web_volunteers(rng), rng)
 
 
-def _scaled(count: int, scale: float) -> int:
+def scaled_count(count: int, scale: float) -> int:
+    """Scale an entity/test count by ``scale``, shrinking **or growing**.
+
+    Both directions are deterministic and shared by every fan-out in
+    the repo (campaign test plans here, subscriber populations in
+    :mod:`repro.worlds.population`):
+
+    * ``scale < 1`` shrinks a campaign for fast runs, but never below 1
+      — every non-empty series stays represented (``count=0`` stays 0:
+      a test a country never ran is not invented by scaling).
+    * ``scale > 1`` grows the count for million-user worlds: a base of
+      30k subscribers at ``scale=50`` fans out to 1.5M.
+    * Rounding is Python's ``round`` (banker's rounding on exact .5
+      ties). This is frozen behavior: the committed golden run-all
+      export pins the ``scale=0.05`` campaign counts byte-for-byte, so
+      changing the rounding rule is a breaking change by definition.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale!r}")
     if count == 0:
         return 0
     return max(1, round(count * scale))
+
+
+#: Historical internal name, kept for the campaign call sites.
+_scaled = scaled_count
 
 
 # ---------------------------------------------------------------------------

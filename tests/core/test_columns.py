@@ -1,0 +1,169 @@
+"""Tests for the typed columnar store (repro.core.columns)."""
+
+import pathlib
+
+import pytest
+
+from repro.core import columns as columns_mod
+from repro.core.columns import (
+    ColumnError,
+    ColumnStore,
+    SnapshotDescriptor,
+    StringTable,
+    attach,
+    publish,
+)
+
+
+def _sample_store(rows: int = 100) -> ColumnStore:
+    store = ColumnStore(meta={"kind": "test", "rows": rows})
+    country = store.new_column("country", "H", strings="country")
+    value = store.new_column("value", "d")
+    flags = store.new_column("flags", "B")
+    codes = store.strings("country")
+    for i in range(rows):
+        country.append(codes.code(("ESP", "JPN", "PAK")[i % 3]))
+        value.append(i * 1.5)
+        flags.append(i % 2)
+    return store
+
+
+class TestStringTable:
+    def test_first_seen_order_and_roundtrip(self):
+        table = StringTable()
+        assert table.code("b") == 0
+        assert table.code("a") == 1
+        assert table.code("b") == 0  # interned, not re-added
+        assert table.values() == ("b", "a")
+        assert table.value(1) == "a"
+        assert len(table) == 2
+
+    def test_lookup_does_not_intern(self):
+        table = StringTable(["x"])
+        assert table.lookup("x") == 0
+        assert table.lookup("missing") == -1
+        assert len(table) == 1
+
+
+class TestColumnStore:
+    def test_rejects_platform_dependent_typecodes(self):
+        store = ColumnStore()
+        for typecode in ("l", "L", "i", "I", "u"):
+            with pytest.raises(ColumnError):
+                store.new_column("c", typecode)
+
+    def test_duplicate_column_rejected(self):
+        store = ColumnStore()
+        store.new_column("c", "q")
+        with pytest.raises(ColumnError):
+            store.new_column("c", "q")
+
+    def test_column_views_and_sizes(self):
+        store = _sample_store(10)
+        assert store.column_names() == ("country", "value", "flags")
+        assert store.rows("value") == 10
+        assert list(store.column("flags")) == [i % 2 for i in range(10)]
+        assert store.column_nbytes() == {
+            "country": 20, "value": 80, "flags": 10,
+        }
+        assert store.nbytes == 110
+        assert store.typecode("value") == "d"
+        assert store.strings_for("country") is not None
+        assert store.strings_for("value") is None
+
+    def test_to_bytes_is_deterministic(self):
+        assert _sample_store().to_bytes() == _sample_store().to_bytes()
+
+    def test_roundtrip_through_bytes_is_zero_copy_equal(self):
+        store = _sample_store()
+        clone = ColumnStore.from_buffer(store.to_bytes())
+        assert clone.meta == store.meta
+        assert clone.column_names() == store.column_names()
+        for name in store.column_names():
+            assert list(clone.column(name)) == list(store.column(name))
+            assert clone.typecode(name) == store.typecode(name)
+        table = clone.strings("country")
+        assert table.values() == store.strings("country").values()
+
+    def test_from_buffer_rejects_garbage(self):
+        with pytest.raises(ColumnError):
+            ColumnStore.from_buffer(b"not a snapshot at all")
+        blob = bytearray(_sample_store().to_bytes())
+        blob[:4] = b"XXXX"
+        with pytest.raises(ColumnError):
+            ColumnStore.from_buffer(bytes(blob))
+
+    def test_from_buffer_rejects_truncation(self):
+        blob = _sample_store().to_bytes()
+        with pytest.raises(ColumnError):
+            ColumnStore.from_buffer(blob[: len(blob) - 16])
+
+    def test_save_load_mmap(self, tmp_path):
+        store = _sample_store()
+        path = tmp_path / "snap" / "sample.cols"
+        store.save(path)
+        assert path.read_bytes() == store.to_bytes()
+        loaded = ColumnStore.load(path)
+        assert list(loaded.column("value")) == list(store.column("value"))
+        # no stray temp files from the atomic write
+        assert [p.name for p in path.parent.iterdir()] == ["sample.cols"]
+
+
+class TestPublishAttach:
+    def test_shm_publish_attach_roundtrip(self):
+        store = _sample_store()
+        published = publish(store)
+        try:
+            assert published.descriptor.nbytes == len(store.to_bytes())
+            attached = attach(published.descriptor)
+            try:
+                assert list(attached.store.column("value")) == list(
+                    store.column("value")
+                )
+                assert attached.store.meta == store.meta
+            finally:
+                attached.close()
+                attached.close()  # idempotent
+        finally:
+            published.close()
+            published.close()  # idempotent
+        if published.descriptor.scheme == "shm":
+            segment = pathlib.Path("/dev/shm") / published.descriptor.ref.lstrip("/")
+            assert not segment.exists(), "close() must unlink the segment"
+
+    def test_file_fallback_roundtrip(self, tmp_path):
+        store = _sample_store()
+        path = tmp_path / "fallback.snap"
+        path.write_bytes(store.to_bytes())
+        descriptor = SnapshotDescriptor(
+            scheme="file", ref=str(path), nbytes=path.stat().st_size
+        )
+        attached = attach(descriptor)
+        try:
+            assert list(attached.store.column("flags")) == list(
+                store.column("flags")
+            )
+        finally:
+            attached.close()
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ColumnError):
+            attach(SnapshotDescriptor(scheme="carrier-pigeon", ref="x", nbytes=1))
+
+    def test_descriptor_is_tiny_and_picklable(self):
+        import pickle
+
+        published = publish(_sample_store())
+        try:
+            blob = pickle.dumps(published.descriptor)
+            assert len(blob) < 300
+            assert pickle.loads(blob) == published.descriptor
+        finally:
+            published.close()
+
+
+def test_aligned_offsets():
+    assert columns_mod._aligned(0) == 0
+    assert columns_mod._aligned(1) == 8
+    assert columns_mod._aligned(8) == 8
+    assert columns_mod._aligned(9) == 16

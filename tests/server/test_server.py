@@ -172,6 +172,42 @@ def test_artefact_served_from_memo_after_warm(server):
     assert "b-MNO" in rendered["rendered"]
 
 
+def test_population_route_matches_direct_stats(server):
+    from repro.experiments import common
+
+    status, payload = _get(f"{server.url}/population")
+    assert status == 200
+    population = common.get_population(server.state.seed, server.state.scale)
+    assert payload["subscribers"] == len(population)
+    assert payload["stats"]["esims"] + payload["stats"]["physical_sims"] == (
+        payload["subscribers"]
+    )
+    assert payload["store_bytes"] == population.store.nbytes
+
+
+def test_population_route_pivots_and_filters(server):
+    status, payload = _get(f"{server.url}/population?by=architecture")
+    assert status == 200
+    assert sum(payload["counts"].values()) == payload["subscribers"]
+
+    status, by_kind = _get(f"{server.url}/population?by=kind&country=jpn")
+    assert status == 200
+    assert set(by_kind["counts"]) <= {"esim", "physical"}
+    assert by_kind["subscribers"] == sum(by_kind["counts"].values())
+    assert by_kind["where"] == {"country": "JPN"}
+
+    status, payload = _get(f"{server.url}/population?by=bogus")
+    assert status == 400
+    status, payload = _get(f"{server.url}/population?bogus=1")
+    assert status == 400
+
+
+def test_healthz_reports_subscribers(server):
+    status, payload = _get(f"{server.url}/healthz")
+    assert status == 200
+    assert payload["subscribers"] > 0
+
+
 def test_history_endpoint_lists_seeded_run(server):
     status, payload = _get(f"{server.url}/history")
     assert status == 200
