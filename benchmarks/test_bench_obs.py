@@ -20,6 +20,9 @@ from repro import obs
 from repro.core import StudyRunner
 from repro.core import cache as cache_mod
 from repro.experiments import common
+from repro.obs import exposition
+from repro.obs.live import LiveSampler
+from repro.obs.metrics import MetricsRegistry
 
 from benchmarks._harness import report
 
@@ -27,6 +30,14 @@ SCALE = 0.1
 #: Iterations of the 5-touch-point microbenchmark loop body.
 MICRO_ITERATIONS = 40_000
 OVERHEAD_BUDGET = 0.02
+
+#: The live plane's steady-state cadences: one sampler tick per second
+#: (the default) and one Prometheus scrape every 15 s (a typical
+#: scrape_interval).
+SAMPLE_INTERVAL_S = 1.0
+SCRAPE_INTERVAL_S = 15.0
+TICK_ROUNDS = 200
+RENDER_ROUNDS = 50
 
 
 def _touch_points(trace: "obs.TraceData") -> int:
@@ -115,6 +126,93 @@ def test_bench_obs_disabled_overhead(benchmark, tmp_path_factory):
             f"{OVERHEAD_BUDGET:.0%})",
         ]
         report("OBS", "\n".join(lines))
+    finally:
+        common.clear_caches()
+        common._worlds.update(saved_state[0])
+        common._device_datasets.update(saved_state[1])
+        common._web_datasets.update(saved_state[2])
+        common._market.update(saved_state[3])
+        cache_mod.set_default_cache(previous)
+
+
+def test_bench_obs_live_plane_overhead(benchmark, tmp_path_factory):
+    """The always-on plane (sampler ticks + /metrics scrapes) < 2%.
+
+    Cost model, same reasoning as the disabled-path budget: price one
+    sampler tick and one exposition render against a registry shaped
+    like a real traced ``run_all``'s, then project the steady-state
+    cadences (1 Hz ticks, one scrape per 15 s) over that run's wall
+    time. Wall-delta A/B at this scale measures the scheduler, not the
+    sampler.
+    """
+    previous = cache_mod.get_default_cache()
+    saved_state = (
+        dict(common._worlds), dict(common._device_datasets),
+        dict(common._web_datasets), dict(common._market),
+    )
+    try:
+        cache_root = tmp_path_factory.mktemp("obs-live-bench-cache")
+        common.clear_caches()
+        cache_mod.configure(root=cache_root)
+
+        StudyRunner(seed=2024, jobs=1).run_all(scale=SCALE)  # warm the cache
+        common.clear_caches()
+        trace_dir = tmp_path_factory.mktemp("obs-live-bench-trace")
+        started = time.perf_counter()
+        traced_report = StudyRunner(
+            seed=2024, jobs=1, trace_dir=trace_dir
+        ).run_all(scale=SCALE)
+        baseline_s = time.perf_counter() - started
+        assert not traced_report.failed(), traced_report.summary_table()
+
+        # A registry with the traced run's real instrument population.
+        trace = obs.load_trace(traced_report.trace_path)
+        registry = MetricsRegistry()
+        registry.merge_jsonable(trace.metrics)
+        instruments = len(registry.snapshot())
+        assert instruments > 0
+
+        sampler = LiveSampler(registry, interval_s=SAMPLE_INTERVAL_S)
+
+        def _tick_cost():
+            started = time.perf_counter()
+            for round_index in range(TICK_ROUNDS):
+                sampler.tick(now=1000.0 + round_index)
+            return (time.perf_counter() - started) / TICK_ROUNDS
+
+        per_tick_s = benchmark.pedantic(_tick_cost, rounds=1, iterations=1)
+        assert sampler.tick_wall_s > 0  # the self-meter agrees it ran
+
+        started = time.perf_counter()
+        for _ in range(RENDER_ROUNDS):
+            body = exposition.render(registry=registry)
+        per_render_s = (time.perf_counter() - started) / RENDER_ROUNDS
+        assert body  # scrapes of the projected registry are non-trivial
+
+        ticks = baseline_s / SAMPLE_INTERVAL_S
+        scrapes = baseline_s / SCRAPE_INTERVAL_S
+        projected_s = ticks * per_tick_s + scrapes * per_render_s
+        budget_s = OVERHEAD_BUDGET * baseline_s
+        assert projected_s < budget_s, (
+            f"live plane projected at {projected_s * 1e3:.3f} ms "
+            f"({ticks:.0f} ticks x {per_tick_s * 1e6:.1f} us + "
+            f"{scrapes:.1f} scrapes x {per_render_s * 1e6:.1f} us) exceeds "
+            f"{OVERHEAD_BUDGET:.0%} of the {baseline_s:.2f}s traced baseline"
+        )
+
+        lines = [
+            f"traced run-all       : {baseline_s:6.2f}s (scale={SCALE:g}, warm)",
+            f"registry population  : {instruments} instruments "
+            f"(from the run's own trace)",
+            f"sampler tick         : {per_tick_s * 1e6:6.1f} us "
+            f"(@{SAMPLE_INTERVAL_S:g}s cadence)",
+            f"exposition render    : {per_render_s * 1e6:6.1f} us "
+            f"({len(body.splitlines())} lines, @{SCRAPE_INTERVAL_S:g}s scrapes)",
+            f"projected live plane : {projected_s * 1e3:6.3f} ms "
+            f"({projected_s / baseline_s:.4%} of baseline; budget "
+            f"{OVERHEAD_BUDGET:.0%})",
+        ]
+        report("OBS_LIVE", "\n".join(lines))
     finally:
         common.clear_caches()
         common._worlds.update(saved_state[0])

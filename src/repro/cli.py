@@ -23,6 +23,9 @@ Exposes the reproduction from the shell::
     python -m repro cache info                # the persistent artifact store
     python -m repro serve --port 8321         # always-on measurement service
     python -m repro loadgen --clients 200 --duration 30 --fail-on-slo
+    python -m repro loadgen --trace traces/   # client+server spans, one tree
+    python -m repro run-all --profile prof/   # collapsed-stack flamegraph feed
+    python -m repro profile -- run T2         # profile any subcommand
 """
 
 from __future__ import annotations
@@ -304,6 +307,16 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts, exec_chaos=exec_chaos,
         share_population=args.share_population,
     )
+    profiler = None
+    if args.profile:
+        # CLI-level attach: the profiler wraps the whole runner call, so
+        # the report (and its golden JSON export) is byte-identical to
+        # an unprofiled run — sampling never touches the result path.
+        from repro.obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler(
+            interval_s=args.profile_interval_ms / 1000.0
+        ).start()
     try:
         report = runner.run_all(
             scale=args.scale, artefacts=args.artefacts or None,
@@ -315,7 +328,24 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     except JournalMismatch as error:
         print(str(error), file=sys.stderr)
         return 2
+    finally:
+        if profiler is not None:
+            profiler.stop()
     print(report.summary_table())
+    if profiler is not None:
+        profile_dir = pathlib.Path(args.profile)
+        profile_dir.mkdir(parents=True, exist_ok=True)
+        scale_label = (
+            f"{args.scale:g}" if args.scale is not None else "default"
+        )
+        target = profiler.write(
+            profile_dir / (
+                f"run_all-seed{args.seed}-scale{scale_label}"
+                f"-jobs{args.jobs}.collapsed"
+            )
+        )
+        print(f"(collapsed stacks written to {target}; "
+              f"{profiler.samples} ticks)")
     if report.trace_path:
         print(f"(trace written to {report.trace_path})")
     if report.history_run_id:
@@ -562,11 +592,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         quiet=not args.verbose,
         debug_delay=args.debug_delay,
+        sample_interval_s=args.sample_interval,
+        sample_capacity=args.sample_capacity,
+        profile_max_s=args.profile_max,
     )
     print(f"repro-serve listening on {server.url} "
           f"(seed {args.seed}, scale {args.scale:g}, "
           f"datasets {','.join(args.datasets)})")
     print("warming datasets and indexes; GET /healthz reports progress")
+    print(f"live telemetry: {server.url}/dashboard (sampler "
+          f"{args.sample_interval:g}s x {args.sample_capacity} samples)")
     return server.run_foreground()
 
 
@@ -583,11 +618,27 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             think_s=args.think,
             chaos_latency_s=args.chaos_latency,
             wait_ready_s=args.wait_ready,
+            trace=bool(args.trace),
         )
     except RuntimeError as error:
         print(error.args[0], file=sys.stderr)
         return 2
     print(report.render())
+    if args.trace and report.trace_recorder is not None:
+        import pathlib
+
+        from repro import obs
+
+        trace_dir = pathlib.Path(args.trace)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        trace_path = obs.write_trace(
+            report.trace_recorder,
+            trace_dir / (
+                f"loadgen-seed{args.seed}-c{args.clients}"
+                f"-d{args.duration:g}.jsonl"
+            ),
+        )
+        print(f"(client+server trace written to {trace_path})")
     violations = check(report)
     for route, detail in sorted(violations.items()):
         print(f"SLO VIOLATION {route}: {detail}")
@@ -609,6 +660,37 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if violations and args.fail_on_slo:
         return 1
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile -- <subcommand ...>``: profile any CLI invocation.
+
+    Runs the wrapped subcommand through :func:`main` recursively under
+    a sampling profiler, prints the hottest-stacks digest, and writes
+    the collapsed-stack flamegraph input when ``--out`` is given. The
+    wrapped command's exit code is preserved.
+    """
+    from repro.obs.profile import SamplingProfiler
+
+    command = list(args.wrapped)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        print("profile requires a subcommand, e.g. "
+              "repro profile -- run T2", file=sys.stderr)
+        return 2
+    if command[0] == "profile":
+        print("profile cannot wrap itself", file=sys.stderr)
+        return 2
+    profiler = SamplingProfiler(interval_s=args.interval_ms / 1000.0)
+    with profiler:
+        status = main(command)
+    print(file=sys.stderr)
+    print(profiler.summary(top=args.top), file=sys.stderr)
+    if args.out:
+        target = profiler.write(args.out)
+        print(f"(collapsed stacks written to {target})", file=sys.stderr)
+    return status
 
 
 def _cmd_market(args: argparse.Namespace) -> int:
@@ -767,6 +849,14 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="append one RunRecord to the cross-run "
                                      "history store in DIR (see 'repro "
                                      "history' and 'repro regress')")
+    run_all_parser.add_argument("--profile", default=None, metavar="DIR",
+                                help="sample every thread's stack during the "
+                                     "run and write collapsed-stack "
+                                     "flamegraph input into DIR")
+    run_all_parser.add_argument("--profile-interval-ms", type=float,
+                                default=10.0, metavar="MS",
+                                help="profiler sampling cadence "
+                                     "(default 10ms = 100 Hz)")
     run_all_parser.add_argument("--share-population", action="store_true",
                                 help="warm the columnar subscriber substrate "
                                      "and share it zero-copy with workers via "
@@ -889,6 +979,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--debug-delay", action="store_true",
                               help="honour the delay_s= query parameter "
                                    "(shutdown-drain testing only)")
+    serve_parser.add_argument("--sample-interval", type=float, default=1.0,
+                              metavar="S",
+                              help="live-sampler tick cadence (default 1s; "
+                                   "also the /events delta cadence)")
+    serve_parser.add_argument("--sample-capacity", type=int, default=600,
+                              metavar="N",
+                              help="ring-buffer samples retained per series "
+                                   "(default 600 = 10min at 1s)")
+    serve_parser.add_argument("--profile-max", type=float, default=30.0,
+                              metavar="S",
+                              help="ceiling for /profile?seconds= "
+                                   "(default 30)")
 
     loadgen_parser = sub.add_parser(
         "loadgen",
@@ -919,6 +1021,28 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen_parser.add_argument("--fail-on-slo", action="store_true",
                                 help="exit non-zero when any route's p99 "
                                      "exceeds its declared SLO")
+    loadgen_parser.add_argument("--trace", default=None, metavar="DIR",
+                                help="record a client-side trace, adopt the "
+                                     "server's X-Repro-Span exports into it "
+                                     "and write one JSONL trace into DIR")
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="run any subcommand under the sampling wall-clock profiler",
+    )
+    profile_parser.add_argument("--out", default=None, metavar="FILE",
+                                help="write collapsed-stack flamegraph "
+                                     "input (one 'frames count' line per "
+                                     "distinct stack)")
+    profile_parser.add_argument("--interval-ms", type=float, default=10.0,
+                                metavar="MS",
+                                help="sampling cadence (default 10ms)")
+    profile_parser.add_argument("--top", type=int, default=10,
+                                help="hottest stacks to print (default 10)")
+    profile_parser.add_argument("wrapped", nargs=argparse.REMAINDER,
+                                metavar="-- SUBCOMMAND",
+                                help="the repro invocation to profile, "
+                                     "after a literal --")
 
     market_parser = sub.add_parser("market", help="query the eSIM marketplace")
     market_parser.add_argument("--day", type=int, default=90,
@@ -947,6 +1071,7 @@ _HANDLERS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "profile": _cmd_profile,
 }
 
 

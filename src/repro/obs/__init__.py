@@ -43,6 +43,8 @@ from repro.obs.history import (
     default_history_root,
     record_from_report,
 )
+from repro.obs.exposition import render as render_metrics
+from repro.obs.live import LiveSampler, RingBuffer
 from repro.obs.metrics import (
     LATENCY_BUCKETS_S,
     Counter,
@@ -50,8 +52,10 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import SamplingProfiler, profile_call
 from repro.obs.recorder import (
     NULL_RECORDER,
+    MetricsRecorder,
     NullRecorder,
     Recorder,
     TraceRecorder,
@@ -85,10 +89,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HistoryStore",
+    "LiveSampler",
+    "MetricsRecorder",
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
     "Phase",
+    "RingBuffer",
+    "SamplingProfiler",
     "Recorder",
     "RegressionConfig",
     "RegressionReport",
@@ -112,9 +120,11 @@ __all__ = [
     "load_trace",
     "metrics_view",
     "phase_attribution",
+    "profile_call",
     "record_from_report",
     "render_critical",
     "render_html",
+    "render_metrics",
     "set_recorder",
     "slowest",
     "span",

@@ -1,0 +1,352 @@
+"""Prometheus text-format (v0.0.4) exposition over the metrics registry.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` snapshot — plus a
+handful of process gauges read from ``/proc/self`` — as the plain-text
+scrape format every pull-based collector understands. Zero
+dependencies, zero allocations kept: the renderer is a pure function
+over a snapshot, so a scrape never blocks a writer for longer than one
+per-instrument lock.
+
+Naming rules (documented in ``docs/OBSERVABILITY.md``):
+
+* every registry metric is prefixed ``repro_`` and every character
+  outside ``[a-zA-Z0-9_]`` becomes ``_`` (``server.latency_s.query``
+  -> ``repro_server_latency_s_query``);
+* counters gain the conventional ``_total`` suffix;
+* histograms render cumulative ``_bucket{le="..."}`` series ending in
+  ``le="+Inf"``, plus ``_sum`` and ``_count``;
+* process metrics keep their conventional Prometheus names
+  (``process_resident_memory_bytes``, ``process_open_fds``, ...) and
+  are omitted silently on platforms without ``/proc``.
+
+The registry portion of the output is byte-deterministic for a given
+snapshot (instruments sort by name; floats format via ``repr``-stable
+rules), which the golden scrape test pins.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Prefix for every registry-owned metric in the exposition.
+NAME_PREFIX = "repro_"
+
+#: The scrape content type (``version`` names the text format).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Wall clock at telemetry import — the uptime epoch for process gauges.
+_START_UNIX = time.time()
+
+_ALLOWED = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+)
+
+
+def metric_name(raw: str, suffix: str = "") -> str:
+    """Map a registry instrument name onto a legal exposition name."""
+    sanitized = "".join(
+        char if char in _ALLOWED else "_" for char in raw
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"{NAME_PREFIX}{sanitized}{suffix}"
+
+
+def format_value(value: Any) -> str:
+    """Render one sample value the way the text format expects.
+
+    Integers (and integral floats) print without a fractional part so
+    counters stay exact; everything else uses ``repr``, which is
+    shortest-round-trip stable in Python 3 — the same float always
+    renders the same bytes.
+    """
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels(labels: Optional[Dict[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_snapshot(snapshot: Sequence[Dict[str, Any]]) -> str:
+    """Render one registry snapshot (``MetricsRegistry.snapshot()``).
+
+    Pure and deterministic: same snapshot, same bytes. The snapshot
+    order (counters, gauges, histograms — each sorted by name) is the
+    registry's own.
+    """
+    lines: List[str] = []
+    for item in snapshot:
+        kind, raw = item["type"], item["name"]
+        if kind == "counter":
+            name = metric_name(raw, "_total")
+            lines.append(f"# HELP {name} repro counter {raw}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {format_value(item['value'])}")
+        elif kind == "gauge":
+            name = metric_name(raw)
+            lines.append(f"# HELP {name} repro gauge {raw}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {format_value(item['value'])}")
+        elif kind == "histogram":
+            name = metric_name(raw)
+            lines.append(f"# HELP {name} repro histogram {raw}")
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, count in zip(item["buckets"], item["counts"]):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{format_value(float(bound))}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(
+                f'{name}_bucket{{le="+Inf"}} {format_value(item["count"])}'
+            )
+            lines.append(f"{name}_sum {format_value(item['sum'])}")
+            lines.append(f"{name}_count {format_value(item['count'])}")
+        else:
+            raise ValueError(f"unknown metric type {kind!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- process gauges (/proc/self) ----------------------------------------------
+
+
+def _proc_statm() -> Optional[Dict[str, float]]:
+    try:
+        with open("/proc/self/statm") as handle:
+            fields = handle.read().split()
+        page = os.sysconf("SC_PAGE_SIZE")
+        return {
+            "process_virtual_memory_bytes": float(fields[0]) * page,
+            "process_resident_memory_bytes": float(fields[1]) * page,
+        }
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _open_fds() -> Optional[int]:
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return None
+
+
+def process_samples(now: Optional[float] = None) -> List[Dict[str, Any]]:
+    """Point-in-time process gauges: RSS, FDs, threads, GC, uptime.
+
+    Returns ``{"name", "type", "help", "value", "labels"}`` dicts the
+    renderer and the live sampler both consume. ``/proc``-backed
+    entries vanish on platforms without procfs instead of erroring.
+    """
+    stamp = time.time() if now is None else now
+    samples: List[Dict[str, Any]] = []
+
+    def add(name: str, kind: str, help_text: str, value: float,
+            labels: Optional[Dict[str, str]] = None) -> None:
+        samples.append({
+            "name": name, "type": kind, "help": help_text,
+            "value": value, "labels": labels or {},
+        })
+
+    memory = _proc_statm()
+    if memory is not None:
+        add("process_resident_memory_bytes", "gauge",
+            "Resident set size in bytes",
+            memory["process_resident_memory_bytes"])
+        add("process_virtual_memory_bytes", "gauge",
+            "Virtual memory size in bytes",
+            memory["process_virtual_memory_bytes"])
+    fds = _open_fds()
+    if fds is not None:
+        add("process_open_fds", "gauge",
+            "Open file descriptors", float(fds))
+    add("process_threads", "gauge",
+        "Live Python threads", float(threading.active_count()))
+    add("process_start_time_seconds", "gauge",
+        "Unix time the telemetry plane initialized", _START_UNIX)
+    add("process_uptime_seconds", "gauge",
+        "Seconds since the telemetry plane initialized",
+        max(0.0, stamp - _START_UNIX))
+    for generation, stats in enumerate(gc.get_stats()):
+        add("python_gc_collections_total", "counter",
+            "GC collections per generation",
+            float(stats.get("collections", 0)),
+            {"generation": str(generation)})
+        add("python_gc_objects_collected_total", "counter",
+            "Objects collected by the GC per generation",
+            float(stats.get("collected", 0)),
+            {"generation": str(generation)})
+    return samples
+
+
+def render_process(now: Optional[float] = None) -> str:
+    """Render the process gauges (no registry needed)."""
+    lines: List[str] = []
+    seen: set = set()
+    for sample in process_samples(now=now):
+        if sample["name"] not in seen:
+            seen.add(sample["name"])
+            lines.append(f"# HELP {sample['name']} {sample['help']}")
+            lines.append(f"# TYPE {sample['name']} {sample['type']}")
+        lines.append(
+            f"{sample['name']}{_labels(sample['labels'])} "
+            f"{format_value(sample['value'])}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render(
+    registry: Optional[Any] = None,
+    include_process: bool = True,
+    now: Optional[float] = None,
+) -> str:
+    """The full ``GET /metrics`` body.
+
+    ``registry`` defaults to the current recorder's
+    :class:`~repro.obs.metrics.MetricsRegistry` when it has one; with
+    the null recorder installed only the process section renders.
+    """
+    if registry is None:
+        from repro.obs.recorder import get_recorder
+
+        registry = getattr(get_recorder(), "metrics", None)
+    parts: List[str] = []
+    if registry is not None:
+        parts.append(render_snapshot(registry.snapshot()))
+    if include_process:
+        parts.append(render_process(now=now))
+    return "".join(parts)
+
+
+def parse_sample_line(line: str) -> Optional[Dict[str, Any]]:
+    """Parse one non-comment exposition line -> name/labels/value.
+
+    Shared with ``tools/check_exposition.py`` (which imports this
+    module when available) and the scrape-monotonicity tests. Returns
+    ``None`` for blank and comment lines; raises ``ValueError`` on a
+    malformed sample.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    if "{" in stripped:
+        name, _, rest = stripped.partition("{")
+        labels_raw, _, value_part = rest.partition("}")
+        labels: Dict[str, str] = {}
+        for pair in filter(None, labels_raw.split(",")):
+            key, _, value = pair.partition("=")
+            if not value.startswith('"') or not value.endswith('"'):
+                raise ValueError(f"unquoted label value in {line!r}")
+            labels[key.strip()] = value[1:-1]
+    else:
+        name, _, value_part = stripped.partition(" ")
+        labels = {}
+    fields = value_part.split()
+    if not fields:
+        raise ValueError(f"sample line without a value: {line!r}")
+    raw_value = fields[0]
+    if raw_value == "+Inf":
+        value = float("inf")
+    elif raw_value == "-Inf":
+        value = float("-inf")
+    else:
+        value = float(raw_value)
+    if not name or not all(
+        char in _ALLOWED or char == ":" for char in name
+    ) or name[0].isdigit():
+        raise ValueError(f"illegal metric name {name!r}")
+    return {"name": name, "labels": labels, "value": value}
+
+
+def parse_exposition(text: str) -> Dict[str, Any]:
+    """Parse a whole scrape into ``{"types": ..., "samples": [...]}}``.
+
+    Minimal but strict enough for CI: every sample line must parse,
+    and a family's samples must follow its ``# TYPE`` declaration when
+    one exists.
+    """
+    types: Dict[str, str] = {}
+    samples: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("# TYPE "):
+            fields = stripped.split()
+            if len(fields) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE comment")
+            if fields[3] not in ("counter", "gauge", "histogram",
+                                 "summary", "untyped"):
+                raise ValueError(
+                    f"line {lineno}: unknown type {fields[3]!r}"
+                )
+            types[fields[2]] = fields[3]
+            continue
+        try:
+            sample = parse_sample_line(line)
+        except ValueError as error:
+            raise ValueError(f"line {lineno}: {error}")
+        if sample is not None:
+            sample["line"] = lineno
+            samples.append(sample)
+    return {"types": types, "samples": samples}
+
+
+def counter_values(text: str) -> Dict[str, float]:
+    """``name{labels} -> value`` for every counter sample in a scrape.
+
+    Histogram ``_bucket``/``_count`` series count as counters too —
+    they are cumulative — so monotonicity checks cover them.
+    """
+    parsed = parse_exposition(text)
+    out: Dict[str, float] = {}
+    for sample in parsed["samples"]:
+        name = sample["name"]
+        family = name
+        for suffix in ("_bucket", "_count", "_sum", "_total"):
+            if name.endswith(suffix):
+                family = name[: -len(suffix)]
+                break
+        declared = parsed["types"].get(family) or parsed["types"].get(name)
+        is_cumulative = (
+            declared == "counter"
+            or (declared == "histogram" and not name.endswith("_sum"))
+        )
+        if is_cumulative:
+            key = name + _labels(sample["labels"])
+            out[key] = sample["value"]
+    return out
+
+
+__all__ = [
+    "CONTENT_TYPE",
+    "NAME_PREFIX",
+    "counter_values",
+    "format_value",
+    "metric_name",
+    "parse_exposition",
+    "parse_sample_line",
+    "process_samples",
+    "render",
+    "render_process",
+    "render_snapshot",
+]

@@ -9,10 +9,17 @@ across processes so worker metrics fold into the parent's registry.
 Histograms use fixed upper-bound buckets (Prometheus-style cumulative
 counts are derivable; we store per-bucket counts plus a ``+Inf``
 overflow slot) so merging is exact — no quantile sketches, no deps.
+
+Counters and histograms are **scrape-safe**: writes and snapshots
+synchronize on a per-instrument lock, so a ``/metrics`` scrape or the
+live sampler reading a registry mid-``observe`` can never see a torn
+``(count, sum, buckets)`` triple. The null instruments the disabled
+path uses stay lock-free — the <2% overhead budget is unaffected.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 #: Default latency buckets (seconds): microsecond cache hits through
@@ -25,17 +32,23 @@ LATENCY_BUCKETS_S: Tuple[float, ...] = (
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        # ``+=`` is a read-modify-write across bytecodes: two handler
+        # threads racing it can lose increments. The lock makes the
+        # counter exact under the threaded server.
+        with self._lock:
+            self.value += amount
 
     def to_jsonable(self) -> Dict[str, Any]:
-        return {"type": "counter", "name": self.name, "value": self.value}
+        with self._lock:
+            return {"type": "counter", "name": self.name, "value": self.value}
 
 
 class Gauge:
@@ -61,7 +74,7 @@ class Histogram:
     first bucket whose bound is >= the value, or in the overflow slot.
     """
 
-    __slots__ = ("name", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "buckets", "counts", "sum", "count", "_lock")
 
     def __init__(
         self, name: str, buckets: Sequence[float] = LATENCY_BUCKETS_S
@@ -76,15 +89,17 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)  # +1: overflow (> last bound)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[index] += 1
+                    return
+            self.counts[-1] += 1
 
     def mean(self) -> Optional[float]:
         return self.sum / self.count if self.count else None
@@ -106,36 +121,52 @@ class Histogram:
         return float("inf")
 
     def to_jsonable(self) -> Dict[str, Any]:
-        return {
-            "type": "histogram",
-            "name": self.name,
-            "buckets": list(self.buckets),
-            "counts": list(self.counts),
-            "sum": self.sum,
-            "count": self.count,
-        }
+        # The lock pairs with ``observe``: a snapshot taken mid-observe
+        # always satisfies ``count == sum(counts)``.
+        with self._lock:
+            return {
+                "type": "histogram",
+                "name": self.name,
+                "buckets": list(self.buckets),
+                "counts": list(self.counts),
+                "sum": self.sum,
+                "count": self.count,
+            }
 
 
 class MetricsRegistry:
-    """All instruments of one recorder, keyed by name."""
+    """All instruments of one recorder, keyed by name.
+
+    Lookup is lock-free on the hit path (dict reads are atomic);
+    instrument *creation* double-checks under the registry lock so two
+    handler threads racing the first touch of a name share one
+    instrument instead of silently splitting its counts.
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- instrument lookup (creating lazily) --------------------------------
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name)
+            with self._lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = self._counters[name] = Counter(name)
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name)
+            with self._lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    instrument = self._gauges[name] = Gauge(name)
         return instrument
 
     def histogram(
@@ -143,7 +174,12 @@ class MetricsRegistry:
     ) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name, buckets)
+            with self._lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = self._histograms[name] = Histogram(
+                        name, buckets
+                    )
         return instrument
 
     # -- introspection ------------------------------------------------------
@@ -169,6 +205,17 @@ class MetricsRegistry:
             out.append(self._histograms[name].to_jsonable())
         return out
 
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """A scrape-consistent copy of every instrument.
+
+        Each instrument is copied under its own lock, so concurrent
+        ``inc``/``observe`` calls can reorder *between* instruments but
+        never tear one — every histogram in the snapshot satisfies
+        ``count == sum(counts)``. This is what ``/metrics`` exposition
+        and the live sampler read.
+        """
+        return self.to_jsonable()
+
     # -- cross-process merge -------------------------------------------------
 
     def merge_jsonable(self, exported: Sequence[Dict[str, Any]]) -> None:
@@ -190,10 +237,11 @@ class MetricsRegistry:
                     raise ValueError(
                         f"histogram {name!r} bucket mismatch on merge"
                     )
-                for index, count in enumerate(item["counts"]):
-                    histogram.counts[index] += count
-                histogram.sum += item["sum"]
-                histogram.count += item["count"]
+                with histogram._lock:
+                    for index, count in enumerate(item["counts"]):
+                        histogram.counts[index] += count
+                    histogram.sum += item["sum"]
+                    histogram.count += item["count"]
             else:
                 raise ValueError(f"unknown metric type {kind!r}")
 

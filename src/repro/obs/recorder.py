@@ -60,6 +60,42 @@ class NullRecorder:
         return NULL_HISTOGRAM
 
 
+class MetricsRecorder:
+    """A metrics-only recorder for long-lived daemons.
+
+    Counters, gauges and histograms collect into a real (lock-guarded)
+    :class:`~repro.obs.metrics.MetricsRegistry`; spans and events stay
+    no-ops. That is exactly the always-on shape a server needs: the
+    instrument set is bounded by distinct metric names, so memory never
+    grows with request count, while a :class:`TraceRecorder` would
+    retain one span per request forever. ``enabled`` stays ``False``
+    because it gates *span/event* collection — the hot-path check in
+    :func:`event` keeps costing one attribute read.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+
+    def span(self, name: str, **attrs: Any) -> NullSpan:
+        return NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = LATENCY_BUCKETS_S
+    ) -> Histogram:
+        return self.metrics.histogram(name, buckets)
+
+
 _recorder_seq = itertools.count(1)
 
 
@@ -173,7 +209,7 @@ class TraceRecorder:
         self.metrics.merge_jsonable(exported.get("metrics", ()))
 
 
-Recorder = Union[NullRecorder, TraceRecorder]
+Recorder = Union[NullRecorder, MetricsRecorder, TraceRecorder]
 
 NULL_RECORDER = NullRecorder()
 

@@ -5,12 +5,18 @@ zero-dependency HTTP daemon — datasets, indexes and the artifact cache
 load once at startup, then concurrent clients slice the corpus over
 ``GET /query``, fetch experiment results over ``GET /artefact/<id>``
 and read the run history over ``GET /history`` / ``GET /regress``.
-:mod:`repro.server.loadgen` stress-tests it; :mod:`repro.server.slo`
-turns the measured latencies into CI-gated SLO verdicts. See
-``docs/SERVICE.md`` for the endpoint reference and ops runbook.
+The live telemetry plane rides on the same daemon: ``GET /metrics``
+(Prometheus text scrape), ``GET /stats`` (sampler window JSON),
+``GET /events`` (Server-Sent-Events tick stream), ``GET /dashboard``
+(auto-updating live view) and ``GET /profile`` (on-demand sampling
+profiler). :mod:`repro.server.loadgen` stress-tests it;
+:mod:`repro.server.slo` turns the measured latencies into CI-gated
+SLO verdicts. See ``docs/SERVICE.md`` for the endpoint reference and
+ops runbook.
 """
 
 from repro.server.app import MeasurementServer, create_server
+from repro.server.dashboard import render_dashboard
 from repro.server.loadgen import LoadGenerator, LoadgenReport, run_loadgen
 from repro.server.slo import ROUTE_SLOS_P99_S, check, record_from_loadgen
 from repro.server.state import ServerState
@@ -24,5 +30,6 @@ __all__ = [
     "ROUTE_SLOS_P99_S",
     "check",
     "record_from_loadgen",
+    "render_dashboard",
     "ServerState",
 ]

@@ -11,21 +11,35 @@ Operational contract:
 
 * **Warmup.** ``start()``/``serve_forever()`` answer immediately;
   every data route returns 503 with the current warm phase until
-  :meth:`ServerState.warm` finishes. ``/healthz`` is the only route
-  that is meaningful before readiness.
+  :meth:`ServerState.warm` finishes. ``/healthz`` and the telemetry
+  plane (``/metrics``, ``/stats``, ``/events``, ``/dashboard``,
+  ``/profile``) work before readiness — you can watch a warmup.
 * **Graceful shutdown.** ``daemon_threads`` is off and
   ``block_on_close`` on, so ``server_close()`` joins every in-flight
   handler thread: SIGTERM/SIGINT stop accepting, drain, then exit
   (130 for SIGINT, 0 for SIGTERM — matching the runner's convention).
+  :meth:`stop` stops the live sampler *first* so blocked ``/events``
+  handlers wake and drain instead of deadlocking the join.
 * **Observability.** Every request runs under an ``obs.span``
   (``server.request`` with route/path/status attrs) and feeds the
   ``server.requests`` counters plus per-route ``server.latency_s.*``
-  histograms; with the Null recorder (default) all of it is free.
+  histograms. The server installs a metrics-only
+  :class:`~repro.obs.recorder.MetricsRecorder` when the process has no
+  collecting recorder — bounded memory for an always-on daemon — and a
+  :class:`~repro.obs.live.LiveSampler` snapshots that registry every
+  second for ``/stats``, ``/events`` and the dashboard.
+* **Distributed traces.** A client sending a W3C-style ``traceparent``
+  header gets an ``X-Repro-Span`` response header: the server-side
+  ``server.request`` span exported as JSON, parented under the
+  client's span id. The loadgen ``adopt()``\\ s these into its trace,
+  so one tree shows both sides of every request.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import signal
 import socket
 import threading
@@ -35,12 +49,21 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro import obs
+from repro.obs import exposition
 from repro.server.state import RequestError, ServerState
 
 #: Routes the server understands (used for metric names and the index).
 ROUTES = (
     "index", "healthz", "query", "artefact", "population", "history", "regress",
+    "metrics", "stats", "events", "dashboard", "profile",
 )
+
+#: Telemetry-plane routes served during warmup (before ``ready``).
+OPS_ROUTES = ("metrics", "stats", "events", "dashboard", "profile")
+
+#: Server-side span ids: PID + a process-wide sequence, so exports from
+#: one daemon never collide inside an adopting client trace.
+_span_seq = itertools.count(1)
 
 
 def _route_of(path: str) -> str:
@@ -51,11 +74,34 @@ def _route_of(path: str) -> str:
     return head if head in ROUTES else "unknown"
 
 
+def _parse_traceparent(value: str) -> Optional[Tuple[str, str]]:
+    """``(trace_id, span_id)`` from a traceparent-style header, else None.
+
+    Accepts the W3C shape ``00-<trace_id>-<span_id>-<flags>`` but is
+    deliberately lenient about field widths: the loadgen sends repro
+    span ids, not 16-hex-digit ones.
+    """
+    fields = value.strip().split("-")
+    if len(fields) < 4:
+        return None
+    trace_id, span_id = fields[1], fields[2]
+    if not trace_id or not span_id:
+        return None
+    return trace_id, span_id
+
+
 class _Handler(BaseHTTPRequestHandler):
     """One request. All state lives on ``self.server.state``."""
 
     protocol_version = "HTTP/1.1"  # keep-alive: loadgen reuses connections
     server_version = "repro-serve"
+
+    # Per-request trace context (set by do_GET; defaults cover do_POST).
+    _trace: Optional[Tuple[str, str]] = None
+    _route = "unknown"
+    _req_path = ""
+    _started_unix = 0.0
+    _t0 = 0.0
 
     # -- plumbing -------------------------------------------------------------
 
@@ -68,11 +114,53 @@ class _Handler(BaseHTTPRequestHandler):
             return
         super().log_message(format, *args)
 
+    def _span_header(self, status: int) -> Optional[str]:
+        """The ``X-Repro-Span`` export for a traced request (else None).
+
+        Computed at header-send time, so ``duration_s`` is the server
+        wall time *up to the response headers* — the compute, not the
+        body flush. The export is one JSON object in the shape
+        :meth:`repro.obs.spans.Span.to_jsonable` produces, parented
+        under the client's span id so ``TraceRecorder.adopt`` slots it
+        straight into the caller's tree.
+        """
+        if self._trace is None:
+            return None
+        trace_id, parent_id = self._trace
+        export = {
+            "name": "server.request",
+            "span_id": f"{os.getpid():x}.srv.{next(_span_seq)}",
+            "parent_id": parent_id,
+            "start_unix": self._started_unix,
+            "duration_s": round(time.perf_counter() - self._t0, 9),
+            "status": "error" if status >= 500 else "ok",
+            "attrs": {
+                "route": self._route, "path": self._req_path,
+                "status": status, "trace_id": trace_id,
+                "server_pid": os.getpid(),
+            },
+            "events": [],
+        }
+        return json.dumps(export, separators=(",", ":"))
+
     def _send_json(self, status: int, payload: Any) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_body(status, body, "application/json")
+
+    def _send_text(
+        self, status: int, text: str, content_type: str
+    ) -> None:
+        self._send_body(status, text.encode("utf-8"), content_type)
+
+    def _send_body(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        span_export = self._span_header(status)
+        if span_export is not None:
+            self.send_header("X-Repro-Span", span_export)
         self.end_headers()
         self.wfile.write(body)
 
@@ -85,7 +173,13 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         parsed = urllib.parse.urlsplit(self.path)
         route = _route_of(parsed.path)
-        started = time.perf_counter()
+        self._route = route
+        self._req_path = parsed.path
+        self._trace = _parse_traceparent(self.headers.get("traceparent", ""))
+        self._started_unix = time.time()
+        started = self._t0 = time.perf_counter()
+        # started vs finished is the dashboard's in-flight derivation.
+        obs.counter("server.requests_started").inc()
         with obs.span("server.request", route=route, path=parsed.path) as span:
             try:
                 status = self._dispatch(route, parsed)
@@ -128,6 +222,18 @@ class _Handler(BaseHTTPRequestHandler):
                 404,
                 f"unknown path {parsed.path!r}; GET / lists the endpoints",
             )
+        if route in OPS_ROUTES:
+            # The telemetry plane works during warmup: watching a warm
+            # phase is exactly when you want /metrics and /dashboard.
+            if route == "metrics":
+                return self._do_metrics(params)
+            if route == "stats":
+                return self._do_stats(params)
+            if route == "events":
+                return self._do_events(params)
+            if route == "dashboard":
+                return self._do_dashboard(params)
+            return self._do_profile(params)
         if not self.state.ready.is_set():
             payload = self.state.healthz()
             self._send_json(503, payload)
@@ -153,7 +259,7 @@ class _Handler(BaseHTTPRequestHandler):
             return 200
         return self._error(404, f"unroutable path {parsed.path!r}")
 
-    # -- routes ---------------------------------------------------------------
+    # -- data routes -----------------------------------------------------------
 
     def _do_query(self, params: Dict[str, str]) -> int:
         kind = params.pop("kind", "")
@@ -192,6 +298,117 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(200, payload)
         return 200
 
+    # -- telemetry routes ------------------------------------------------------
+
+    def _do_metrics(self, params: Dict[str, str]) -> int:
+        body = exposition.render(registry=self.server.registry)
+        self._send_text(200, body, exposition.CONTENT_TYPE)
+        return 200
+
+    def _do_stats(self, params: Dict[str, str]) -> int:
+        window = _float_param(params, "window", 60.0)
+        if window <= 0:
+            raise RequestError(400, "window must be positive seconds")
+        series = _list_param(params.get("series", ""))
+        payload = self.server.sampler.stats(window_s=window, series=series)
+        self._send_json(200, payload)
+        return 200
+
+    def _sse_write(self, event: str, data: Any) -> None:
+        payload = json.dumps(data, sort_keys=True)
+        self.wfile.write(f"event: {event}\ndata: {payload}\n\n".encode())
+        self.wfile.flush()
+
+    def _do_events(self, params: Dict[str, str]) -> int:
+        """Stream sampler ticks as Server-Sent Events.
+
+        HTTP/1.1 with no Content-Length means the only way to end the
+        stream is to close the connection, so ``close_connection`` is
+        forced on. The loop wakes on every sampler tick (Condition
+        broadcast, no polling), emits ``: keepalive`` comments on
+        quiet timeouts, and exits on client disconnect, server
+        shutdown, or after ``max_events=N`` ticks (how tests and curl
+        get a bounded stream).
+        """
+        sampler = self.server.sampler
+        max_events = _int_param(params, "max_events", 0)
+        self.close_connection = True
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        stopping = self.server._stopping
+        try:
+            self.wfile.write(b"retry: 2000\n\n")
+            self._sse_write("hello", {"sampler": sampler.info()})
+            seen = sampler.ticks
+            sent = 0
+            while not stopping.is_set():
+                event = sampler.wait_for_event(
+                    seen, timeout_s=max(1.0, sampler.interval_s * 2)
+                )
+                if stopping.is_set():
+                    break
+                if event is None:
+                    if not sampler.alive():
+                        break
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    continue
+                seen = event["tick"]
+                self._sse_write("tick", event)
+                sent += 1
+                if max_events and sent >= max_events:
+                    break
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return 499
+        return 200
+
+    def _do_dashboard(self, params: Dict[str, str]) -> int:
+        from repro.server.dashboard import render_dashboard
+
+        self._send_text(
+            200, render_dashboard(), "text/html; charset=utf-8"
+        )
+        return 200
+
+    def _do_profile(self, params: Dict[str, str]) -> int:
+        """On-demand sampling profile: block, sample, return collapsed.
+
+        One profile at a time (a second concurrent request gets 409 —
+        two tickers would halve each other's effective rate), capped
+        at ``profile_max_s``, and aborted early by server shutdown so
+        a profile never delays a drain.
+        """
+        seconds = _float_param(params, "seconds", 5.0)
+        max_s = self.server.profile_max_s
+        if seconds <= 0 or seconds > max_s:
+            raise RequestError(
+                400, f"seconds must be in (0, {max_s:g}], got {seconds:g}"
+            )
+        interval_ms = _float_param(params, "interval_ms", 10.0)
+        if interval_ms < 1.0:
+            raise RequestError(400, "interval_ms must be >= 1")
+        lock = self.server.profile_lock
+        if not lock.acquire(blocking=False):
+            return self._error(
+                409, "a profile is already running; retry when it finishes"
+            )
+        try:
+            profiler = obs.SamplingProfiler(interval_s=interval_ms / 1000.0)
+            profiler.run_for(seconds, abort=self.server._stopping)
+        finally:
+            lock.release()
+        body = profiler.collapsed()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body.encode("utf-8"))))
+        self.send_header("X-Repro-Profile-Ticks", str(profiler.samples))
+        self.end_headers()
+        self.wfile.write(body.encode("utf-8"))
+        return 200
+
 
 def _int_param(params: Dict[str, str], name: str, default: int) -> int:
     raw = params.get(name, "")
@@ -201,6 +418,18 @@ def _int_param(params: Dict[str, str], name: str, default: int) -> int:
         return int(raw)
     except ValueError:
         raise RequestError(400, f"{name} must be an integer, got {raw!r}")
+
+
+def _float_param(
+    params: Dict[str, str], name: str, default: float
+) -> float:
+    raw = params.get(name, "")
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise RequestError(400, f"{name} must be a number, got {raw!r}")
 
 
 def _list_param(raw: str) -> Tuple[str, ...]:
@@ -226,6 +455,9 @@ class MeasurementServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         quiet: bool = True,
+        sample_interval_s: float = 1.0,
+        sample_capacity: int = 600,
+        profile_max_s: float = 30.0,
     ) -> None:
         super().__init__((host, port), _Handler)
         self.state = state
@@ -234,6 +466,41 @@ class MeasurementServer(ThreadingHTTPServer):
         self._serve_thread: Optional[threading.Thread] = None
         self._stopping = threading.Event()
         self._stopped = threading.Event()
+        # Telemetry plane. A TraceRecorder keeps a span object per
+        # request — unbounded on a daemon — so when nothing is
+        # collecting yet, install the metrics-only recorder (bounded by
+        # distinct instrument names) and restore the old one on stop().
+        # A process that already collects (run-all --trace hosting a
+        # server in-process) keeps its own registry.
+        self._installed_recorder: Optional[obs.MetricsRecorder] = None
+        self._previous_recorder: Any = None
+        registry = getattr(obs.get_recorder(), "metrics", None)
+        if registry is None:
+            self._installed_recorder = obs.MetricsRecorder()
+            self._previous_recorder = obs.set_recorder(
+                self._installed_recorder
+            )
+            registry = self._installed_recorder.metrics
+        self.registry = registry
+        self.sampler = obs.LiveSampler(
+            registry,
+            interval_s=sample_interval_s,
+            capacity=sample_capacity,
+        )
+        self.profile_lock = threading.Lock()
+        self.profile_max_s = profile_max_s
+        state.attach_telemetry(self._telemetry_info)
+
+    def _telemetry_info(self) -> Dict[str, Any]:
+        """The ``/healthz`` telemetry block: totals + sampler liveness."""
+        return {
+            "requests_total": self.registry.counter("server.requests").value,
+            "requests_started": self.registry.counter(
+                "server.requests_started"
+            ).value,
+            "errors_5xx": self.registry.counter("server.status.5xx").value,
+            "sampler": self.sampler.info(),
+        }
 
     # -- addresses ------------------------------------------------------------
 
@@ -269,6 +536,7 @@ class MeasurementServer(ThreadingHTTPServer):
 
     def start(self) -> "MeasurementServer":
         """In-process mode (tests, benches): accept loop in a thread."""
+        self.sampler.start()
         self.warm_in_background()
         self._serve_thread = threading.Thread(
             target=self.serve_forever, name="repro-serve-accept", daemon=True
@@ -277,15 +545,28 @@ class MeasurementServer(ThreadingHTTPServer):
         return self
 
     def stop(self) -> None:
-        """Stop accepting, drain in-flight requests, release the socket."""
+        """Stop accepting, drain in-flight requests, release the socket.
+
+        Order matters: the sampler stops *before* ``server_close()``
+        joins handler threads, so an ``/events`` handler blocked in
+        ``wait_for_event`` wakes (Condition broadcast), sees
+        ``_stopping`` and finishes — otherwise the join would wait a
+        full SSE timeout per streaming client.
+        """
         if self._stopping.is_set():
             self._stopped.wait(timeout=30.0)
             return
         self._stopping.set()
+        self.sampler.stop()
         self.shutdown()
         self.server_close()  # block_on_close joins handler threads
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=30.0)
+        if (
+            self._installed_recorder is not None
+            and obs.get_recorder() is self._installed_recorder
+        ):
+            obs.set_recorder(self._previous_recorder)
         self._stopped.set()
 
     def run_foreground(self, warm_first: bool = False) -> int:
@@ -309,6 +590,7 @@ class MeasurementServer(ThreadingHTTPServer):
             for sig in (signal.SIGINT, signal.SIGTERM)
         }
         try:
+            self.sampler.start()
             if warm_first:
                 self.state.warm()
             else:
@@ -334,6 +616,9 @@ def create_server(
     quiet: bool = True,
     debug_delay: bool = False,
     warm_artefacts: Optional[Tuple[str, ...]] = None,
+    sample_interval_s: float = 1.0,
+    sample_capacity: int = 600,
+    profile_max_s: float = 30.0,
 ) -> MeasurementServer:
     """One-call constructor used by the CLI, tests and benches."""
     from repro.server.state import WARM_ARTEFACTS
@@ -345,4 +630,9 @@ def create_server(
             WARM_ARTEFACTS if warm_artefacts is None else warm_artefacts
         ),
     )
-    return MeasurementServer(state, host=host, port=port, quiet=quiet)
+    return MeasurementServer(
+        state, host=host, port=port, quiet=quiet,
+        sample_interval_s=sample_interval_s,
+        sample_capacity=sample_capacity,
+        profile_max_s=profile_max_s,
+    )

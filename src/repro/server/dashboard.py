@@ -1,0 +1,173 @@
+"""The live dashboard page (``GET /dashboard``).
+
+One self-contained HTML document — inline CSS (shared with the static
+history report) and a small vanilla script, no external assets — that
+subscribes to the server's ``/events`` Server-Sent-Events stream and
+redraws itself on every sampler tick:
+
+* headline tiles: total QPS, in-flight requests (``requests_started``
+  minus finished ``requests``), resident memory, thread count and the
+  warm phase (polled from ``/healthz``);
+* a per-route table with QPS and p99 latency numbers plus SVG
+  sparklines over the last ~2 minutes of ticks.
+
+Everything renders client-side from the tick deltas the
+:class:`~repro.obs.live.LiveSampler` already publishes, so the page
+adds zero server-side state: the handler returns the same static bytes
+every time and the browser does the rest. Point arrays are capped at
+``MAX_POINTS`` so a tab left open overnight holds bounded memory —
+the same discipline as the server-side ring buffers.
+"""
+
+from __future__ import annotations
+
+from repro.obs.report import _CSS
+
+#: Client-side points kept per sparkline (matches ~2 min at 1 Hz).
+MAX_POINTS = 120
+
+_PAGE = """<!doctype html>
+<html><head><meta charset='utf-8'>
+<title>repro — live telemetry</title>
+<style>__CSS__
+.tiles { display: flex; gap: 1rem; flex-wrap: wrap; margin: 1rem 0; }
+.tile { border: 1px solid #d7d7e0; background: #f7f7fa; padding: 0.6rem 1rem;
+        border-radius: 6px; min-width: 8rem; }
+.tile b { display: block; font-size: 1.3rem;
+          font-variant-numeric: tabular-nums; }
+.tile span { color: #6b6b7b; font-size: 0.75rem; }
+svg.spark { vertical-align: middle; }
+polyline.qps { fill: none; stroke: #2b6cb0; stroke-width: 1.5; }
+polyline.p99 { fill: none; stroke: #b03a2b; stroke-width: 1.5; }
+#link { font-size: 0.8rem; }
+#link.dead { color: #a61b1b; } #link.live { color: #176e2c; }
+</style></head><body>
+<h1>repro — live telemetry</h1>
+<p class=meta>streaming from <code>/events</code> ·
+<span id=link class=dead>connecting…</span> ·
+warm phase: <code id=phase>?</code> ·
+sampler tick <span id=tick>0</span></p>
+<div class=tiles>
+<div class=tile><b id=qps>0</b><span>requests / s</span></div>
+<div class=tile><b id=inflight>0</b><span>in-flight requests</span></div>
+<div class=tile><b id=artefacts>0</b><span>memoized artefacts</span></div>
+<div class=tile><b id=rss>?</b><span>resident memory</span></div>
+<div class=tile><b id=threads>?</b><span>threads</span></div>
+</div>
+<h2>per-route</h2>
+<table><thead><tr>
+<th class=name>route</th><th>qps</th><th>qps trend</th>
+<th>p99 (ms)</th><th>p99 trend</th><th>total</th>
+</tr></thead><tbody id=routes></tbody></table>
+<p class=meta>sparklines: last __MAX_POINTS__ sampler ticks, client-side
+only. p99 is the windowed bucket-resolution quantile each tick reports.</p>
+<script>
+'use strict';
+const MAX_POINTS = __MAX_POINTS__;
+const series = {};               // key -> capped number array
+const routeTotals = {};          // route -> last cumulative count
+function push(key, value) {
+  const arr = series[key] || (series[key] = []);
+  arr.push(value);
+  if (arr.length > MAX_POINTS) arr.shift();
+}
+function spark(key, cls) {
+  const arr = series[key] || [];
+  if (arr.length < 2) return '';
+  const w = 140, h = 24, max = Math.max(...arr, 1e-9);
+  const pts = arr.map((v, i) =>
+    (i * w / (MAX_POINTS - 1)).toFixed(1) + ',' +
+    (h - 2 - (v / max) * (h - 4)).toFixed(1)).join(' ');
+  return '<svg class=spark width=' + w + ' height=' + h + '>' +
+    '<polyline class=' + cls + ' points="' + pts + '"/></svg>';
+}
+function fmtBytes(n) {
+  if (!n && n !== 0) return '?';
+  const units = ['B', 'KiB', 'MiB', 'GiB'];
+  let u = 0;
+  while (n >= 1024 && u < units.length - 1) { n /= 1024; u += 1; }
+  return n.toFixed(u ? 1 : 0) + ' ' + units[u];
+}
+function routeNames() {
+  const names = new Set();
+  for (const key of Object.keys(series)) {
+    if (key.startsWith('qps:')) names.add(key.slice(4));
+  }
+  return Array.from(names).sort();
+}
+function redraw() {
+  const rows = [];
+  for (const route of routeNames()) {
+    const qps = series['qps:' + route] || [];
+    const p99 = series['p99:' + route] || [];
+    rows.push('<tr><td class=name>' + route + '</td>' +
+      '<td>' + (qps.length ? qps[qps.length - 1].toFixed(1) : '-') + '</td>' +
+      '<td>' + spark('qps:' + route, 'qps') + '</td>' +
+      '<td>' + (p99.length ? p99[p99.length - 1].toFixed(1) : '-') + '</td>' +
+      '<td>' + spark('p99:' + route, 'p99') + '</td>' +
+      '<td>' + (routeTotals[route] || 0) + '</td></tr>');
+  }
+  document.getElementById('routes').innerHTML = rows.join('');
+}
+function onTick(tick) {
+  document.getElementById('tick').textContent = tick.tick;
+  const total = tick.counters['server.requests'] || {};
+  const started = tick.counters['server.requests_started'] || {};
+  push('total_qps', total.rate_per_s || 0);
+  document.getElementById('qps').textContent =
+    (total.rate_per_s || 0).toFixed(1);
+  document.getElementById('inflight').textContent =
+    Math.max(0, (started.value || 0) - (total.value || 0));
+  for (const [name, entry] of Object.entries(tick.counters)) {
+    if (name.startsWith('server.requests.')) {
+      const route = name.slice('server.requests.'.length);
+      push('qps:' + route, entry.rate_per_s || 0);
+      routeTotals[route] = entry.value || 0;
+    }
+  }
+  for (const [name, entry] of Object.entries(tick.histograms)) {
+    if (name.startsWith('server.latency_s.')) {
+      const route = name.slice('server.latency_s.'.length);
+      push('p99:' + route, (entry.p99_s || 0) * 1000);
+    }
+  }
+  const gauges = tick.gauges || {};
+  const rss = gauges['process_resident_memory_bytes'];
+  if (rss) document.getElementById('rss').textContent = fmtBytes(rss.value);
+  const threads = gauges['process_threads'];
+  if (threads) {
+    document.getElementById('threads').textContent = threads.value;
+  }
+  const memo = gauges['server.artefact_memo'];
+  if (memo) document.getElementById('artefacts').textContent = memo.value;
+  redraw();
+}
+function pollHealth() {
+  fetch('/healthz').then(r => r.json()).then(h => {
+    document.getElementById('phase').textContent = h.phase || '?';
+  }).catch(() => {});
+}
+const link = document.getElementById('link');
+const es = new EventSource('/events');
+es.addEventListener('tick', e => { onTick(JSON.parse(e.data)); });
+es.onopen = () => { link.textContent = 'live'; link.className = 'live'; };
+es.onerror = () => {
+  link.textContent = 'disconnected (retrying)'; link.className = 'dead';
+};
+pollHealth();
+setInterval(pollHealth, 5000);
+</script>
+</body></html>
+"""
+
+
+def render_dashboard() -> str:
+    """The ``/dashboard`` document (static bytes; the browser streams)."""
+    return (
+        _PAGE
+        .replace("__CSS__", _CSS)
+        .replace("__MAX_POINTS__", str(MAX_POINTS))
+    )
+
+
+__all__ = ["MAX_POINTS", "render_dashboard"]

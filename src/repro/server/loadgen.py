@@ -9,16 +9,29 @@ sequence. Latencies are wall-clock and vary run to run; the workload
 does not.
 
 The mix mirrors how the corpus is consumed interactively (heavy
-slicing, some artefact lookups, occasional ops endpoints):
+slicing, some artefact lookups, occasional ops endpoints — including
+the telemetry plane, which is part of the SLO surface and therefore
+part of the load):
 
 ========  ======  ==============================================
 route     weight  request shape
 ========  ======  ==============================================
-query     65%     count/count_by/group_by over random dimensions
+query     57%     count/count_by/group_by over random dimensions
 artefact  15%     warm artefact lookups from a small id pool
-history   10%     history listing
-healthz   10%     liveness probe
+history    8%     history listing
+healthz    8%     liveness probe
+metrics    7%     Prometheus text scrape
+stats      5%     live sampler window JSON
 ========  ======  ==============================================
+
+Every request carries a traceparent-style header
+(``00-<trace_id>-<span_id>-01``). The server answers with an
+``X-Repro-Span`` header — its ``server.request`` span exported as
+JSON, parented under the client span id — and a traced run
+(``trace=True``) ``adopt()``\\ s those exports into per-client
+:class:`~repro.obs.recorder.TraceRecorder`\\ s, merged into one trace
+at the end: a single tree showing the client *and* server side of
+every request.
 
 The report carries exact (not interpolated) per-route p50/p95/p99 —
 computed from the full sorted latency list, no reservoir — plus
@@ -38,6 +51,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.server.state import WARM_ARTEFACTS
 
 #: Artefacts the load mix requests: exactly the set the server warms at
@@ -46,10 +60,12 @@ ARTEFACT_POOL: Tuple[str, ...] = WARM_ARTEFACTS
 
 #: (route, weight) pairs the per-client RNG samples from.
 MIX: Tuple[Tuple[str, int], ...] = (
-    ("query", 65),
+    ("query", 57),
     ("artefact", 15),
-    ("history", 10),
-    ("healthz", 10),
+    ("history", 8),
+    ("healthz", 8),
+    ("metrics", 7),
+    ("stats", 5),
 )
 
 #: Dimensions the query traffic slices by (all kinds share these).
@@ -102,6 +118,10 @@ class LoadgenReport:
     total_errors: int = 0
     chaos_latency_s: float = 0.0
     routes: Dict[str, RouteStats] = field(default_factory=dict)
+    #: The merged client+server trace when the run recorded one
+    #: (``LoadGenerator(trace=True)``); not serialized — the CLI
+    #: writes it with :func:`repro.obs.sink.write_trace`.
+    trace_recorder: Optional[Any] = field(default=None, repr=False)
 
     @property
     def throughput_rps(self) -> float:
@@ -156,10 +176,24 @@ class _Client(threading.Thread):
     def __init__(self, generator: "LoadGenerator", index: int) -> None:
         super().__init__(name=f"loadgen-client-{index}", daemon=True)
         self.generator = generator
+        self.index = index
         self.rng = random.Random(f"{generator.seed}:client{index}")
         self.stats: Dict[str, RouteStats] = {}
         self.requests = 0
         self.errors = 0
+        #: Per-client recorder when tracing: TraceRecorder's span stack
+        #: is single-threaded by design, so clients never share one.
+        self.recorder: Optional[obs.TraceRecorder] = (
+            obs.TraceRecorder(
+                trace_id=f"loadgen-{generator.seed}.c{index}"
+            )
+            if generator.trace else None
+        )
+        self.trace_id = (
+            self.recorder.trace_id
+            if self.recorder is not None
+            else f"loadgen{generator.seed:x}c{index:x}"
+        )
 
     def run(self) -> None:
         gen = self.generator
@@ -174,7 +208,7 @@ class _Client(threading.Thread):
             while not gen.stop_event.is_set():
                 route, path = self._pick()
                 started = time.perf_counter()
-                ok = self._fetch(connection, path)
+                ok = self._request(connection, route, path)
                 elapsed = time.perf_counter() - started + gen.chaos_latency_s
                 stats = self.stats.setdefault(route, RouteStats())
                 stats.count += 1
@@ -192,27 +226,63 @@ class _Client(threading.Thread):
         finally:
             connection.close()
 
-    def _fetch(
-        self, connection: http.client.HTTPConnection, path: str
+    def _request(
+        self, connection: http.client.HTTPConnection, route: str, path: str
     ) -> bool:
+        """One request, traced when the run records a trace.
+
+        The client span's id rides in the ``traceparent`` header; the
+        server's ``X-Repro-Span`` export (its side of the same
+        request) is adopted back under that span, so the merged trace
+        interleaves client wall time with server handler time.
+        """
+        if self.recorder is None:
+            span_id = f"c{self.index}.{self.requests + 1}"
+            ok, _ = self._fetch(connection, path, span_id)
+            return ok
+        with self.recorder.span(
+            "loadgen.request", route=route, path=path
+        ) as span:
+            ok, export = self._fetch(connection, path, span.span_id)
+            span.set(ok=ok)
+        if export:
+            try:
+                self.recorder.adopt(
+                    {"spans": [json.loads(export)]}, parent_id=span.span_id
+                )
+            except (ValueError, KeyError, TypeError):
+                pass  # a malformed export must never fail the fetch
+        return ok
+
+    def _fetch(
+        self,
+        connection: http.client.HTTPConnection,
+        path: str,
+        span_id: str,
+    ) -> Tuple[bool, Optional[str]]:
+        headers = {
+            "traceparent": f"00-{self.trace_id}-{span_id}-01",
+        }
         try:
-            connection.request("GET", path)
+            connection.request("GET", path, headers=headers)
             response = connection.getresponse()
             body = response.read()
-            return response.status == 200 and bool(body)
+            export = response.getheader("X-Repro-Span")
+            return response.status == 200 and bool(body), export
         except (http.client.HTTPException, OSError):
             # Reconnect once: the server may have closed an idle
             # keep-alive socket between requests.
             try:
                 connection.close()
                 connection.connect()
-                connection.request("GET", path)
+                connection.request("GET", path, headers=headers)
                 response = connection.getresponse()
                 body = response.read()
-                return response.status == 200 and bool(body)
+                export = response.getheader("X-Repro-Span")
+                return response.status == 200 and bool(body), export
             except (http.client.HTTPException, OSError):
                 connection.close()
-                return False
+                return False, None
 
     def _pick(self) -> Tuple[str, str]:
         roll = self.rng.randrange(sum(weight for _, weight in MIX))
@@ -227,6 +297,10 @@ class _Client(threading.Thread):
             return "artefact", f"/artefact/{artefact}"
         if route == "history":
             return "history", "/history?limit=20"
+        if route == "metrics":
+            return "metrics", "/metrics"
+        if route == "stats":
+            return "stats", "/stats?window=30"
         return "healthz", "/healthz"
 
     def _query_path(self) -> str:
@@ -255,6 +329,7 @@ class LoadGenerator:
         think_s: float = 0.2,
         timeout_s: float = 30.0,
         chaos_latency_s: float = 0.0,
+        trace: bool = False,
     ) -> None:
         if clients < 1:
             raise ValueError("clients must be >= 1")
@@ -271,6 +346,9 @@ class LoadGenerator:
         #: seeded-regression lever for testing the SLO gate end to end
         #: without actually slowing the server down.
         self.chaos_latency_s = chaos_latency_s
+        #: Record a client-side trace and adopt the server's span
+        #: exports into it (one ``loadgen.request`` span per request).
+        self.trace = trace
         self.stop_event = threading.Event()
         self.countries: Tuple[str, ...] = ()
         self.kinds: Tuple[str, ...] = QUERY_KINDS
@@ -328,6 +406,7 @@ class LoadGenerator:
     def run(self) -> LoadgenReport:
         self._bootstrap()
         workers = [_Client(self, index) for index in range(self.clients)]
+        started_unix = time.time()
         started = time.perf_counter()
         for worker in workers:
             worker.start()
@@ -353,6 +432,27 @@ class LoadGenerator:
                 merged.count += stats.count
                 merged.errors += stats.errors
                 merged.latencies_s.extend(stats.latencies_s)
+        if self.trace:
+            # Fold every client's recorder into one trace. Client root
+            # spans (loadgen.request) stay roots; their adopted
+            # server.request children keep their parent links.
+            root = obs.TraceRecorder(trace_id=f"loadgen-{self.seed}")
+            with root.span(
+                "loadgen.run", clients=self.clients,
+                duration_s=self.duration_s, seed=self.seed,
+            ) as run_span:
+                pass
+            # The span object is recorded by reference, so backdate it
+            # to cover the run it describes: the clients already ran.
+            run_span.start_unix = started_unix
+            run_span.duration_s = wall
+            for worker in workers:
+                if worker.recorder is not None:
+                    root.adopt(
+                        worker.recorder.export(),
+                        parent_id=run_span.span_id,
+                    )
+            report.trace_recorder = root
         return report
 
 
@@ -365,11 +465,12 @@ def run_loadgen(
     think_s: float = 0.2,
     chaos_latency_s: float = 0.0,
     wait_ready_s: Optional[float] = 120.0,
+    trace: bool = False,
 ) -> LoadgenReport:
     """Convenience wrapper: wait for readiness, then run one load pass."""
     generator = LoadGenerator(
         host, port, clients=clients, duration_s=duration_s, seed=seed,
-        think_s=think_s, chaos_latency_s=chaos_latency_s,
+        think_s=think_s, chaos_latency_s=chaos_latency_s, trace=trace,
     )
     if wait_ready_s and not generator.wait_ready(wait_ready_s):
         raise RuntimeError(

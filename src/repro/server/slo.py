@@ -28,11 +28,16 @@ from repro.obs.history import ArtefactStats, RunRecord, new_run_id
 from repro.server.loadgen import LoadgenReport
 
 #: Per-route p99 budgets (seconds) for the canonical CI workload.
+#: The telemetry plane is part of the SLO surface: a scrape or stats
+#: read that stalls under load is an observability outage exactly when
+#: observability matters most.
 ROUTE_SLOS_P99_S: Dict[str, float] = {
     "healthz": 0.50,
     "history": 0.60,
     "query": 1.00,
     "artefact": 4.00,
+    "metrics": 0.60,
+    "stats": 0.60,
 }
 
 #: Loadgen error-rate ceiling: above this the run is marked failed

@@ -32,6 +32,7 @@ import traceback
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import repro
+from repro import obs
 from repro.core import cache as cache_mod
 from repro.experiments import common, registry
 from repro.experiments.export import jsonable
@@ -101,6 +102,18 @@ class ServerState:
         self._population: Optional[Any] = None
         self._artefact_lock = threading.Lock()
         self._artefact_memo: Dict[str, Any] = {}
+        #: Set by the HTTP layer: a zero-argument callable returning
+        #: request totals + live-sampler liveness for ``/healthz``.
+        self._telemetry_info: Optional[Any] = None
+
+    def attach_telemetry(self, provider: Any) -> None:
+        """Let ``/healthz`` report the server's telemetry plane.
+
+        ``provider`` is a zero-argument callable (owned by
+        :class:`~repro.server.app.MeasurementServer`) returning request
+        totals and sampler liveness; the state stays transport-agnostic.
+        """
+        self._telemetry_info = provider
 
     # -- warmup ---------------------------------------------------------------
 
@@ -167,6 +180,10 @@ class ServerState:
         }
         if self._population is not None:
             payload["subscribers"] = len(self._population)
+        if self._telemetry_info is not None:
+            # Request totals + sampler liveness: smoke jobs assert the
+            # telemetry plane is actually ticking, not just warm.
+            payload["telemetry"] = self._telemetry_info()
         if self.warm_error:
             payload["error"] = self.warm_error.strip().splitlines()[-1]
         if self.ready.is_set():
@@ -336,6 +353,9 @@ class ServerState:
                         raise RequestError(400, str(error.args[0]))
                     cache_mod.get_default_cache().store(key, result)
                 self._artefact_memo[key] = result
+                obs.gauge("server.artefact_memo").set(
+                    float(len(self._artefact_memo))
+                )
         payload: Dict[str, Any] = {
             "artefact": artefact_id,
             "title": spec.title,
@@ -488,4 +508,9 @@ class ServerState:
             {"path": "/population", "doc": "columnar subscriber substrate stats (by=country|issuer|..., filter dims)"},
             {"path": "/history", "doc": "recorded runs in the cross-run history store"},
             {"path": "/regress", "doc": "regression verdicts for a recorded run (run=, against=, window=)"},
+            {"path": "/metrics", "doc": "Prometheus text-format scrape: request counters, latency histograms, process gauges"},
+            {"path": "/stats", "doc": "live sampler window as JSON (window=N seconds, series=name,... for raw points)"},
+            {"path": "/events", "doc": "Server-Sent Events stream of per-tick registry deltas (max_events=N to bound)"},
+            {"path": "/dashboard", "doc": "auto-updating live dashboard (QPS/p99 sparklines over /events)"},
+            {"path": "/profile", "doc": "on-demand sampling profiler, collapsed stacks (seconds=N, interval_ms=M)"},
         ]

@@ -1,0 +1,162 @@
+"""Prometheus text exposition: golden scrape, parser, monotonicity."""
+
+import math
+
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    counter_values,
+    format_value,
+    metric_name,
+    parse_exposition,
+    parse_sample_line,
+    process_samples,
+    render,
+    render_process,
+    render_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry
+
+import pytest
+
+
+def _seeded_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("server.requests").inc(7)
+    registry.gauge("queue.depth").set(2.5)
+    histogram = registry.histogram("latency_s", buckets=(0.5, 1.0))
+    # 0.25, 0.5 and 2.25 are exact binary fractions, so the rendered
+    # _sum is byte-stable across platforms.
+    for value in (0.25, 0.5, 2.25):
+        histogram.observe(value)
+    return registry
+
+
+#: The byte-exact scrape for ``_seeded_registry`` — counters carry
+#: ``_total``, histogram buckets are cumulative and end at ``+Inf``.
+GOLDEN = """\
+# HELP repro_server_requests_total repro counter server.requests
+# TYPE repro_server_requests_total counter
+repro_server_requests_total 7
+# HELP repro_queue_depth repro gauge queue.depth
+# TYPE repro_queue_depth gauge
+repro_queue_depth 2.5
+# HELP repro_latency_s repro histogram latency_s
+# TYPE repro_latency_s histogram
+repro_latency_s_bucket{le="0.5"} 2
+repro_latency_s_bucket{le="1"} 2
+repro_latency_s_bucket{le="+Inf"} 3
+repro_latency_s_sum 3
+repro_latency_s_count 3
+"""
+
+
+def test_golden_scrape_is_byte_stable():
+    registry = _seeded_registry()
+    assert render_snapshot(registry.snapshot()) == GOLDEN
+    # Idempotent: rendering the same snapshot twice gives same bytes.
+    assert render_snapshot(registry.snapshot()) == GOLDEN
+
+
+def test_golden_scrape_parses_cleanly():
+    parsed = parse_exposition(GOLDEN)
+    assert parsed["types"] == {
+        "repro_server_requests_total": "counter",
+        "repro_queue_depth": "gauge",
+        "repro_latency_s": "histogram",
+    }
+    by_name = {
+        (sample["name"], tuple(sorted(sample["labels"].items()))):
+        sample["value"]
+        for sample in parsed["samples"]
+    }
+    assert by_name[("repro_server_requests_total", ())] == 7
+    assert by_name[("repro_latency_s_bucket", (("le", "+Inf"),))] == 3
+    assert by_name[("repro_latency_s_count", ())] == 3
+
+
+def test_counter_values_cover_histogram_series():
+    values = counter_values(GOLDEN)
+    assert values["repro_server_requests_total"] == 7
+    assert values['repro_latency_s_bucket{le="0.5"}'] == 2
+    assert values['repro_latency_s_bucket{le="+Inf"}'] == 3
+    assert values["repro_latency_s_count"] == 3
+    # _sum is not monotone-guaranteed (negative observations exist in
+    # principle) and gauges move both ways: neither is included.
+    assert "repro_latency_s_sum" not in values
+    assert "repro_queue_depth" not in values
+
+
+def test_metric_name_sanitizes():
+    assert metric_name("server.latency_s.query") == \
+        "repro_server_latency_s_query"
+    assert metric_name("a-b/c d") == "repro_a_b_c_d"
+    assert metric_name("9lives") == "repro__9lives"
+    assert metric_name("cache.hit", "_total") == "repro_cache_hit_total"
+
+
+def test_format_value_covers_the_numeric_tower():
+    assert format_value(7) == "7"
+    assert format_value(True) == "1"
+    assert format_value(2.5) == "2.5"
+    assert format_value(3.0) == "3"
+    assert format_value(float("inf")) == "+Inf"
+    assert format_value(float("-inf")) == "-Inf"
+    assert format_value(float("nan")) == "NaN"
+
+
+def test_parse_sample_line_rejects_malformed():
+    assert parse_sample_line("") is None
+    assert parse_sample_line("# HELP x y") is None
+    with pytest.raises(ValueError):
+        parse_sample_line("bad_name_no_value")
+    with pytest.raises(ValueError):
+        parse_sample_line('name{le=0.5} 3')  # unquoted label value
+    with pytest.raises(ValueError):
+        parse_sample_line("9starts_with_digit 1")
+
+
+def test_parse_exposition_reports_line_numbers():
+    with pytest.raises(ValueError, match="line 2"):
+        parse_exposition("ok_metric 1\nbroken{")
+    with pytest.raises(ValueError, match="unknown type"):
+        parse_exposition("# TYPE x banana\n")
+
+
+def test_process_samples_expose_linux_gauges():
+    samples = {s["name"]: s for s in process_samples(now=1000.0)}
+    assert samples["process_threads"]["value"] >= 1
+    assert samples["process_start_time_seconds"]["value"] > 0
+    # /proc exists on the CI platform; RSS must be a positive byte count.
+    assert samples["process_resident_memory_bytes"]["value"] > 0
+    assert samples["process_open_fds"]["value"] > 0
+    gc_labels = [
+        s["labels"]["generation"]
+        for s in process_samples()
+        if s["name"] == "python_gc_collections_total"
+    ]
+    assert gc_labels == ["0", "1", "2"]
+
+
+def test_render_process_emits_one_type_per_family():
+    text = render_process(now=1000.0)
+    parsed = parse_exposition(text)
+    assert parsed["types"]["process_threads"] == "gauge"
+    assert parsed["types"]["python_gc_collections_total"] == "counter"
+    # One TYPE line even though the gc family has three labelled samples.
+    assert text.count("# TYPE python_gc_collections_total counter") == 1
+
+
+def test_render_combines_registry_and_process():
+    text = render(registry=_seeded_registry())
+    assert text.startswith(GOLDEN)
+    assert "process_threads" in text
+    parsed = parse_exposition(text)  # the whole body stays valid
+    assert all(
+        not math.isnan(sample["value"]) for sample in parsed["samples"]
+    )
+    no_process = render(registry=_seeded_registry(), include_process=False)
+    assert no_process == GOLDEN
+
+
+def test_content_type_names_the_text_format():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"

@@ -1,0 +1,202 @@
+"""The live sampler: ring retention, delta/rate math, bounded soak."""
+
+import threading
+
+from repro.obs.live import LiveSampler, RingBuffer, _window_quantile
+from repro.obs.metrics import MetricsRegistry
+
+import pytest
+
+
+class TestRingBuffer:
+    def test_capacity_is_pinned(self):
+        ring = RingBuffer(4)
+        for i in range(100):
+            ring.append(float(i), i * 10)
+        assert len(ring) == 4
+        assert ring.capacity == 4
+        # Internal storage never grew past the preallocated slots.
+        assert len(ring._times) == 4
+        assert len(ring._values) == 4
+
+    def test_keeps_newest_in_order(self):
+        ring = RingBuffer(3)
+        for i in range(5):
+            ring.append(float(i), i)
+        assert ring.items() == [(2.0, 2), (3.0, 3), (4.0, 4)]
+        assert ring.last() == (4.0, 4)
+
+    def test_since_filters_by_time(self):
+        ring = RingBuffer(10)
+        for i in range(6):
+            ring.append(float(i), i)
+        assert ring.since(3.0) == [(3.0, 3), (4.0, 4), (5.0, 5)]
+        assert ring.since(99.0) == []
+
+    def test_partial_fill(self):
+        ring = RingBuffer(8)
+        assert ring.last() is None
+        ring.append(1.0, "a")
+        assert ring.items() == [(1.0, "a")]
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RingBuffer(1)
+
+
+def test_window_quantile_clamps_overflow_to_finite():
+    # All observations in the overflow bucket: quantile must stay a
+    # JSON-encodable finite number (the last bound), not +Inf.
+    assert _window_quantile((0.1, 1.0), [0, 0, 5], 0.99) == 1.0
+    assert _window_quantile((0.1, 1.0), [3, 1, 0], 0.5) == 0.1
+    assert _window_quantile((0.1, 1.0), [0, 0, 0], 0.5) is None
+
+
+def _sampler(interval_s=1.0, capacity=600):
+    registry = MetricsRegistry()
+    sampler = LiveSampler(
+        registry, interval_s=interval_s, capacity=capacity,
+        include_process=False,
+    )
+    return registry, sampler
+
+
+def test_tick_derives_counter_delta_and_rate():
+    registry, sampler = _sampler()
+    registry.counter("reqs").inc(5)
+    first = sampler.tick(now=1000.0)
+    assert first["counters"]["reqs"] == {"value": 5, "delta": 5}
+    registry.counter("reqs").inc(10)
+    second = sampler.tick(now=1002.0)
+    entry = second["counters"]["reqs"]
+    assert entry["value"] == 15
+    assert entry["delta"] == 10
+    assert entry["rate_per_s"] == pytest.approx(5.0)
+
+
+def test_tick_derives_histogram_window_stats():
+    registry, sampler = _sampler()
+    histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    sampler.tick(now=1000.0)
+    for value in (0.05, 0.05, 0.5):
+        histogram.observe(value)
+    event = sampler.tick(now=1001.0)
+    entry = event["histograms"]["lat"]
+    assert entry["count"] == 4
+    assert entry["delta"] == 3  # only the window's observations
+    assert entry["rate_per_s"] == pytest.approx(3.0)
+    assert entry["mean_s"] == pytest.approx(0.2)
+    assert entry["p50_s"] == 0.1
+    assert entry["p99_s"] == 1.0
+
+
+def test_stats_windows_the_retained_series():
+    registry, sampler = _sampler()
+    counter = registry.counter("reqs")
+    for tick in range(10):
+        counter.inc(2)
+        sampler.tick(now=1000.0 + tick)
+    # Full window: 9 intervals x 2/s... value went 2 -> 20.
+    wide = sampler.stats(window_s=100.0, now=1009.0)
+    assert wide["counters"]["reqs"]["value"] == 20
+    assert wide["counters"]["reqs"]["delta"] == 18
+    assert wide["counters"]["reqs"]["rate_per_s"] == pytest.approx(2.0)
+    assert wide["counters"]["reqs"]["samples"] == 10
+    # Narrow window: only the last ~4 samples participate.
+    narrow = sampler.stats(window_s=3.0, now=1009.0)
+    assert narrow["counters"]["reqs"]["samples"] == 4
+    assert narrow["counters"]["reqs"]["delta"] == 6
+
+
+def test_stats_series_points_for_sparklines():
+    registry, sampler = _sampler()
+    registry.gauge("depth").set(1.0)
+    sampler.tick(now=1000.0)
+    registry.gauge("depth").set(3.0)
+    sampler.tick(now=1001.0)
+    stats = sampler.stats(
+        window_s=60.0, series=("depth", "missing"), now=1001.0
+    )
+    assert stats["series"]["depth"] == [[1000.0, 1.0], [1001.0, 3.0]]
+    assert "missing" not in stats["series"]
+    assert stats["gauges"]["depth"] == {
+        "value": 3.0, "min": 1.0, "max": 3.0, "samples": 2,
+    }
+
+
+def test_soak_simulated_minutes_memory_is_bounded():
+    """A 60s-equivalent soak (and beyond): no series buffer grows."""
+    registry, sampler = _sampler(interval_s=1.0, capacity=60)
+    counter = registry.counter("reqs")
+    histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+    sizes = set()
+    for tick in range(300):  # 5 simulated minutes at 1 Hz
+        counter.inc(3)
+        histogram.observe(0.05)
+        sampler.tick(now=2000.0 + tick)
+        if tick >= 60:
+            sizes.add((
+                len(sampler._series["reqs"]),
+                len(sampler._hist["lat"]),
+                len(sampler._series["reqs"]._times),
+            ))
+    # Once warm, every buffer is pinned at exactly `capacity`.
+    assert sizes == {(60, 60, 60)}
+    assert sampler.ticks == 300
+    # The retained window still answers correctly after wrap.
+    stats = sampler.stats(window_s=10.0, now=2299.0)
+    assert stats["counters"]["reqs"]["rate_per_s"] == pytest.approx(3.0)
+
+
+def test_info_reports_liveness_shape():
+    registry, sampler = _sampler(interval_s=0.5, capacity=32)
+    registry.counter("reqs").inc()
+    sampler.tick()
+    info = sampler.info()
+    assert info["ticks"] == 1
+    assert info["alive"] is False  # no background thread in this test
+    assert info["interval_s"] == 0.5
+    assert info["capacity"] == 32
+    assert info["series"] == 1
+    assert info["last_tick_age_s"] is not None
+    assert info["tick_wall_s"] > 0
+
+
+def test_wait_for_event_wakes_on_new_tick():
+    registry, sampler = _sampler()
+    registry.counter("reqs").inc()
+    # No tick newer than 0 yet: times out quickly with None.
+    assert sampler.wait_for_event(0, timeout_s=0.05) is None
+
+    got = {}
+
+    def waiter():
+        got["event"] = sampler.wait_for_event(0, timeout_s=5.0)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    event = sampler.tick(now=1000.0)
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert got["event"] == event
+    # Caller has seen this tick: asking again times out, not busy-loops.
+    assert sampler.wait_for_event(event["tick"], timeout_s=0.05) is None
+
+
+def test_background_thread_ticks_and_stops():
+    registry = MetricsRegistry()
+    sampler = LiveSampler(
+        registry, interval_s=0.05, capacity=16, include_process=False,
+    )
+    registry.counter("reqs").inc()
+    sampler.start()
+    try:
+        event = sampler.wait_for_event(0, timeout_s=5.0)
+        assert event is not None
+        assert sampler.alive()
+    finally:
+        sampler.stop()
+    assert not sampler.alive()
+    # Stopped sampler: waiting returns immediately instead of blocking.
+    assert sampler.wait_for_event(10**9, timeout_s=30.0) is None

@@ -1,0 +1,118 @@
+"""Race safety: writers hammering instruments while snapshots run.
+
+The ISSUE's acceptance bar: a snapshot taken mid-``observe`` must
+never tear — every histogram copy satisfies ``count == sum(counts)``
+and (with exact-binary observations) ``sum == value * count``.
+"""
+
+import threading
+import time
+
+from repro.obs.metrics import MetricsRegistry
+
+WRITERS = 8
+#: 0.25 is an exact binary fraction: ``sum`` accumulates with zero
+#: rounding error, so the invariant check is exact equality.
+OBSERVED = 0.25
+HAMMER_SECONDS = 0.5
+
+
+def test_snapshot_never_tears_under_concurrent_writes():
+    registry = MetricsRegistry()
+    counter = registry.counter("hammer.requests")
+    histogram = registry.histogram("hammer.latency_s", buckets=(0.5, 1.0))
+    stop = threading.Event()
+    per_thread_counts = [0] * WRITERS
+
+    def writer(slot: int) -> None:
+        wrote = 0
+        while not stop.is_set():
+            counter.inc()
+            histogram.observe(OBSERVED)
+            wrote += 1
+        per_thread_counts[slot] = wrote
+
+    threads = [
+        threading.Thread(target=writer, args=(slot,), name=f"w{slot}")
+        for slot in range(WRITERS)
+    ]
+    for thread in threads:
+        thread.start()
+
+    torn = []
+    snapshots = 0
+    deadline = time.perf_counter() + HAMMER_SECONDS
+    while time.perf_counter() < deadline:
+        for item in registry.snapshot():
+            if item["type"] != "histogram":
+                continue
+            snapshots += 1
+            if item["count"] != sum(item["counts"]):
+                torn.append(("count", item))
+            if item["sum"] != OBSERVED * item["count"]:
+                torn.append(("sum", item))
+
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10.0)
+    assert not any(thread.is_alive() for thread in threads)
+    assert snapshots > 100, "the scrape loop barely ran; test is vacuous"
+    assert torn == []
+
+    # After quiescence the totals are exact: no lost increments.
+    total = sum(per_thread_counts)
+    assert total > 0
+    assert counter.value == total
+    final = {
+        item["name"]: item
+        for item in registry.snapshot()
+        if item["type"] == "histogram"
+    }["hammer.latency_s"]
+    assert final["count"] == total
+    assert final["counts"] == [total, 0, 0]
+    assert final["sum"] == OBSERVED * total
+
+
+def test_instrument_creation_race_yields_one_instrument():
+    registry = MetricsRegistry()
+    barrier = threading.Barrier(WRITERS)
+    seen = []
+    lock = threading.Lock()
+
+    def create() -> None:
+        barrier.wait()
+        counter = registry.counter("raced")
+        counter.inc()
+        histogram = registry.histogram("raced.h", buckets=(1.0,))
+        histogram.observe(0.5)
+        with lock:
+            seen.append((id(counter), id(histogram)))
+
+    threads = [threading.Thread(target=create) for _ in range(WRITERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10.0)
+
+    # All racers resolved to the same instrument objects...
+    assert len(set(seen)) == 1
+    # ...so no increment was split off onto a shadow instrument.
+    assert registry.counter("raced").value == WRITERS
+    assert registry.histogram("raced.h").count == WRITERS
+
+
+def test_counter_inc_is_atomic_across_threads():
+    registry = MetricsRegistry()
+    counter = registry.counter("atomic")
+    rounds = 2000
+
+    def bump() -> None:
+        for _ in range(rounds):
+            counter.inc()
+
+    threads = [threading.Thread(target=bump) for _ in range(WRITERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert counter.value == WRITERS * rounds

@@ -140,7 +140,7 @@ def test_loadgen_against_live_server(tmp_path):
         assert report.total_errors == 0
         assert report.throughput_rps > 0
         assert set(report.routes) <= {"query", "artefact", "history",
-                                      "healthz"}
+                                      "healthz", "metrics", "stats"}
         for stats in report.routes.values():
             assert stats.count == len(stats.latencies_s)
         # The JSON report round-trips.

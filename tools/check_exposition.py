@@ -1,0 +1,125 @@
+"""Zero-dependency Prometheus exposition checker for CI smoke jobs.
+
+Validates a saved ``GET /metrics`` scrape — every sample line parses,
+every ``# TYPE`` is legal, the body is non-trivial — and, given an
+earlier scrape of the same server, asserts every cumulative series
+(counters plus histogram ``_bucket``/``_count``) moved monotonically:
+
+    python tools/check_exposition.py scrape2.txt --against scrape1.txt
+
+Exit codes: 0 ok, 1 validation/monotonicity failure, 2 usage error.
+The parser lives in :mod:`repro.obs.exposition`; the tool adds
+``src/`` to ``sys.path`` itself so it runs without an installed
+package or a ``PYTHONPATH`` — curl + python is the whole toolchain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Iterable
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+try:
+    from repro.obs import exposition
+except ImportError:  # no PYTHONPATH: run straight from the checkout
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs import exposition
+
+#: Families any live repro server must expose — a scrape without them
+#: is answering, but it is not *our* telemetry plane.
+REQUIRED_FAMILIES = ("repro_server_requests_total", "process_threads")
+
+
+def check_scrape(text: str, label: str, *, require_families: bool = True) -> int:
+    """Validate one scrape body; prints problems, returns failure count.
+
+    ``require_families=False`` relaxes the required-family floor: the
+    ``--against`` scrape may predate the server's first completed
+    request (e.g. captured during warmup), before the request counters
+    exist at all.
+    """
+    failures = 0
+    try:
+        parsed = exposition.parse_exposition(text)
+    except ValueError as error:
+        print(f"{label}: {error}", file=sys.stderr)
+        return 1
+    if not parsed["samples"]:
+        print(f"{label}: scrape contains no samples", file=sys.stderr)
+        failures += 1
+    families = REQUIRED_FAMILIES if require_families else ()
+    for family in families:
+        if family not in parsed["types"]:
+            print(f"{label}: missing required family {family}",
+                  file=sys.stderr)
+            failures += 1
+    if not failures:
+        print(f"{label}: {len(parsed['samples'])} samples, "
+              f"{len(parsed['types'])} typed families, valid")
+    return failures
+
+
+def check_monotone(earlier: str, later: str) -> int:
+    """Every cumulative series in ``earlier`` must not regress in ``later``."""
+    before = exposition.counter_values(earlier)
+    after = exposition.counter_values(later)
+    failures = 0
+    for name, value in sorted(before.items()):
+        if name not in after:
+            print(f"monotonicity: series {name} disappeared",
+                  file=sys.stderr)
+            failures += 1
+        elif after[name] < value:
+            print(f"monotonicity: {name} went backwards "
+                  f"({value:g} -> {after[name]:g})", file=sys.stderr)
+            failures += 1
+    if not failures:
+        moved = sum(
+            1 for name, value in before.items()
+            if after.get(name, value) > value
+        )
+        print(f"monotonicity: {len(before)} cumulative series, "
+              f"none regressed ({moved} advanced)")
+    return failures
+
+
+def main(argv: Iterable[str] = ()) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_exposition",
+        description="validate a /metrics scrape (and counter monotonicity)",
+    )
+    parser.add_argument("scrape", help="path to the saved scrape body")
+    parser.add_argument(
+        "--against", metavar="EARLIER",
+        help="an earlier scrape of the same server: assert every "
+             "cumulative series moved monotonically",
+    )
+    args = parser.parse_args(list(argv))
+
+    scrape_path = pathlib.Path(args.scrape)
+    if not scrape_path.exists():
+        print(f"{scrape_path}: file not found", file=sys.stderr)
+        return 2
+    later = scrape_path.read_text()
+    failures = check_scrape(later, str(scrape_path))
+
+    if args.against:
+        earlier_path = pathlib.Path(args.against)
+        if not earlier_path.exists():
+            print(f"{earlier_path}: file not found", file=sys.stderr)
+            return 2
+        earlier = earlier_path.read_text()
+        failures += check_scrape(
+            earlier, str(earlier_path), require_families=False
+        )
+        if not failures:
+            failures += check_monotone(earlier, later)
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
